@@ -1,0 +1,31 @@
+# Standard loops for the repro package.
+PY ?= python
+
+.PHONY: install test bench experiments validate examples all clean
+
+install:
+	pip install -e . --no-build-isolation || \
+		( SITE=$$($(PY) -c "import site; print(site.getsitepackages()[0])") && \
+		  echo "$$(pwd)/src" > $$SITE/repro-editable.pth && \
+		  $(PY) -c "import repro; print('linked', repro.__version__)" )
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) -m repro.experiments all --write
+
+validate:
+	$(PY) -m repro.validation
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples OK"
+
+all: test bench validate experiments
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,67 @@
+"""Ablation: trace buffering (paper §III-D).
+
+The paper stores references in a memory buffer and processes the whole
+buffer at once. Here the buffer capacity is swept: instrumenting the same
+program with a tiny buffer forces many small analyzer invocations, a large
+buffer amortizes them. The bench shows throughput rising with capacity and
+verifies the analysis results are capacity-invariant.
+"""
+
+import pytest
+
+from repro.instrument.api import FanoutProbe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.scavenger import NVScavenger
+from repro.scavenger.global_analysis import GlobalAnalyzer
+from repro.scavenger.heap_analysis import HeapAnalyzer
+from tests.conftest import make_app
+
+
+def run_with_capacity(capacity: int):
+    fan = FanoutProbe([])
+    rt = InstrumentedRuntime(fan, buffer_capacity=capacity)
+    heap = HeapAnalyzer(rt.space.layout.heap_segment)
+    glob = GlobalAnalyzer(rt.space.layout.global_segment)
+    fan.add(heap)
+    fan.add(glob)
+    make_app("gtc", refs=8000, iters=3)(rt)
+    rt.finish()
+    return heap, glob
+
+
+@pytest.mark.parametrize("capacity", [64, 1024, 65536])
+def test_buffer_capacity_throughput(benchmark, capacity):
+    heap, glob = benchmark.pedantic(
+        run_with_capacity, args=(capacity,), rounds=2, iterations=1
+    )
+    assert heap.heap_refs > 0
+
+
+def test_results_invariant_under_capacity(benchmark):
+    """Buffering must not change what the analyzers compute."""
+    small_h, small_g = benchmark.pedantic(run_with_capacity, args=(64,), rounds=1, iterations=1)
+    large_h, large_g = run_with_capacity(65536)
+    assert small_h.heap_refs == large_h.heap_refs
+    assert small_g.global_refs == large_g.global_refs
+    import numpy as np
+
+    assert np.array_equal(
+        small_h.stats.reads[: large_h.stats.n_objects, : large_h.stats.n_iterations],
+        large_h.stats.reads,
+    )
+
+
+def test_scavenger_capacity_invariance(benchmark):
+    res_small = benchmark.pedantic(
+        lambda: NVScavenger(buffer_capacity=128).analyze(
+            make_app("s3d", refs=5000, iters=3), n_main_iterations=3
+        ),
+        rounds=1, iterations=1,
+    )
+    res_large = NVScavenger(buffer_capacity=1 << 16).analyze(
+        make_app("s3d", refs=5000, iters=3), n_main_iterations=3
+    )
+    assert res_small.total_refs == res_large.total_refs
+    assert res_small.stack_summary.rw_ratio() == pytest.approx(
+        res_large.stack_summary.rw_ratio()
+    )

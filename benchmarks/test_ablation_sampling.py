@@ -1,0 +1,59 @@
+"""Ablation: periodic sampling (paper §III-D).
+
+The paper rejects SimPoint-style sampling because it "can lead to the loss
+of access information for many memory objects". This bench quantifies the
+claim: at several sampling fractions it measures how many memory objects
+lose ALL access information, and shows the instrumentation-side speedup
+sampling would buy.
+"""
+
+import pytest
+
+from repro.instrument.api import FanoutProbe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.instrument.sampling import SamplingProbe
+from repro.scavenger.global_analysis import GlobalAnalyzer
+from repro.scavenger.heap_analysis import HeapAnalyzer
+from tests.conftest import make_app
+
+
+def run_sampled(period: int, window: int):
+    """Instrument CAM with sampled analyzers; returns (observed, registered)."""
+    outer = FanoutProbe([])
+    rt = InstrumentedRuntime(outer)
+    heap = HeapAnalyzer(rt.space.layout.heap_segment)
+    glob = GlobalAnalyzer(rt.space.layout.global_segment)
+    inner = FanoutProbe([heap, glob])
+    if window < period:
+        outer.add(SamplingProbe(inner, period_refs=period, sample_refs=window))
+    else:
+        outer.add(inner)
+    make_app("cam", refs=6000, iters=3)(rt)
+    rt.finish()
+    observed = 0
+    for analyzer in (heap, glob):
+        reads, writes = analyzer.stats.totals_per_object()
+        seen = set((reads + writes).nonzero()[0].tolist())
+        observed += sum(1 for oid in analyzer.objects if oid in seen)
+    registered = len(heap.objects) + len(glob.objects)
+    return observed, registered
+
+
+@pytest.mark.parametrize("fraction", [1.0, 0.1, 0.01])
+def test_sampling_object_loss(benchmark, fraction):
+    period = 2000
+    window = max(1, int(period * fraction))
+    observed, registered = benchmark.pedantic(
+        run_sampled, args=(period, window), rounds=2, iterations=1
+    )
+    if fraction == 1.0:
+        full = observed
+        # everything that is referenced is observed at full sampling
+        assert observed >= registered * 0.7
+    else:
+        # sampling always loses whole objects here — the paper's argument
+        full_observed, _ = run_sampled(period, period)
+        assert observed < full_observed
+        if fraction <= 0.01:
+            # at 1% sampling the loss is severe
+            assert observed <= full_observed * 0.8

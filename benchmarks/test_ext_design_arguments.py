@@ -1,0 +1,107 @@
+"""Benches for the extension experiments: the design arguments the paper
+makes in prose (§II and the introduction), quantified.
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.nvram.wearlevel import simulate_leveling
+
+
+def test_locality_scores(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("locality", ctx), rounds=1, iterations=1)
+    by_app = {r["application"]: r for r in res.rows}
+    # GTC is the low-locality outlier §II warns about
+    assert by_app["gtc"]["spatial"] == min(r["spatial"] for r in res.rows)
+    for r in res.rows:
+        assert 0.0 <= r["temporal"] <= 1.0 and 0.0 <= r["spatial"] <= 1.0
+    print()
+    print(res)
+
+
+def test_dram_cache_vs_horizontal(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("dramcache", ctx), rounds=1, iterations=1)
+    for r in res.rows:
+        # §II: the hierarchical design loses on the post-LLC stream
+        assert r["hier_latency_ns"] > r["horiz_latency_ns"], r["application"]
+        assert r["hier_energy_nj"] > r["horiz_energy_nj"], r["application"]
+    by_app = {r["application"]: r for r in res.rows}
+    # the low-locality app has the worst DRAM-cache hit rate
+    assert by_app["gtc"]["dram_cache_hit_rate"] == min(
+        r["dram_cache_hit_rate"] for r in res.rows
+    )
+    print()
+    print(res)
+
+
+def test_wear_lifetimes(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("wear", ctx), rounds=1, iterations=1)
+    for r in res.rows:
+        assert r["lifetime_years_leveled"] > r["lifetime_years_raw"]
+        assert r["wear_imbalance"] > 10  # real write streams are skewed
+    # the write-heavy app (GTC) has the shortest raw lifetime
+    by_app = {r["application"]: r for r in res.rows}
+    assert by_app["gtc"]["lifetime_years_raw"] == min(
+        r["lifetime_years_raw"] for r in res.rows
+    )
+    print()
+    print(res)
+
+
+def test_startgap_mechanism(benchmark):
+    """The Start-Gap leveler itself, on a synthetic hot-spot stream."""
+    writes = np.zeros(20_000, dtype=np.int64)  # one scorching line
+    rep = benchmark.pedantic(
+        simulate_leveling,
+        args=(writes,),
+        kwargs=dict(n_lines=64, gap_move_interval=16),
+        rounds=2,
+        iterations=1,
+    )
+    assert rep.improvement > 5.0
+
+
+def test_checkpoint_targets(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("checkpoint", ctx), rounds=1, iterations=1)
+    for r in res.rows:
+        assert r["nvram_checkpoint_s"] < r["disk_checkpoint_s"] / 50
+        assert r["nvram_efficiency"] > r["disk_efficiency"]
+        assert r["nvram_efficiency"] > 0.99
+    print()
+    print(res)
+
+
+def test_fig12x_bound_gap(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("fig12x", ctx), rounds=1, iterations=1)
+    for r in res.rows:
+        assert r["diff_PCRAM"] <= r["sym_PCRAM"]
+    print()
+    print(res)
+
+
+def test_capacity_sweep(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("capacity", ctx), rounds=1, iterations=1)
+    assert res.rows[-1]["saving"] > res.rows[0]["saving"]
+    print()
+    print(res)
+
+
+def test_input_dependence(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("inputs", ctx), rounds=1, iterations=1)
+    for r in res.rows:
+        assert r["n_changed"] >= 1, r["application"]
+    nek = next(r for r in res.rows if r["application"] == "nek5000")
+    assert any("boundary_conditions" in c for c in nek["changed"])
+    print()
+    print(res)
+
+
+def test_prefetch_hiding(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("prefetch", ctx), rounds=1, iterations=1)
+    by_app = {r["application"]: r for r in res.rows}
+    # GTC's gather traffic resists stride prefetching
+    assert by_app["gtc"]["coverage"] == min(r["coverage"] for r in res.rows)
+    for r in res.rows:
+        assert r["loss_PCRAM_prefetch"] <= r["loss_PCRAM"] + 1e-9
+    print()
+    print(res)

@@ -1,0 +1,23 @@
+"""Bench: Figure 12 — performance sensitivity to NVRAM latencies."""
+
+from repro.experiments import run_experiment
+from repro.experiments.fig12 import PAPER_BOUNDS
+
+
+def test_fig12(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("fig12", ctx), rounds=3, iterations=1)
+    for row in res.rows:
+        app = row["application"]
+        # paper claims, per technology
+        lo, hi = PAPER_BOUNDS["MRAM"]
+        assert lo <= row["loss_MRAM"] <= hi, (app, "MRAM", row["loss_MRAM"])
+        lo, hi = PAPER_BOUNDS["STTRAM"]
+        assert lo <= row["loss_STTRAM"] <= hi, (app, "STTRAM", row["loss_STTRAM"])
+        lo, hi = PAPER_BOUNDS["PCRAM"]
+        assert lo <= row["loss_PCRAM"] <= hi, (app, "PCRAM", row["loss_PCRAM"])
+        # monotone in latency
+        assert row["loss_MRAM"] <= row["loss_STTRAM"] <= row["loss_PCRAM"], app
+        # MLP within the miss buffer bound
+        assert 1.0 <= row["mlp"] <= 64.0
+    print()
+    print(res)

@@ -1,0 +1,34 @@
+"""Bench: Figure 2 — CAM stack objects (slow analyzer)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.fig2 import PAPER
+
+
+def test_fig2(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("fig2", ctx), rounds=3, iterations=1)
+    frames = res.rows
+    n = len(frames)
+    gt10 = [f for f in frames if f["rw_ratio"] > 10]
+    gt50 = [f for f in frames if f["rw_ratio"] > 50]
+    measured = {
+        "frac_objects_rw_gt10": len(gt10) / n,
+        "refs_share_rw_gt10": sum(f["reference_rate"] for f in gt10),
+        "frac_objects_rw_gt50": len(gt50) / n,
+        "refs_share_rw_gt50": sum(f["reference_rate"] for f in gt50),
+    }
+    tolerances = {
+        "frac_objects_rw_gt10": 0.08,
+        "refs_share_rw_gt10": 0.05,
+        "frac_objects_rw_gt50": 0.04,
+        "refs_share_rw_gt50": 0.03,
+    }
+    for key, paper_value in PAPER.items():
+        assert abs(measured[key] - paper_value) < tolerances[key], (
+            key, measured[key], paper_value,
+        )
+    # the paper's three named exemplars appear
+    names = {f["routine"] for f in frames}
+    assert {"interp_coefficients", "temporal_results_buffer",
+            "dependent_constants"} <= names
+    print()
+    print(res)

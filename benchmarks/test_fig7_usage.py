@@ -1,0 +1,30 @@
+"""Bench: Figure 7 — cumulative memory usage across time steps."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.fig7 import PAPER_UNUSED
+
+
+def test_fig7(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("fig7", ctx), rounds=3, iterations=1)
+    unused = {
+        r["application"]: r["unused_fraction"]
+        for r in res.rows
+        if "unused_fraction" in r
+    }
+    # per-app closeness to the paper's unused-in-main-loop masses
+    for name, paper in PAPER_UNUSED.items():
+        assert unused[name] == pytest.approx(paper, abs=0.03), name
+    # ordering: Nek5000 > CAM > S3D
+    assert unused["nek5000"] > unused["cam"] > unused["s3d"]
+    # the CDF mass is monotone for each plotted app
+    for r in res.rows:
+        if "cumulative_mb" in r:
+            mb = r["cumulative_mb"]
+            assert all(a <= b for a, b in zip(mb, mb[1:]))
+    # GTC: evenly touched (the paper omits its figure)
+    gtc = next(r for r in res.rows if r["application"] == "gtc")
+    assert gtc["evenness"] > 0.9
+    print()
+    print(res)

@@ -1,0 +1,27 @@
+"""Bench: Figures 8-11 — cross-iteration variance of access patterns."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_11(benchmark, ctx):
+    res = benchmark.pedantic(
+        run_experiment, args=("fig8-11", ctx), rounds=3, iterations=1
+    )
+    stables = {r["application"]: r["min_stable_fraction"] for r in res.rows}
+    # ">60% of memory objects stay within [1,2) for each iteration"
+    for name, frac in stables.items():
+        assert frac > 0.60, (name, frac)
+    # S3D and GTC essentially unchanged across iterations
+    assert stables["s3d"] > 0.95
+    assert stables["gtc"] > 0.95
+    # Nek5000 is the noisiest (diverse reference rates)
+    assert min(stables, key=stables.get) == "nek5000"
+    # histogram columns are distributions
+    for r in res.rows:
+        import numpy as np
+
+        rw = np.asarray(r["rw_hist"])
+        if rw.size:
+            assert np.allclose(rw.sum(axis=0), 1.0)
+    print()
+    print(res)

@@ -1,0 +1,23 @@
+"""Bench (extension): hybrid placement and the 31%/27% headline."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_hybrid_placement(benchmark, ctx):
+    res = benchmark.pedantic(run_experiment, args=("hybrid", ctx), rounds=3, iterations=1)
+    by_app = {r["application"]: r for r in res.rows}
+    # abstract: "31% and 27% of the memory working sets are suitable for NVRAM"
+    assert by_app["nek5000"]["nvram_fraction_PCRAM"] == pytest.approx(0.31, abs=0.08)
+    assert by_app["cam"]["nvram_fraction_PCRAM"] == pytest.approx(0.27, abs=0.08)
+    for name, row in by_app.items():
+        # category 2 admits at least as much as category 1
+        assert row["nvram_fraction_STTRAM"] >= row["nvram_fraction_PCRAM"], name
+        # conservative category-1 placement never costs energy
+        assert row["energy_savings_PCRAM"] > -0.01, name
+    # the write-heavy outlier (GTC) is the worst aggressive-placement case
+    stt_savings = {n: r["energy_savings_STTRAM"] for n, r in by_app.items()}
+    assert min(stt_savings, key=stt_savings.get) == "gtc"
+    print()
+    print(res)

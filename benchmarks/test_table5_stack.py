@@ -1,0 +1,34 @@
+"""Bench: Table V — stack data analysis.
+
+Regenerates the table from the shared instrumented runs and checks the
+paper's shape: CAM >> Nek5000 ~ S3D > GTC in read/write ratio; >70% stack
+reference share for Nek5000/CAM; GTC lowest (~44%).
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.table5 import PAPER_TABLE5
+
+
+def test_table5(benchmark, ctx):
+    res = benchmark.pedantic(
+        run_experiment, args=("table5", ctx), rounds=3, iterations=1
+    )
+    by_app = {r["application"]: r for r in res.rows}
+
+    # per-app closeness to the paper's numbers
+    for name, (paper_rw, paper_first, paper_pct) in PAPER_TABLE5.items():
+        row = by_app[name]
+        assert abs(row["rw_ratio"] - paper_rw) / paper_rw < 0.10, name
+        assert abs(row["reference_percentage"] - paper_pct) < 0.03, name
+
+    # ordering
+    assert (
+        by_app["cam"]["rw_ratio"]
+        > by_app["nek5000"]["rw_ratio"]
+        > by_app["gtc"]["rw_ratio"]
+    )
+    assert by_app["s3d"]["rw_ratio"] > by_app["gtc"]["rw_ratio"]
+    # CAM's first iteration is the outlier the paper parenthesizes
+    assert by_app["cam"]["rw_ratio_first_iteration"] < by_app["cam"]["rw_ratio"]
+    print()
+    print(res)

@@ -1,0 +1,31 @@
+"""Bench: Table VI — normalized average memory power.
+
+The bench times the full power simulation (4 apps x 4 technologies through
+the DRAMSim2-style model) and asserts the paper's headline: every NVRAM
+saves >= 27% average power, PCRAM draws the least among NVRAMs, and the
+faster STTRAM/MRAM draw slightly more because they keep the memory system
+more loaded.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.table6 import PAPER_TABLE6
+
+
+def test_table6(benchmark, ctx):
+    res = benchmark.pedantic(
+        run_experiment, args=("table6", ctx), rounds=1, iterations=1
+    )
+    for row in res.rows:
+        app = row["application"]
+        # ordering: PCRAM lowest, MRAM >= STTRAM (tiny tolerance)
+        assert row["PCRAM"] < row["STTRAM"] + 1e-9, app
+        assert row["MRAM"] >= row["STTRAM"] - 0.005, app
+        for tech in ("PCRAM", "STTRAM", "MRAM"):
+            measured = row[tech]
+            paper = PAPER_TABLE6[app][tech]
+            # within 0.04 of the paper's normalized value
+            assert abs(measured - paper) < 0.04, (app, tech, measured, paper)
+            # the >= 27% saving headline (28% measured at this fidelity)
+            assert 1.0 - measured >= 0.27, (app, tech)
+    print()
+    print(res)

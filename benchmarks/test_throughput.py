@@ -1,0 +1,96 @@
+"""Component throughput benchmarks: the simulator substrates themselves.
+
+These are classic pytest-benchmark microbenchmarks over the hot paths:
+instrumentation + analysis pipeline, exact cache simulation, power-model
+controller loop, and the vectorized analyzers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import CacheHierarchy, TABLE2_CONFIG
+from repro.nvram import DRAM_DDR3
+from repro.powersim import MemorySystem
+from repro.scavenger import NVScavenger
+from repro.scavenger.buckets import SortedRangeIndex
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.trace.record import AccessType, RefBatch
+from repro.util.rng import make_rng
+from tests.conftest import make_app
+
+N = 50_000
+
+
+@pytest.fixture(scope="module")
+def random_batch():
+    rng = make_rng(3)
+    return RefBatch(
+        addr=rng.integers(0, 1 << 27, N, dtype=np.uint64),
+        is_write=rng.random(N) < 0.3,
+        size=np.full(N, 8, np.uint8),
+        oid=rng.integers(0, 200, N, dtype=np.int32),
+        iteration=1,
+    )
+
+
+def test_full_scavenger_pipeline(benchmark):
+    """End-to-end: app instrumentation + all analyzers (refs/sec)."""
+    result = benchmark.pedantic(
+        lambda: NVScavenger().analyze(make_app("gtc", refs=10_000), n_main_iterations=10),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.total_refs >= 100_000
+
+
+def test_cache_hierarchy_throughput(benchmark, random_batch):
+    """Exact two-level LRU simulation (refs/sec)."""
+    def run():
+        h = CacheHierarchy(TABLE2_CONFIG)
+        h.process_batch(random_batch)
+        return h
+
+    h = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert h.stats().refs == N
+
+
+def test_power_controller_throughput(benchmark, random_batch):
+    """Per-access controller loop (accesses/sec)."""
+    line_batch = RefBatch(
+        addr=(random_batch.addr >> np.uint64(6)) << np.uint64(6),
+        is_write=random_batch.is_write,
+        size=np.full(N, 64, np.uint8),
+        oid=random_batch.oid,
+        iteration=1,
+    )
+
+    def run():
+        sys = MemorySystem(DRAM_DDR3)
+        sys.process_batch(line_batch)
+        return sys
+
+    sys = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sys.controller.stats.accesses == N
+
+
+def test_sorted_index_lookup_throughput(benchmark):
+    """Vectorized address attribution (lookups/sec)."""
+    idx = SortedRangeIndex()
+    for oid in range(500):
+        idx.insert(oid, oid * 0x1000, oid * 0x1000 + 0x800)
+    rng = make_rng(5)
+    addrs = rng.integers(0, 500 * 0x1000, N, dtype=np.uint64)
+    out = benchmark(idx.lookup_batch, addrs)
+    assert out.shape == (N,)
+
+
+def test_object_stats_accumulation_throughput(benchmark, random_batch):
+    """np.bincount-based stats folding (refs/sec)."""
+    def run():
+        t = ObjectStatsTable()
+        for _ in range(10):
+            t.add_ref_batch(random_batch)
+        return t
+
+    t = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert int(t.refs.sum()) == 10 * N

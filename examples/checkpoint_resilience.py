@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Checkpointing and endurance: the introduction's resiliency motivation.
+
+Two NVRAM roles beyond power: (1) a fast checkpoint target under limited
+external I/O bandwidth — quantified with Young-optimal schedules and Daly
+efficiency for disk vs NVRAM at several machine scales; (2) the endurance
+flip side — the write traffic a checkpoint buffer absorbs, and what
+Start-Gap wear leveling does to its lifetime.
+
+Run:  python examples/checkpoint_resilience.py
+"""
+
+import numpy as np
+
+from repro.hybrid.checkpoint import (
+    NVRAM_LOCAL,
+    PFS_DISK,
+    compare_targets,
+    nvram_capacity_for_checkpointing,
+    plan_checkpoints,
+)
+from repro.nvram import PCRAM, EnduranceModel, simulate_leveling
+from repro.util.units import GiB, MiB, fmt_bytes
+
+
+def main() -> None:
+    footprint = int(0.8 * GiB)  # a Nek5000-class task
+
+    print("== checkpoint efficiency: disk vs NVRAM, by machine reliability ==")
+    header = (f"{'MTBF':>8s} {'disk ckpt':>10s} {'NVRAM ckpt':>11s} "
+              f"{'disk interval':>14s} {'NVRAM interval':>15s} "
+              f"{'disk eff':>9s} {'NVRAM eff':>10s}")
+    print(header)
+    print("-" * len(header))
+    for mtbf_h in (24.0, 6.0, 1.0, 0.25):
+        plans = compare_targets(footprint, mtbf_h * 3600.0)
+        d, n = plans["PFS-disk"], plans["NVRAM"]
+        print(f"{mtbf_h:6.2f}h {d.checkpoint_s:9.1f}s {n.checkpoint_s * 1e3:9.1f}ms "
+              f"{d.optimal_interval_s:13.0f}s {n.optimal_interval_s:14.0f}s "
+              f"{d.efficiency:9.1%} {n.efficiency:10.1%}")
+    print()
+    print("at exascale-like failure rates (minutes of MTBF), disk checkpointing "
+          "collapses while NVRAM stays above 90% efficiency — the paper's "
+          "'drastically reduce latency' claim.")
+    print()
+
+    cap = nvram_capacity_for_checkpointing(footprint, n_buffers=2)
+    print(f"NVRAM capacity for double-buffered checkpoints: {fmt_bytes(cap)}")
+    print()
+
+    print("== endurance of the checkpoint buffer ==")
+    # every checkpoint writes the full footprint across the buffer; model
+    # the per-line wear of a 1-hour-MTBF schedule over 5 years
+    plan = plan_checkpoints(footprint, 3600.0, NVRAM_LOCAL)
+    ckpts_per_year = plan.checkpoints_per_hour * 24 * 365
+    buffer_lines = footprint // 256
+    writes_per_line_per_year = ckpts_per_year  # sequential full-buffer writes
+    years_to_wearout = PCRAM.write_endurance / writes_per_line_per_year
+    print(f"checkpoints/hour at MTBF 1h: {plan.checkpoints_per_hour:.1f}")
+    print(f"uniform writes per line per year: {writes_per_line_per_year:.2e}")
+    print(f"PCRAM checkpoint-buffer lifetime: {years_to_wearout:.0f} years "
+          "(sequential checkpoint writes are inherently wear-leveled)")
+    print()
+
+    print("== but skewed in-place updates are not: Start-Gap to the rescue ==")
+    rng = np.random.default_rng(0)
+    # 90% of updates hit 5% of a 64-line metadata region
+    hot = rng.integers(0, 3, 18_000, dtype=np.int64)
+    cold = rng.integers(3, 64, 2_000, dtype=np.int64)
+    writes = np.concatenate([hot, cold])
+    rng.shuffle(writes)
+    rep = simulate_leveling(writes, n_lines=64, gap_move_interval=16)
+    print(f"raw max wear {rep.raw_max_wear}, leveled {rep.leveled_max_wear} "
+          f"({rep.improvement:.1f}x better), imbalance "
+          f"{rep.raw_imbalance:.1f} -> {rep.leveled_imbalance:.1f}")
+
+
+if __name__ == "__main__":
+    main()

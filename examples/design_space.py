@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Design-space tour: which memory organization fits which workload?
+
+Runs the four classic microbenchmarks (STREAM triad, GUPS, pointer chase,
+5-point stencil) through the full pipeline and compares, per workload:
+locality scores, latency sensitivity, prefetch coverage, and the
+hierarchical-DRAM-cache vs horizontal-hybrid question from §II.
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro.cachesim import MemoryTraceProbe
+from repro.hybrid.dramcache import DRAMCacheModel, HorizontalModel
+from repro.hybrid.pagemap import MemoryPool, PageMap
+from repro.instrument import InstrumentedRuntime
+from repro.instrument.api import FanoutProbe
+from repro.nvram import PCRAM
+from repro.perfsim import (
+    PerformanceSimulator,
+    estimate_prefetch_coverage,
+)
+from repro.perfsim.prefetch import PrefetchAwareModel
+from repro.scavenger.locality import LocalityAnalyzer
+from repro.util.units import MiB
+from repro.workloads.microbench import MICROBENCHES, create_microbench
+
+
+def run_bench(name: str):
+    bench = create_microbench(name, n=1 << 17, iterations=3)
+    cache = MemoryTraceProbe()
+    loc = LocalityAnalyzer()
+    rt = InstrumentedRuntime(FanoutProbe([cache, loc]))
+    bench(rt)
+    rt.finish()
+    dep_frac = rt.dependent_refs / rt.refs_emitted if rt.refs_emitted else 0.0
+    return rt, cache, loc.scores(), dep_frac
+
+
+def main() -> None:
+    sim = PerformanceSimulator()
+    # a near-ideal stream prefetcher: these microbenchmarks are the
+    # textbook cases §V's prefetching remark is about
+    pf_model = PrefetchAwareModel(accuracy=0.99)
+    header = (f"{'workload':>14s} {'spatial':>8s} {'temporal':>9s} "
+              f"{'MLP':>6s} {'PCRAM+pf':>11s} {'prefetch':>9s} "
+              f"{'DRAM$ hit':>10s} {'verdict':>12s}")
+    print(header)
+    print("-" * len(header))
+    for name in MICROBENCHES:
+        rt, cache, scores, dep_frac = run_bench(name)
+        counts = sim.counts_from_run(rt.instruction_count, cache,
+                                     dependent_fraction=dep_frac)
+        miss_addrs = np.concatenate(
+            [b.addr[~b.is_write].astype(np.int64) for b in cache.memory_trace]
+            or [np.empty(0, np.int64)]
+        )
+        coverage = estimate_prefetch_coverage(miss_addrs).coverage
+        # PCRAM loss with the prefetcher in play (§V's third mechanism)
+        loss = pf_model.slowdown(counts, 100.0, coverage) - 1.0
+        # hierarchical vs horizontal on this trace, small DRAM budget
+        hier = DRAMCacheModel(PCRAM, dram_capacity_bytes=int(0.25 * MiB)).run(
+            cache.memory_trace
+        )
+        pm = PageMap()
+        pm.assign_range(0, 1 << 30, MemoryPool.NVRAM)
+        horiz = HorizontalModel(PCRAM, pm,
+                                dram_capacity_bytes=int(0.25 * MiB)).run(
+            cache.memory_trace
+        )
+        verdict = ("hierarchical" if hier.avg_latency_ns < horiz.avg_latency_ns
+                   else "horizontal")
+        print(f"{name:>14s} {scores.spatial:8.3f} {scores.temporal:9.3f} "
+              f"{counts.mlp:6.1f} {loss:+11.1%} {coverage:9.1%} "
+              f"{hier.hit_rate:10.1%} {verdict:>12s}")
+
+    print()
+    print("reading the table:")
+    print(" - stream/stencil: high spatial locality, prefetch-coverable —")
+    print("   latency-tolerant; horizontal NVRAM placement is free power.")
+    print(" - gups: no locality, high MLP — bandwidth-bound; the DRAM cache")
+    print("   amplifies traffic (the §II low-locality argument).")
+    print(" - pointer_chase: MLP ~1 — the one workload where 100 ns PCRAM")
+    print("   truly hurts and a DRAM cache (if it hits) pays for itself.")
+
+
+if __name__ == "__main__":
+    main()

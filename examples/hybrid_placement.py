@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Hybrid DRAM+NVRAM placement: static (classification-driven) vs dynamic
+(Ramos-style migration).
+
+The paper's point: NV-SCAVENGER's per-object analysis makes *static*
+placement viable for these applications because access patterns are stable
+across iterations — dynamic migration machinery is mostly unnecessary.
+This example places Nek5000's objects statically for a category-1 and a
+category-2 NVRAM, prices both, then runs the dynamic migrator over the
+same reference stream to show how few migrations a monitor would perform
+after warm-up.
+
+Run:  python examples/hybrid_placement.py
+"""
+
+from repro import create_app
+from repro.cachesim import MemoryTraceProbe
+from repro.hybrid import DynamicMigrator, HybridEnergyModel, StaticPlacer
+from repro.hybrid.pagemap import MemoryPool, PageMap
+from repro.instrument import InstrumentedRuntime
+from repro.nvram import PCRAM, STTRAM
+from repro.scavenger import NVScavenger
+from repro.util.units import fmt_bytes
+
+
+def main() -> None:
+    app = create_app("nek5000", refs_per_iteration=30_000)
+    cache_probe = MemoryTraceProbe()
+    result = NVScavenger(extra_probes=[cache_probe]).analyze(app, n_main_iterations=10)
+    frac_mem = cache_probe.stats().memory_accesses_per_ref
+
+    print(f"{app.info.name}: footprint {fmt_bytes(result.footprint_bytes)}, "
+          f"{len(result.object_metrics)} global/heap objects")
+    print()
+
+    # ---- static placement per NVRAM category
+    for tech in (PCRAM, STTRAM):
+        page_map = PageMap()
+        plan = StaticPlacer(tech).place(result.classified, page_map=page_map)
+        model = HybridEnergyModel(tech)
+        window = model.calibrated_window_ns(result.object_metrics, frac_mem)
+        hybrid = model.energy(result.object_metrics, plan, window, frac_mem)
+        baseline = model.all_dram_baseline(result.object_metrics, window, frac_mem)
+        print(f"static placement on {tech.name} (category {tech.category.value}):")
+        print(f"  NVRAM-resident: {fmt_bytes(plan.nvram_bytes)} "
+              f"({plan.nvram_fraction:.1%} of the working set, "
+              f"{len(plan.nvram_oids)} objects)")
+        print(f"  energy vs all-DRAM: {hybrid.savings_vs(baseline):+.1%}")
+        top = sorted(plan.nvram_oids,
+                     key=lambda oid: -next(m.size for m in result.object_metrics
+                                           if m.oid == oid))[:4]
+        names = [next(m.name for m in result.object_metrics if m.oid == oid)
+                 for oid in top]
+        print(f"  largest NVRAM residents: {', '.join(names)}")
+        print()
+
+    # ---- dynamic migration over the same run
+    page_map = PageMap()
+    StaticPlacer(STTRAM).place(result.classified, page_map=page_map)
+    migrator = DynamicMigrator(page_map, write_hot_threshold=256,
+                               read_popular_threshold=1024)
+    probe = MemoryTraceProbe(keep_trace=True)
+    rt = InstrumentedRuntime(probe)
+    create_app("nek5000", refs_per_iteration=30_000)(rt)
+    rt.finish()
+    per_epoch = []
+    current_iter = None
+    for batch in probe.memory_trace:
+        if current_iter is None:
+            current_iter = batch.iteration
+        if batch.iteration != current_iter:
+            per_epoch.append(migrator.end_epoch())
+            current_iter = batch.iteration
+        migrator.observe(batch)
+    per_epoch.append(migrator.end_epoch())
+
+    print("dynamic migration (Ramos-style monitor) per epoch:")
+    for i, (to_dram, to_nvram) in enumerate(per_epoch):
+        print(f"  epoch {i}: {to_dram} pages -> DRAM, {to_nvram} pages -> NVRAM")
+    steady = per_epoch[2:] or per_epoch
+    steady_total = sum(a + b for a, b in steady)
+    print(f"  steady-state migrations after warm-up: {steady_total} "
+          f"({migrator.stats.bytes_moved:,} bytes moved total)")
+    print()
+    print("stable access patterns (Figs 8-11) mean static placement captures "
+          "nearly all of the benefit without migration overhead.")
+
+
+if __name__ == "__main__":
+    main()

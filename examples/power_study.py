@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Memory power study: the Table VI pipeline on one application.
+
+Instruments GTC, filters the reference stream through the Table II cache
+hierarchy (memory trace = LLC misses + writebacks), writes the trace to a
+file, and replays it through the DRAMSim2-style power simulator once per
+technology — printing the power component breakdown and the normalized
+Table VI row.
+
+Run:  python examples/power_study.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DRAM_DDR3, MRAM, PCRAM, STTRAM, MemoryTraceProbe, create_app, simulate_power
+from repro.instrument import InstrumentedRuntime
+from repro.trace.io import write_trace
+from repro.util.units import fmt_bytes, fmt_time_ns
+
+
+def main() -> None:
+    app = create_app("gtc", refs_per_iteration=30_000)
+    probe = MemoryTraceProbe()
+    rt = InstrumentedRuntime(probe)
+    app(rt)
+    rt.finish()
+
+    stats = probe.stats()
+    print(f"{app.info.name}: {stats.refs:,} references -> "
+          f"{stats.memory_accesses:,} memory accesses "
+          f"({stats.memory_reads:,} reads + {stats.memory_writes:,} writebacks)")
+    for name, lv in stats.levels.items():
+        print(f"  {name}: miss rate {lv.miss_rate:.1%} "
+              f"({lv.misses:,} misses / {lv.accesses:,} accesses)")
+    print()
+
+    # the paper's flow: trace file feeds the power simulator
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "gtc_memory_trace.npz"
+        write_trace(trace_path, probe.memory_trace)
+        print(f"memory trace written to {trace_path.name} "
+              f"({trace_path.stat().st_size:,} bytes compressed)")
+        print()
+
+        header = (f"{'memory':8s} {'avg power':>12s} {'normalized':>10s} "
+                  f"{'runtime':>12s} {'row hits':>8s} "
+                  f"{'burst':>7s} {'act':>7s} {'bg':>7s} {'refresh':>7s}")
+        print(header)
+        print("-" * len(header))
+        base_mw = None
+        for tech in (DRAM_DDR3, PCRAM, STTRAM, MRAM):
+            rep = simulate_power(trace_path, tech)
+            if base_mw is None:
+                base_mw = rep.average_power_mw
+            b = rep.breakdown
+            print(f"{tech.name:8s} {rep.average_power_mw:9.1f} mW "
+                  f"{rep.average_power_mw / base_mw:10.3f} "
+                  f"{fmt_time_ns(rep.elapsed_ns):>12s} "
+                  f"{rep.stats.row_hit_rate:8.1%} "
+                  f"{b.burst_mw:5.0f}mW {b.activation_mw:5.0f}mW "
+                  f"{b.background_mw:5.0f}mW {b.refresh_mw:5.0f}mW")
+
+    print()
+    print("paper Table VI (GTC row): DDR3 1.000, PCRAM 0.687, "
+          "STTRAM 0.708, MRAM 0.718")
+    print("NVRAM saves >= 27% average power; the faster STTRAM/MRAM keep "
+          "the memory system more loaded than PCRAM, hence draw slightly more.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: run NV-SCAVENGER on a model application.
+
+Instruments 10 main-loop iterations of the CAM model application, then
+prints the paper's core per-application products: the Table V stack row,
+the per-object metrics behind Figures 3-6, the Figure 7 usage series, and
+the NVRAM placement classification.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NVScavenger, create_app
+from repro.scavenger.report import classification_table, objects_table
+from repro.util.units import fmt_bytes
+
+
+def main() -> None:
+    app = create_app("cam", refs_per_iteration=30_000)
+    result = NVScavenger().analyze(app, n_main_iterations=10)
+
+    print(f"application: {app.info.name} — {app.info.description}")
+    print(f"instrumented references: {result.total_refs:,}")
+    print(f"footprint: {fmt_bytes(result.footprint_bytes)} "
+          f"(paper: {app.info.paper_footprint_mb:.0f} MB/task, "
+          f"scale {app.scale:.4f})")
+    print()
+
+    summ = result.stack_summary
+    print("Table V row — stack data:")
+    print(f"  read/write ratio: {summ.rw_ratio(skip_first=True):.2f} "
+          f"(first iteration {summ.rw_ratio(iteration=1):.2f})")
+    print(f"  share of all references: {summ.reference_percentage:.1%}")
+    print()
+
+    print("global/heap memory objects (Figure 4's panels):")
+    print(objects_table(result.object_metrics, limit=12))
+    print()
+
+    print("memory usage across iterations (Figure 7):")
+    xs, mb = result.usage.as_mb_series()
+    for x, y in zip(xs, mb):
+        print(f"  <= {int(x):2d} iterations: {y:8.2f} MiB cumulative")
+    print(f"  unused in the main loop: {result.usage.unused_fraction:.1%} "
+          "of the analyzed footprint")
+    print()
+
+    print("NVRAM placement classification (§II policy):")
+    print(classification_table(result.classified))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""CAM model: the community atmosphere model (v3.1, default test case,
+608 MB/task — paper Table I).
+
+Published characteristics transplanted into the spec:
+
+* stack: 76.3% of references; read/write ratio 20.39 over iterations 2..10
+  but 11.46 in the first iteration (Table V) — modelled with
+  ``first_iteration_scale`` write boosts;
+* Figure 2's stack population: ~43.3% of stack objects with r/w > 10
+  absorbing ~68.9% of total references, ~3.2% with r/w > 50 absorbing
+  ~8.9% — the paper names three exemplars, reproduced here by name:
+  a routine whose locals hold *interpolation coefficients* derived from
+  input arguments, a routine whose locals buffer *temporal computation
+  results*, and a routine keeping *computation-dependent constants*;
+* ~94 MB (15.5%) read-only global/heap data: Legendre-transform constants,
+  cos/sin of longitudes, a hash table of field names, look-up index
+  arrays, physics-grid geometry, soil thermal-conductivity invariants;
+* 4.8 MB of r/w > 50 data;
+* ~70 MB (11.5%) untouched in the main loop (Fig 7).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+
+_RO = frozenset({"read_only"})
+
+
+def _hot_routines() -> tuple[RoutineSpec, ...]:
+    """The r/w > 10 group: 13 of 31 routines (~42%), ~69% of references."""
+    specs = []
+    # the ultra routine (r/w > 50, ~8.9% of references): interpolation
+    # coefficients computed once per call, then read intensively
+    specs.append(
+        RoutineSpec("interp_coefficients", local_kb=8, reads=0.0875, writes=0.00145,
+                    first_iteration_scale=(1.0, 2.2))
+    )
+    # twelve high-r/w routines sharing ~60% of references at r/w ~ 30-40
+    weights = (0.085, 0.075, 0.068, 0.062, 0.055, 0.050, 0.046, 0.042,
+               0.038, 0.032, 0.026, 0.021)
+    names = (
+        "temporal_results_buffer", "dependent_constants", "legendre_transform",
+        "phys_column_driver", "radiation_sw", "radiation_lw", "convect_deep",
+        "convect_shallow", "cloud_fraction", "vertical_diffusion",
+        "gravity_wave_drag", "tracer_advection",
+    )
+    for name, wref in zip(names, weights):
+        rw = 34.0
+        specs.append(
+            RoutineSpec(name, local_kb=6, reads=wref * rw / (rw + 1),
+                        writes=wref / (rw + 1),
+                        first_iteration_scale=(1.0, 2.2))
+        )
+    return tuple(specs)
+
+
+def _cool_routines() -> tuple[RoutineSpec, ...]:
+    """The low-r/w group: 18 routines, ~7.4% of references at r/w ~ 3.5."""
+    specs = []
+    weights = (0.0090, 0.0080, 0.0070, 0.0062, 0.0055, 0.0048, 0.0042, 0.0037,
+               0.0032, 0.0028, 0.0025, 0.0022, 0.0019, 0.0016, 0.0013, 0.0011,
+               0.0009, 0.0007)
+    for i, wref in enumerate(weights):
+        rw = 3.5
+        specs.append(
+            RoutineSpec(f"dyn_support_{i:02d}", local_kb=3,
+                        reads=wref * rw / (rw + 1), writes=wref / (rw + 1),
+                        first_iteration_scale=(1.0, 1.5))
+        )
+    return tuple(specs)
+
+
+class CAM(ModelApp):
+    """Community atmosphere model application."""
+
+    info = AppInfo(
+        name="cam",
+        input_description="Default test case (v3.1)",
+        description="Atmosphere model",
+        paper_footprint_mb=608.0,
+    )
+
+    instructions_per_ref = 90.0
+    structure_traffic_scale = 0.87
+    stack_write_scale = 1.06
+
+    structures = (
+        # --- read-only (15.5% of footprint)
+        StructureSpec("legendre_constants", "global", 0.050, reads=0.0180, writes=0.0,
+                      tags=_RO),
+        StructureSpec("cos_sin_longitudes", "global", 0.020, reads=0.0080, writes=0.0,
+                      tags=_RO),
+        StructureSpec("field_name_hash", "heap", 0.015, reads=0.0050, writes=0.0,
+                      pattern="random", tags=_RO),
+        StructureSpec("lookup_index_arrays", "global", 0.030, reads=0.0090, writes=0.0,
+                      pattern="random", tags=_RO),
+        StructureSpec("physics_grid_longitudes", "global", 0.020, reads=0.0060,
+                      writes=0.0, tags=_RO),
+        StructureSpec("soil_thermal_conductivity", "common", 0.020, reads=0.0040,
+                      writes=0.0, tags=_RO,
+                      members=(("tkmg", 0.4), ("tksatu", 0.3), ("tkdry", 0.3))),
+        # --- r/w > 50 (0.8% of footprint, the paper's 4.8 MB)
+        StructureSpec("hybrid_level_coeffs", "global", 0.008, reads=0.0050,
+                      writes=0.00008),
+        # --- untouched in the main loop (11.5%)
+        StructureSpec("init_interp_workspace", "global", 0.070, reads=0.003,
+                      writes=0.003, phase="pre"),
+        StructureSpec("history_output_buffers", "heap", 0.045, reads=0.002,
+                      writes=0.002, phase="post"),
+        # --- prognostic state and tendencies
+        StructureSpec("state_fields_t_u_v_q", "global", 0.400, reads=0.0900,
+                      writes=0.0360, pattern="sequential", rate_jitter=0.25),
+        StructureSpec("physics_tendencies", "global", 0.150, reads=0.0200,
+                      writes=0.0200, pattern="sequential"),
+        StructureSpec("spectral_coefficients", "heap", 0.070, reads=0.0160,
+                      writes=0.0040, pattern="strided", rate_jitter=0.25),
+        # uneven usage (Fig 7)
+        StructureSpec("ozone_forcing", "global", 0.040, reads=0.0030, writes=0.0002,
+                      active_iterations=(1, 4, 7, 10)),
+        # transient chunk workspace
+        StructureSpec("chunk_workspace", "heap", 0.060, reads=0.0040, writes=0.0030,
+                      short_term=True),
+    )
+
+    routines = _hot_routines() + _cool_routines()

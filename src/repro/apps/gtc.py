@@ -1,0 +1,75 @@
+"""GTC model: gyrokinetic toroidal particle-in-cell turbulence code
+(poloidal grid 392, 1 tracked particle, 2 toroidal grids, 7 electrons per
+cell; 218 MB/task — paper Table I).
+
+Published characteristics transplanted into the spec:
+
+* stack: only 44.3% of references with a low read/write ratio of 3.48
+  (Table V) — PIC scatter/gather works mostly on heap particle arrays;
+* the write-heavy outlier of the four apps: most objects' r/w ratios sit
+  near (or below) 1 (Fig 5) because charge deposition *writes* to grid and
+  particle pushes *update* particle state;
+* auxiliary *radial interpolation arrays* relating particle positions are
+  read-only (§VII-B);
+* "almost all of its memory objects are either used throughout the whole
+  computation steps or used as short-term heap memory objects" — no Fig 7
+  series for GTC; no pre/post-only structures, near-zero jitter.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+
+_RO = frozenset({"read_only"})
+
+
+class GTC(ModelApp):
+    """Particle-in-cell plasma turbulence model application."""
+
+    info = AppInfo(
+        name="gtc",
+        input_description=(
+            "Poloidal grid points=392, track particles=1, toroidal grids=2, "
+            "particles per cell for electron=7"
+        ),
+        description="Turbulence plasma simulation",
+        paper_footprint_mb=218.0,
+    )
+
+    instructions_per_ref = 150.0
+    structure_traffic_scale = 0.835
+    stack_write_scale = 0.97
+
+    structures = (
+        # particle phase-space arrays: the dominant, write-heavy traffic
+        StructureSpec("zion_particle_array", "heap", 0.45, reads=0.1900, writes=0.1600,
+                      pattern="gather"),
+        StructureSpec("zion0_particle_copy", "heap", 0.10, reads=0.0300, writes=0.0350,
+                      pattern="gather"),
+        # grid fields: charge deposition writes + field solve reads
+        StructureSpec("charge_density_grid", "global", 0.08, reads=0.0350,
+                      writes=0.0400, pattern="random"),
+        StructureSpec("electric_field_grid", "global", 0.08, reads=0.0500,
+                      writes=0.0250, pattern="random"),
+        # read-only auxiliaries
+        StructureSpec("radial_interpolation_arrays", "global", 0.05, reads=0.0200,
+                      writes=0.0, pattern="random", tags=_RO),
+        # diagnostics and per-step scratch: the short-term heap population
+        StructureSpec("diagnostic_scratch", "heap", 0.06, reads=0.0120, writes=0.0110,
+                      short_term=True),
+        StructureSpec("shift_buffers", "heap", 0.05, reads=0.0080, writes=0.0080,
+                      short_term=True),
+        # remaining long-term grid/geometry state, evenly touched
+        StructureSpec("poloidal_geometry", "common", 0.08, reads=0.0150, writes=0.0100,
+                      members=(("qtinv", 0.3), ("deltat", 0.3), ("igrid", 0.4))),
+        StructureSpec("moment_arrays", "global", 0.05, reads=0.0080, writes=0.0090),
+    )
+
+    # stack: 0.443 of references at aggregate r/w 3.48
+    routines = (
+        RoutineSpec("chargei_deposit", local_kb=10, reads=0.1280, writes=0.0420),
+        RoutineSpec("pushi_particles", local_kb=12, reads=0.1180, writes=0.0330),
+        RoutineSpec("poisson_solver", local_kb=8, reads=0.0560, writes=0.0150),
+        RoutineSpec("smooth_field", local_kb=6, reads=0.0260, writes=0.0065),
+        RoutineSpec("shifti_exchange", local_kb=6, reads=0.0130, writes=0.0045),
+    )

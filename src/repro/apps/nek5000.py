@@ -1,0 +1,97 @@
+"""Nek5000 model: spectral-element unsteady incompressible fluid flow
+(2D eddy problem input, 824 MB/task — paper Table I).
+
+Published characteristics transplanted into the spec:
+
+* stack: 75.6% of references, aggregate read/write ratio 6.33 (Table V);
+* ~59 MB (7.1%) read-only data: inverse & "element-lagged" mass matrices
+  (auxiliary), 70 boundary-condition types & mass matrices
+  (computing-dependent), convective characteristics & strain-rate
+  invariants (physical invariants) (§VII-B);
+* 38.6 MB of r/w > 50 data (velocity/temperature mass matrices);
+* ~200 MB (24.3%) untouched in the main loop: diagonal-matrix generation
+  (pre-computing) and MPI aggregation buffers (post-processing) (Fig 7);
+* "quite diverse reference rates across iterations" (Fig 8) — modelled as
+  log-uniform rate jitter on the solver fields.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+
+_RO = frozenset({"read_only"})
+
+
+class Nek5000(ModelApp):
+    """Spectral-element CFD model application."""
+
+    info = AppInfo(
+        name="nek5000",
+        input_description="2D eddy problem",
+        description="Fluid flow simulation",
+        paper_footprint_mb=824.0,
+    )
+
+    instructions_per_ref = 140.0
+    structure_traffic_scale = 0.77
+    stack_write_scale = 0.959
+
+    structures = (
+        # --- read-only data (7.1% of footprint): auxiliary
+        StructureSpec("inverse_mass_matrices", "global", 0.025, reads=0.0200, writes=0.0,
+                      tags=_RO),
+        StructureSpec("lagged_mass_matrices", "global", 0.020, reads=0.0150, writes=0.0,
+                      tags=_RO),
+        # --- read-only: computing-dependent
+        StructureSpec("boundary_conditions", "common", 0.010, reads=0.0060, writes=0.0,
+                      tags=_RO, members=(("cbc", 0.5), ("bc_params", 0.5))),
+        # --- read-only: physical invariants
+        StructureSpec("convective_characteristics", "global", 0.008, reads=0.0040,
+                      writes=0.0, tags=_RO),
+        StructureSpec("strain_rate_invariants", "global", 0.008, reads=0.0030,
+                      writes=0.0, tags=_RO),
+        # --- r/w > 50 data (4.7% of footprint, the paper's 38.6 MB)
+        StructureSpec("velocity_mass_matrix", "global", 0.024, reads=0.0200,
+                      writes=0.00030, pattern="sequential"),
+        StructureSpec("temperature_mass_matrix", "global", 0.023, reads=0.0140,
+                      writes=0.00020),
+        # --- untouched in the main loop (24.3% of footprint)
+        StructureSpec("diagonal_matrix_workspace", "global", 0.100, reads=0.004,
+                      writes=0.004, phase="pre"),
+        StructureSpec("mpi_aggregation_buffers", "heap", 0.090, reads=0.004,
+                      writes=0.004, phase="post"),
+        StructureSpec("method_setup_tables", "global", 0.053, reads=0.002,
+                      writes=0.002, phase="pre"),
+        # --- solver state (diverse reference rates across iterations)
+        StructureSpec("velocity_fields", "global", 0.250, reads=0.0500, writes=0.0160,
+                      pattern="sequential", rate_jitter=0.85),
+        StructureSpec("pressure_field", "global", 0.080, reads=0.0250, writes=0.0100,
+                      pattern="sequential", rate_jitter=0.85),
+        StructureSpec("krylov_vectors", "heap", 0.100, reads=0.0240, writes=0.0160,
+                      pattern="strided", rate_jitter=0.70),
+        StructureSpec("work_arrays", "heap", 0.120, reads=0.0110, writes=0.0140,
+                      pattern="sequential", rate_jitter=0.60),
+        StructureSpec("gather_scatter_index", "heap", 0.049, reads=0.0070,
+                      writes=0.0010, pattern="random"),
+        # some data only touched in a few iterations (Fig 7's uneven mass)
+        StructureSpec("filter_coefficients", "global", 0.030, reads=0.0040,
+                      writes=0.0004, active_iterations=(2, 5, 8)),
+        StructureSpec("turbulence_stats", "heap", 0.026, reads=0.0020, writes=0.0020,
+                      active_iterations=(5, 10)),
+        # transient per-iteration scratch (excluded from Fig 7)
+        StructureSpec("element_scratch", "heap", 0.040, reads=0.0080, writes=0.0060,
+                      short_term=True),
+    )
+
+    # stack: weights sum to 0.756 with aggregate r/w 6.33
+    routines = (
+        RoutineSpec("ax_helm", local_kb=24, reads=0.1620, writes=0.0260),
+        RoutineSpec("local_grad3", local_kb=16, reads=0.1300, writes=0.0210),
+        RoutineSpec("gs_op_dssum", local_kb=8, reads=0.0920, writes=0.0170),
+        RoutineSpec("cg_iteration", local_kb=12, reads=0.0880, writes=0.0140),
+        RoutineSpec("navier_convect", local_kb=20, reads=0.0760, writes=0.0120),
+        RoutineSpec("hmholtz_solve", local_kb=12, reads=0.0570, writes=0.0090),
+        RoutineSpec("setprec_diag", local_kb=6, reads=0.0330, writes=0.0060,
+                    first_iteration_scale=(1.0, 1.6)),
+        RoutineSpec("plan4_pressure", local_kb=10, reads=0.0140, writes=0.0020),
+    )

@@ -1,0 +1,111 @@
+"""Multi-task (MPI-style) runs: per-task analysis across ranks.
+
+The paper instruments *one task* of each parallel application and reports
+per-task footprints (Table I) and statistics — implicitly assuming tasks
+behave alike. This module makes that assumption checkable: it runs N
+ranks of a model application (each with a rank-derived seed and its own
+simulated address space, like an MPI job's per-process memory), analyzes
+every rank, and reports the cross-rank spread of the headline statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ModelApp
+from repro.errors import ConfigurationError
+from repro.scavenger import NVScavenger, ScavengerResult
+from repro.util.rng import stable_hash32
+from repro.util.stats import StreamingStats
+
+
+@dataclass
+class RankResult:
+    """One rank's analysis."""
+
+    rank: int
+    result: ScavengerResult
+
+
+@dataclass
+class ParallelRunSummary:
+    """Cross-rank statistics for one application."""
+
+    app_name: str
+    n_ranks: int
+    ranks: list[RankResult]
+    stack_rw: StreamingStats
+    stack_share: StreamingStats
+    footprint: StreamingStats
+
+    def per_task_consistent(self, rel_tolerance: float = 0.05) -> bool:
+        """Do all ranks agree on the headline stats within tolerance?"""
+        for acc in (self.stack_rw, self.stack_share):
+            if acc.mean == 0:
+                continue
+            spread = (acc.max - acc.min) / acc.mean
+            if spread > rel_tolerance:
+                return False
+        return True
+
+
+def run_parallel(
+    app_cls: type[ModelApp],
+    n_ranks: int,
+    scale: float = 1.0 / 256.0,
+    refs_per_iteration: int = 10_000,
+    n_iterations: int = 10,
+    base_seed: int = 0,
+) -> ParallelRunSummary:
+    """Analyze *n_ranks* independent tasks of one application.
+
+    Ranks differ only in their RNG stream (random/gather patterns and
+    jitter), exactly like same-program MPI tasks on different subdomains.
+    """
+    if n_ranks <= 0:
+        raise ConfigurationError("n_ranks must be positive")
+    ranks: list[RankResult] = []
+    rw = StreamingStats()
+    share = StreamingStats()
+    fp = StreamingStats()
+    for rank in range(n_ranks):
+        seed = stable_hash32((app_cls.info.name, base_seed, rank))
+        app = app_cls(
+            scale=scale,
+            refs_per_iteration=refs_per_iteration,
+            n_iterations=n_iterations,
+            seed=seed,
+        )
+        result = NVScavenger().analyze(app, n_main_iterations=n_iterations)
+        ranks.append(RankResult(rank=rank, result=result))
+        rw.update(result.stack_summary.rw_ratio())
+        share.update(result.stack_summary.reference_percentage)
+        fp.update(float(result.footprint_bytes))
+    return ParallelRunSummary(
+        app_name=app_cls.info.name,
+        n_ranks=n_ranks,
+        ranks=ranks,
+        stack_rw=rw,
+        stack_share=share,
+        footprint=fp,
+    )
+
+
+def aggregate_footprint_bytes(summary: ParallelRunSummary) -> int:
+    """Job-wide footprint: per-task footprints summed across ranks."""
+    return int(sum(r.result.footprint_bytes for r in summary.ranks))
+
+
+def rank_object_agreement(summary: ParallelRunSummary) -> float:
+    """Fraction of (named) objects whose NVRAM classification agrees
+    across ALL ranks — static placement decisions port between tasks."""
+    if not summary.ranks:
+        return 1.0
+    votes: dict[str, set[str]] = {}
+    for r in summary.ranks:
+        for c in r.result.classified:
+            votes.setdefault(c.metrics.name, set()).add(c.placement.value)
+    agree = sum(1 for v in votes.values() if len(v) == 1)
+    return agree / len(votes) if votes else 1.0

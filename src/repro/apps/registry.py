@@ -1,0 +1,39 @@
+"""Application registry: construct model apps by name."""
+
+from __future__ import annotations
+
+from repro.apps.base import ModelApp
+from repro.apps.cam import CAM
+from repro.apps.gtc import GTC
+from repro.apps.nek5000 import Nek5000
+from repro.apps.s3d import S3D
+from repro.errors import ConfigurationError
+
+#: The paper's four applications, in its presentation order.
+APPLICATIONS: dict[str, type[ModelApp]] = {
+    "nek5000": Nek5000,
+    "cam": CAM,
+    "gtc": GTC,
+    "s3d": S3D,
+}
+
+
+def create_app(
+    name: str,
+    scale: float = 1.0 / 64.0,
+    refs_per_iteration: int = 100_000,
+    n_iterations: int = 10,
+    seed: int = 0,
+) -> ModelApp:
+    """Instantiate a model application by (case-insensitive) name."""
+    cls = APPLICATIONS.get(name.lower())
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown application {name!r}; know {sorted(APPLICATIONS)}"
+        )
+    return cls(
+        scale=scale,
+        refs_per_iteration=refs_per_iteration,
+        n_iterations=n_iterations,
+        seed=seed,
+    )

@@ -1,0 +1,73 @@
+"""S3D model: direct numerical simulation of compressible reacting flows
+(60x60x60 grid; 512 MB/task — paper Table I).
+
+Published characteristics transplanted into the spec:
+
+* stack: 63.1% of references at read/write ratio 6.04 (Table V);
+* read-only *look-up tables containing coefficients for linear
+  interpolation* (§VII-B) plus grid-metric invariants;
+* ~7.1 MB untouched in the main loop (Fig 7) — pre-computing and
+  post-processing buffers;
+* "almost all memory objects have their memory reference rates unchanged
+  across iterations" (Fig 10) — no jitter anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+
+_RO = frozenset({"read_only"})
+
+
+class S3D(ModelApp):
+    """Turbulent combustion DNS model application."""
+
+    info = AppInfo(
+        name="s3d",
+        input_description="Grid dimensions: 60x60x60",
+        description="Turbulence combustion simulation",
+        paper_footprint_mb=512.0,
+    )
+
+    instructions_per_ref = 150.0
+    structure_traffic_scale = 1.11
+    stack_write_scale = 0.97
+
+    structures = (
+        # --- read-only (interpolation tables & metrics)
+        StructureSpec("chemistry_lookup_tables", "global", 0.060, reads=0.0220,
+                      writes=0.0, pattern="random", tags=_RO),
+        StructureSpec("grid_metric_terms", "global", 0.040, reads=0.0120, writes=0.0,
+                      tags=_RO),
+        StructureSpec("transport_coefficient_table", "global", 0.025, reads=0.0080,
+                      writes=0.0, pattern="random", tags=_RO),
+        # --- untouched in the main loop (the paper's 7.1 MB ~= 1.4%)
+        StructureSpec("initialization_profiles", "global", 0.008, reads=0.001,
+                      writes=0.001, phase="pre"),
+        StructureSpec("savefile_staging", "heap", 0.006, reads=0.001, writes=0.001,
+                      phase="post"),
+        # --- solution state: species + momentum/energy, streamed
+        StructureSpec("species_mass_fractions", "global", 0.320, reads=0.0850,
+                      writes=0.0330, pattern="sequential"),
+        StructureSpec("momentum_energy_fields", "global", 0.160, reads=0.0500,
+                      writes=0.0180, pattern="sequential"),
+        # Runge-Kutta stage buffers: written once, read once per stage
+        StructureSpec("rk_stage_buffers", "heap", 0.200, reads=0.0260, writes=0.0280,
+                      pattern="sequential"),
+        StructureSpec("reaction_rate_workspace", "heap", 0.100, reads=0.0180,
+                      writes=0.0160, pattern="sequential"),
+        # derivative stencil halo scratch, per-iteration
+        StructureSpec("derivative_scratch", "heap", 0.060, reads=0.0100, writes=0.0080,
+                      short_term=True),
+    )
+
+    # stack: 0.631 of references at aggregate r/w 6.04
+    routines = (
+        RoutineSpec("rhsf_navier", local_kb=20, reads=0.1530, writes=0.0260),
+        RoutineSpec("derivative_x8", local_kb=12, reads=0.1160, writes=0.0190),
+        RoutineSpec("getrates_chem", local_kb=16, reads=0.1080, writes=0.0170),
+        RoutineSpec("transport_mixavg", local_kb=10, reads=0.0780, writes=0.0130),
+        RoutineSpec("thermchem_eos", local_kb=8, reads=0.0520, writes=0.0085),
+        RoutineSpec("rk_integrate", local_kb=6, reads=0.0280, writes=0.0075),
+        RoutineSpec("filter_solution", local_kb=6, reads=0.0060, writes=0.0012),
+    )

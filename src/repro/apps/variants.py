@@ -1,0 +1,169 @@
+"""Alternative input problems for the model applications.
+
+§VII-B: "One interesting feature of some of this read-only data is that
+the data may be read-only for specific input problems but read and written
+with other input problems. This is due to the random nature of many
+scientific simulations. The access patterns to this data can vary for
+different inputs." These variants make that claim executable: each derives
+from a base application and perturbs the *input-dependent* structures the
+paper names, so the same analysis pipeline classifies the same structure
+differently under a different input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+from repro.apps.cam import CAM
+from repro.apps.gtc import GTC
+from repro.apps.nek5000 import Nek5000
+from repro.apps.s3d import S3D
+from repro.errors import ConfigurationError
+
+
+def _patch_structures(
+    base: tuple[StructureSpec, ...],
+    patches: dict[str, dict],
+) -> tuple[StructureSpec, ...]:
+    """Return the base spec tuple with named structures field-patched."""
+    names = {s.name for s in base}
+    missing = set(patches) - names
+    if missing:
+        raise ConfigurationError(f"variant patches unknown structures: {missing}")
+    return tuple(
+        dc_replace(s, **patches[s.name]) if s.name in patches else s for s in base
+    )
+
+
+class Nek5000MovingBoundary(Nek5000):
+    """Nek5000 with a moving-boundary input.
+
+    The 2D eddy problem's 70 boundary-condition types are read-only; a
+    moving-boundary problem *updates* them every step — the paper's
+    input-dependence example, applied to the structure it names.
+    The footprint also grows (3-D-ish element count).
+    """
+
+    info = AppInfo(
+        name="nek5000-moving-boundary",
+        input_description="Moving-boundary variant of the eddy problem",
+        description="Fluid flow simulation (time-dependent boundaries)",
+        paper_footprint_mb=1236.0,  # 1.5x the 2D eddy problem
+    )
+
+    structures = _patch_structures(
+        Nek5000.structures,
+        {
+            # boundary conditions become read-write under this input
+            "boundary_conditions": dict(reads=0.0060, writes=0.0012,
+                                        tags=frozenset()),
+            # the mesh deforms: geometry-adjacent matrices get writes too
+            "velocity_mass_matrix": dict(writes=0.0040),
+            "temperature_mass_matrix": dict(writes=0.0030),
+        },
+    )
+
+
+class GTCHighDensity(GTC):
+    """GTC with more particles per cell (the input knob Table I quotes).
+
+    Particle arrays dominate even more; the stack share drops further and
+    the write intensity rises — GTC becomes a still-harder NVRAM target.
+    """
+
+    info = AppInfo(
+        name="gtc-highdensity",
+        input_description="Particles per cell for electron=21 (3x)",
+        description="Turbulence plasma simulation (high density)",
+        paper_footprint_mb=474.0,
+    )
+
+    structures = _patch_structures(
+        GTC.structures,
+        {
+            "zion_particle_array": dict(footprint_fraction=0.58, reads=0.2500,
+                                        writes=0.2100),
+            "zion0_particle_copy": dict(footprint_fraction=0.13),
+            # at high density the field solve iterates more: the electric
+            # field is read much more often per deposition write
+            "electric_field_grid": dict(reads=0.0900, writes=0.0080),
+        },
+    )
+
+
+class S3DLargeGrid(S3D):
+    """S3D on a 120^3 grid: 8x the cells, same chemistry tables.
+
+    The read-only lookup tables become a *smaller fraction* of the
+    footprint while the solution fields grow — size-based NVRAM
+    opportunity shifts from tables to untouched/streamed data.
+    """
+
+    info = AppInfo(
+        name="s3d-large",
+        input_description="Grid dimensions: 120x120x120",
+        description="Turbulence combustion simulation (large grid)",
+        paper_footprint_mb=4096.0,
+    )
+
+    structures = _patch_structures(
+        S3D.structures,
+        {
+            # tables keep their absolute size: 8x footprint -> 1/8 fraction
+            "chemistry_lookup_tables": dict(footprint_fraction=0.0075),
+            "transport_coefficient_table": dict(footprint_fraction=0.0031),
+            "grid_metric_terms": dict(footprint_fraction=0.04),  # scales with grid
+            "species_mass_fractions": dict(footprint_fraction=0.37),
+            "momentum_energy_fields": dict(footprint_fraction=0.19),
+            # larger grid, same RK scheme: each stage buffer is re-read by
+            # more stencil evaluations before being overwritten
+            "rk_stage_buffers": dict(reads=0.0340),
+        },
+    )
+
+
+class CAMHighResolution(CAM):
+    """CAM at higher horizontal resolution: more columns per task.
+
+    The hash table and index arrays grow only logarithmically; the state
+    fields dominate harder. The ozone forcing data is read every step at
+    this resolution (interpolation every iteration instead of every third).
+    """
+
+    info = AppInfo(
+        name="cam-highres",
+        input_description="T85 spectral resolution",
+        description="Atmosphere model (high resolution)",
+        paper_footprint_mb=1824.0,
+    )
+
+    structures = _patch_structures(
+        CAM.structures,
+        {
+            "state_fields_t_u_v_q": dict(footprint_fraction=0.46),
+            "ozone_forcing": dict(active_iterations=None),  # touched every step
+            "field_name_hash": dict(footprint_fraction=0.005),
+            "lookup_index_arrays": dict(footprint_fraction=0.012),
+            # higher resolution: tendencies are accumulated over more
+            # physics sub-steps before being consumed
+            "physics_tendencies": dict(reads=0.0240),
+        },
+    )
+
+
+#: Variant registry, keyed like the base registry.
+VARIANTS: dict[str, type[ModelApp]] = {
+    "nek5000-moving-boundary": Nek5000MovingBoundary,
+    "gtc-highdensity": GTCHighDensity,
+    "s3d-large": S3DLargeGrid,
+    "cam-highres": CAMHighResolution,
+}
+
+#: base app name -> variant class
+VARIANT_OF: dict[str, type[ModelApp]] = {
+    "nek5000": Nek5000MovingBoundary,
+    "gtc": GTCHighDensity,
+    "s3d": S3DLargeGrid,
+    "cam": CAMHighResolution,
+}

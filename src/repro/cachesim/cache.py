@@ -1,0 +1,118 @@
+"""One set-associative, write-back, LRU cache level.
+
+Exact (not sampled, not approximated) simulation. The per-set state is an
+``OrderedDict`` mapping tag -> dirty flag in LRU order, giving O(1) lookup,
+promotion and eviction per access — the fastest exact structure available
+in pure Python; the line/set/tag decomposition of whole batches is done
+vectorized by the hierarchy before the per-access loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cachesim.config import CacheLevelConfig
+
+
+class AccessResult(enum.IntEnum):
+    """Outcome of one cache access."""
+
+    HIT = 0
+    MISS_ALLOCATED = 1  # line fill performed (goes to the next level down)
+    MISS_BYPASSED = 2  # no-write-allocate store miss: forwarded down
+
+
+@dataclass
+class LevelStats:
+    """Hit/miss accounting for one level."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over *line numbers* (not byte addresses)."""
+
+    __slots__ = ("config", "_sets", "_set_mask", "_set_bits", "stats")
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        self._set_mask = config.n_sets - 1
+        self._set_bits = config.n_sets.bit_length() - 1
+        self.stats = LevelStats()
+
+    # ------------------------------------------------------------------
+    def access(self, line: int, is_write: bool) -> tuple[AccessResult, int]:
+        """Access one cache line.
+
+        Returns ``(result, victim_line)`` where ``victim_line`` is the line
+        number written back to the next level (``-1`` when none). A fill
+        (``MISS_ALLOCATED``) implies the caller must fetch the line from the
+        next level; ``MISS_BYPASSED`` implies the caller must forward the
+        *store* down without filling.
+        """
+        od = self._sets[line & self._set_mask]
+        tag = line >> self._set_bits
+        stats = self.stats
+        if tag in od:
+            od.move_to_end(tag)
+            if is_write:
+                od[tag] = True
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            return AccessResult.HIT, -1
+        # miss
+        if is_write:
+            stats.write_misses += 1
+            if not self.config.write_allocate:
+                return AccessResult.MISS_BYPASSED, -1
+        else:
+            stats.read_misses += 1
+        victim = -1
+        if len(od) >= self.config.associativity:
+            vtag, vdirty = od.popitem(last=False)
+            if vdirty:
+                stats.writebacks += 1
+                victim = (vtag << self._set_bits) | (line & self._set_mask)
+        od[tag] = is_write
+        return AccessResult.MISS_ALLOCATED, victim
+
+    # ------------------------------------------------------------------
+    def contains(self, line: int) -> bool:
+        """Is the line resident? (inspection only; does not touch LRU)"""
+        return (line >> self._set_bits) in self._sets[line & self._set_mask]
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> list[int]:
+        """Evict everything; returns the dirty line numbers written back."""
+        dirty = []
+        for set_idx, od in enumerate(self._sets):
+            for tag, d in od.items():
+                if d:
+                    dirty.append((tag << self._set_bits) | set_idx)
+            od.clear()
+        self.stats.writebacks += len(dirty)
+        return dirty

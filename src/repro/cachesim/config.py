@@ -1,0 +1,97 @@
+"""Cache configurations, including the paper's Table II setup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.units import KiB, MiB
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One cache level.
+
+    ``write_allocate`` False means store misses bypass this level and are
+    forwarded down (Table II's L1); all levels are write-back for hits.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    write_allocate: bool = True
+    hit_latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_bytes):
+            raise ConfigurationError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes <= 0 or self.associativity <= 0:
+            raise ConfigurationError(f"{self.name}: size/associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*ways = {self.line_bytes * self.associativity}"
+            )
+        if not _is_pow2(self.n_sets):
+            raise ConfigurationError(f"{self.name}: set count must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class CacheHierarchyConfig:
+    """An ordered list of levels, L1 first."""
+
+    levels: tuple[CacheLevelConfig, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        line = self.levels[0].line_bytes
+        for lv in self.levels:
+            if lv.line_bytes != line:
+                raise ConfigurationError(
+                    "all levels must share one line size in this model"
+                )
+
+    @property
+    def line_bytes(self) -> int:
+        return self.levels[0].line_bytes
+
+
+#: Table II: L1D 32 KB 4-way no-write-allocate; L2 1 MB 16-way LRU
+#: write-allocate; 64-byte lines. (The 32 KB L1I is not modelled: the
+#: instrumented runtime carries no instruction stream, and instruction
+#: fetches essentially never reach memory in the steady state of these
+#: loop-dominated codes.)
+TABLE2_CONFIG = CacheHierarchyConfig(
+    levels=(
+        CacheLevelConfig(
+            name="L1D",
+            size_bytes=32 * KiB,
+            associativity=4,
+            line_bytes=64,
+            write_allocate=False,
+            hit_latency_cycles=1,
+        ),
+        CacheLevelConfig(
+            name="L2",
+            size_bytes=1 * MiB,
+            associativity=16,
+            line_bytes=64,
+            write_allocate=True,
+            hit_latency_cycles=5,
+        ),
+    )
+)

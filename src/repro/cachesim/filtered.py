@@ -1,0 +1,60 @@
+"""Probe adapter: run the reference stream through the cache hierarchy
+during instrumentation and collect/forward the filtered memory trace.
+
+This is the paper's arrangement — "a configurable cache hierarchy simulator
+within the tool ... outputs memory traces filtered by the cache hierarchy"
+that "are then used by our memory power simulator".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cachesim.config import CacheHierarchyConfig, TABLE2_CONFIG
+from repro.cachesim.hierarchy import CacheHierarchy, HierarchyStats
+from repro.instrument.api import Probe
+from repro.trace.record import RefBatch
+
+
+class MemoryTraceProbe(Probe):
+    """Feeds every instrumented batch through a cache hierarchy.
+
+    The resulting memory accesses are retained in ``memory_trace`` and/or
+    forwarded to *sink* (e.g. a :class:`~repro.trace.TraceWriter` or the
+    power simulator directly).
+    """
+
+    def __init__(
+        self,
+        config: CacheHierarchyConfig = TABLE2_CONFIG,
+        sink: Callable[[RefBatch], None] | None = None,
+        keep_trace: bool = True,
+        flush_at_end: bool = True,
+    ) -> None:
+        self.hierarchy = CacheHierarchy(config)
+        self._sink = sink
+        self._keep = keep_trace
+        self._flush_at_end = flush_at_end
+        self.memory_trace: list[RefBatch] = []
+
+    def on_batch(self, batch: RefBatch) -> None:
+        mem = self.hierarchy.process_batch(batch)
+        if len(mem) == 0:
+            return
+        if self._keep:
+            self.memory_trace.append(mem)
+        if self._sink is not None:
+            self._sink(mem)
+
+    def on_finish(self) -> None:
+        if not self._flush_at_end:
+            return
+        mem = self.hierarchy.flush()
+        if len(mem):
+            if self._keep:
+                self.memory_trace.append(mem)
+            if self._sink is not None:
+                self._sink(mem)
+
+    def stats(self) -> HierarchyStats:
+        return self.hierarchy.stats()

@@ -1,0 +1,174 @@
+"""Two-level (or N-level) cache hierarchy producing the main-memory trace.
+
+Semantics (matching the Table II configuration):
+
+* loads probe L1; an L1 load miss fills L1 (possibly writing back a dirty
+  victim into L2) and probes L2; an L2 miss is a **memory read**;
+* stores probe L1; a store hit dirties the L1 line; a store miss bypasses
+  L1 (no-write-allocate) and probes L2 as a store, where write-allocate
+  turns a miss into a **memory read** (line fill) with the line installed
+  dirty;
+* any dirty line evicted from the last level is a **memory write**;
+* inclusive-of-nothing (non-inclusive, non-exclusive) like most real
+  two-level designs of the era: L1 victims are written into L2 as stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cachesim.cache import AccessResult, LevelStats, SetAssociativeCache
+from repro.cachesim.config import CacheHierarchyConfig, TABLE2_CONFIG
+from repro.trace.record import RefBatch
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics after processing a stream."""
+
+    levels: dict[str, LevelStats] = field(default_factory=dict)
+    refs: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.memory_reads + self.memory_writes
+
+    @property
+    def llc_miss_rate(self) -> float:
+        llc = list(self.levels.values())[-1]
+        return llc.miss_rate
+
+    @property
+    def memory_accesses_per_ref(self) -> float:
+        return self.memory_accesses / self.refs if self.refs else 0.0
+
+
+class CacheHierarchy:
+    """Drives reference batches through the levels; exact LRU simulation."""
+
+    def __init__(self, config: CacheHierarchyConfig = TABLE2_CONFIG) -> None:
+        self.config = config
+        self.levels = [SetAssociativeCache(lv) for lv in config.levels]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self.refs = 0
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: RefBatch) -> RefBatch:
+        """Run a batch through the hierarchy; returns the memory accesses it
+        caused (line-granular addresses; ``is_write`` True for writebacks).
+
+        Oids of memory accesses are inherited from the triggering reference
+        (a writeback carries the oid of the access that evicted it, which is
+        the standard trace-driven approximation).
+        """
+        n = len(batch)
+        self.refs += n
+        if n == 0:
+            return RefBatch.empty(batch.iteration)
+        lines = (batch.addr >> np.uint64(self._line_shift)).astype(np.int64)
+        is_write = batch.is_write
+        oids = batch.oid
+        out_lines: list[int] = []
+        out_write: list[bool] = []
+        out_oid: list[int] = []
+        l1, l2 = self.levels[0], self.levels[-1]
+        multi = len(self.levels) > 1
+        for i in range(n):
+            line = int(lines[i])
+            w = bool(is_write[i])
+            res, victim = l1.access(line, w)
+            if res is AccessResult.HIT:
+                continue
+            if not multi:
+                # single-level: misses go straight to memory
+                if res is AccessResult.MISS_ALLOCATED:
+                    out_lines.append(line)
+                    out_write.append(False)
+                    out_oid.append(int(oids[i]))
+                if res is AccessResult.MISS_BYPASSED:
+                    out_lines.append(line)
+                    out_write.append(True)
+                    out_oid.append(int(oids[i]))
+                if victim >= 0:
+                    out_lines.append(victim)
+                    out_write.append(True)
+                    out_oid.append(int(oids[i]))
+                continue
+            # L1 victim is written into L2
+            if victim >= 0:
+                vres, vvictim = l2.access(victim, True)
+                if vres is AccessResult.MISS_ALLOCATED:
+                    out_lines.append(victim)
+                    out_write.append(False)  # fill-on-write-allocate
+                    out_oid.append(int(oids[i]))
+                if vvictim >= 0:
+                    out_lines.append(vvictim)
+                    out_write.append(True)
+                    out_oid.append(int(oids[i]))
+            # the demand access goes to L2 (as a store when bypassed)
+            demand_write = w if res is AccessResult.MISS_BYPASSED else False
+            res2, victim2 = l2.access(line, demand_write)
+            if res2 is not AccessResult.HIT:
+                out_lines.append(line)
+                out_write.append(False)  # line fill from memory
+                out_oid.append(int(oids[i]))
+            if victim2 >= 0:
+                out_lines.append(victim2)
+                out_write.append(True)
+                out_oid.append(int(oids[i]))
+        mem = self._emit(out_lines, out_write, out_oid, batch.iteration)
+        self.memory_reads += mem.n_reads
+        self.memory_writes += mem.n_writes
+        return mem
+
+    def flush(self, iteration: int = 0) -> RefBatch:
+        """Drain all dirty lines to memory (end-of-run)."""
+        mem_reads: list[int] = []  # L2 fills triggered by draining L1
+        mem_writes: list[int] = []
+        if len(self.levels) > 1:
+            # L1 dirty victims land in L2 first...
+            l2 = self.levels[-1]
+            for line in self.levels[0].flush():
+                res, victim = l2.access(line, True)
+                if res is AccessResult.MISS_ALLOCATED:
+                    mem_reads.append(line)  # write-allocate fill
+                if victim >= 0:
+                    mem_writes.append(victim)
+            # ...then L2 drains to memory
+            mem_writes.extend(l2.flush())
+        else:
+            mem_writes.extend(self.levels[0].flush())
+        lines = mem_reads + mem_writes
+        writes = [False] * len(mem_reads) + [True] * len(mem_writes)
+        oids = [-1] * len(lines)
+        mem = self._emit(lines, writes, oids, iteration)
+        self.memory_reads += mem.n_reads
+        self.memory_writes += mem.n_writes
+        return mem
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self, lines: list[int], writes: list[bool], oids: list[int], iteration: int
+    ) -> RefBatch:
+        addr = (np.array(lines, dtype=np.uint64) << np.uint64(self._line_shift))
+        return RefBatch(
+            addr=addr,
+            is_write=np.array(writes, dtype=bool),
+            size=np.full(len(lines), min(self.config.line_bytes, 255), np.uint8),
+            oid=np.array(oids, dtype=np.int32),
+            iteration=iteration,
+        )
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            levels={c.config.name: c.stats for c in self.levels},
+            refs=self.refs,
+            memory_reads=self.memory_reads,
+            memory_writes=self.memory_writes,
+        )

@@ -1,0 +1,126 @@
+"""``nvscavenger`` command-line interface.
+
+Subcommands:
+
+* ``analyze <app>`` — run NV-SCAVENGER on a model application and print
+  the per-object report, Table V row, and classification;
+* ``power <app>`` — Table VI-style normalized power for one app;
+* ``perf <app>`` — Figure 12-style latency sweep for one app;
+* ``experiments <id>|all`` — regenerate paper tables/figures;
+* ``validate`` — run the reproduction gate (DESIGN.md §5 criteria).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPLICATIONS, create_app
+from repro.experiments.__main__ import main as experiments_main
+from repro.scavenger import NVScavenger
+from repro.scavenger.report import classification_table, objects_table
+from repro.util.units import fmt_bytes
+
+
+def _add_app_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("app", choices=sorted(APPLICATIONS))
+    p.add_argument("--refs", type=int, default=30_000)
+    p.add_argument("--scale", type=float, default=1.0 / 64.0)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _make_app(args: argparse.Namespace):
+    return create_app(
+        args.app,
+        scale=args.scale,
+        refs_per_iteration=args.refs,
+        n_iterations=args.iterations,
+        seed=args.seed,
+    )
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    app = _make_app(args)
+    res = NVScavenger().analyze(app, n_main_iterations=args.iterations)
+    summ = res.stack_summary
+    print(f"{args.app}: {res.total_refs} references, footprint "
+          f"{fmt_bytes(res.footprint_bytes)}")
+    print(f"stack: r/w ratio {summ.rw_ratio():.2f}, "
+          f"{summ.reference_percentage:.1%} of references")
+    print()
+    print("global/heap objects:")
+    print(objects_table(res.object_metrics))
+    print()
+    print("classification:")
+    print(classification_table(res.classified))
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    from repro.cachesim import MemoryTraceProbe
+    from repro.instrument import InstrumentedRuntime
+    from repro.nvram import DRAM_DDR3, MRAM, PCRAM, STTRAM
+    from repro.powersim import normalized_power
+
+    app = _make_app(args)
+    probe = MemoryTraceProbe()
+    rt = InstrumentedRuntime(probe)
+    app(rt)
+    rt.finish()
+    norm = normalized_power(probe.memory_trace, [PCRAM, STTRAM, MRAM], DRAM_DDR3)
+    for name, value in norm.items():
+        print(f"{name:8s} {value:.3f}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.cachesim import MemoryTraceProbe
+    from repro.instrument import InstrumentedRuntime
+    from repro.nvram import DRAM_DDR3, MRAM, PCRAM, STTRAM
+    from repro.perfsim import PerformanceSimulator
+
+    app = _make_app(args)
+    probe = MemoryTraceProbe()
+    rt = InstrumentedRuntime(probe)
+    app(rt)
+    rt.finish()
+    sim = PerformanceSimulator()
+    counts = sim.counts_from_run(rt.instruction_count, probe)
+    sweep = sim.sweep(args.app, counts, [DRAM_DDR3, MRAM, STTRAM, PCRAM])
+    print(f"MLP {counts.mlp:.1f}, {counts.llc_misses} LLC misses")
+    for tech, (lat, rel) in sweep.points.items():
+        print(f"{tech:8s} {lat:6.0f}ns  {rel - 1:+.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="nvscavenger")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_an = sub.add_parser("analyze", help="NV-SCAVENGER analysis of a model app")
+    _add_app_args(p_an)
+    p_pw = sub.add_parser("power", help="normalized NVRAM power for a model app")
+    _add_app_args(p_pw)
+    p_pf = sub.add_parser("perf", help="latency-sensitivity sweep for a model app")
+    _add_app_args(p_pf)
+    p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_ex.add_argument("rest", nargs=argparse.REMAINDER)
+    p_va = sub.add_parser("validate", help="run the reproduction gate")
+    p_va.add_argument("rest", nargs=argparse.REMAINDER)
+
+    args = parser.parse_args(argv)
+    if args.command == "analyze":
+        return cmd_analyze(args)
+    if args.command == "power":
+        return cmd_power(args)
+    if args.command == "perf":
+        return cmd_perf(args)
+    if args.command == "validate":
+        from repro.validation import main as validation_main
+
+        return validation_main(args.rest)
+    return experiments_main(args.rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

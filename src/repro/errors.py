@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class MemoryModelError(ReproError):
+    """Errors from the simulated process memory substrate (repro.memory)."""
+
+
+class AllocationError(MemoryModelError):
+    """Heap allocation failed (out of segment space, bad size, ...)."""
+
+
+class InvalidFreeError(MemoryModelError):
+    """free()/realloc() called on a pointer that is not a live allocation."""
+
+
+class StackError(MemoryModelError):
+    """Stack manager misuse (pop of empty stack, frame overflow, ...)."""
+
+
+class SegmentError(MemoryModelError):
+    """Address falls outside the segment it was claimed to belong to."""
+
+
+class TraceError(ReproError):
+    """Malformed trace records, incompatible batches, or bad trace files."""
+
+
+class InstrumentationError(ReproError):
+    """Instrumented-runtime misuse (access to a dead object, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulator configuration (cache, power, perf, hybrid)."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent internal state."""
+
+
+class PlacementError(ReproError):
+    """Hybrid DRAM/NVRAM placement could not satisfy its constraints."""

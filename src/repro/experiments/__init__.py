@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(ctx) -> ExperimentResult`` taking a shared
+:class:`~repro.experiments.common.ExperimentContext` (which caches the
+instrumented application runs so a full ``run_all`` instruments each app
+once). ``python -m repro.experiments <name>`` prints any of them;
+``python -m repro.experiments all`` regenerates everything and can write
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentResult, APP_ORDER
+from repro.experiments.runner import EXPERIMENTS, run_experiment, run_all
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "APP_ORDER",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,60 @@
+"""CLI: ``python -m repro.experiments <id>|all [--write] [--fast]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    experiments_markdown,
+    run_all,
+    run_experiment,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="with 'all': also write EXPERIMENTS.md in the current directory",
+    )
+    parser.add_argument("--refs", type=int, default=30_000,
+                        help="references per main-loop iteration (default 30000)")
+    parser.add_argument("--scale", type=float, default=1.0 / 64.0,
+                        help="footprint scale vs the paper's (default 1/64)")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="main-loop iterations (default 10, as in the paper)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(
+        refs_per_iteration=args.refs,
+        scale=args.scale,
+        n_iterations=args.iterations,
+        seed=args.seed,
+    )
+    if args.experiment == "all":
+        results = run_all(ctx)
+        for res in results:
+            print(res)
+            print()
+        if args.write:
+            with open("EXPERIMENTS.md", "w") as fh:
+                fh.write(experiments_markdown(results, ctx))
+            print("wrote EXPERIMENTS.md")
+    else:
+        print(run_experiment(args.experiment, ctx))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

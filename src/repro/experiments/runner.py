@@ -1,0 +1,111 @@
+"""Run experiments by id; regenerate EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import io
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    common,
+)
+from repro.experiments import (
+    capacity,
+    configs,
+    extensions,
+    fig2,
+    inputs,
+    fig3_6,
+    fig7,
+    fig8_11,
+    fig12,
+    fig12x,
+    hybrid_ext,
+    prefetch_ext,
+    table1,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+#: id -> runner
+EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "table1": table1.run,
+    "config": configs.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "fig2": fig2.run,
+    "fig3-6": fig3_6.run,
+    "fig7": fig7.run,
+    "fig8-11": fig8_11.run,
+    "fig12": fig12.run,
+    "hybrid": hybrid_ext.run,
+    "locality": extensions.run_locality,
+    "dramcache": extensions.run_dramcache,
+    "wear": extensions.run_wear,
+    "checkpoint": extensions.run_checkpoint,
+    "fig12x": fig12x.run,
+    "capacity": capacity.run,
+    "inputs": inputs.run,
+    "prefetch": prefetch_ext.run,
+}
+
+#: aliases for individual figures in grouped experiments
+_ALIASES = {
+    "fig3": "fig3-6",
+    "fig4": "fig3-6",
+    "fig5": "fig3-6",
+    "fig6": "fig3-6",
+    "fig8": "fig8-11",
+    "fig9": "fig8-11",
+    "fig10": "fig8-11",
+    "fig11": "fig8-11",
+    "table2": "config",
+    "table3": "config",
+    "table4": "config",
+}
+
+
+def run_experiment(name: str, ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Run one experiment by id (aliases like 'fig4' resolve to groups)."""
+    ctx = ctx or ExperimentContext()
+    key = _ALIASES.get(name, name)
+    fn = EXPERIMENTS.get(key)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; know {sorted(EXPERIMENTS)} "
+            f"(+aliases {sorted(_ALIASES)})"
+        )
+    return fn(ctx)
+
+
+def run_all(ctx: ExperimentContext | None = None) -> list[ExperimentResult]:
+    """Run every experiment against one shared (cached) context."""
+    ctx = ctx or ExperimentContext()
+    return [fn(ctx) for fn in EXPERIMENTS.values()]
+
+
+def experiments_markdown(results: list[ExperimentResult], ctx: ExperimentContext) -> str:
+    """Render EXPERIMENTS.md from a full run."""
+    out = io.StringIO()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Regenerated with `python -m repro.experiments all --write` "
+        f"(refs/iteration={ctx.refs_per_iteration}, scale={ctx.scale:.5f}, "
+        f"iterations={ctx.n_iterations}, seed={ctx.seed}).\n\n"
+        "Absolute magnitudes are not expected to match the paper (the\n"
+        "substrate is a simulator, not the authors' testbed); the *shape* —\n"
+        "who wins, by what factor, where crossovers fall — is the\n"
+        "reproduction target. Each section lists the paper's number next to\n"
+        "the measured one.\n\n"
+    )
+    for res in results:
+        out.write(f"## {res.exp_id}: {res.title}\n\n")
+        out.write("```\n")
+        out.write(res.text.rstrip())
+        out.write("\n```\n\n")
+        for note in res.notes:
+            out.write(f"- {note}\n")
+        if res.notes:
+            out.write("\n")
+    return out.getvalue()

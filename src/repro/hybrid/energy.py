@@ -1,0 +1,141 @@
+"""Energy accounting for a hybrid DRAM + NVRAM system.
+
+Splits measured per-object traffic by placement and charges each pool its
+technology's static (standby/refresh) and dynamic (read/write access)
+energy. This is the object-level counterpart of the trace-driven power
+simulator: coarser, but it prices *placements*, which the DRAMSim2-style
+model (whole-memory, single technology) cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.hybrid.placement import PlacementPlan
+from repro.nvram.technology import DRAM_DDR3, MemoryTechnology
+from repro.scavenger.metrics import ObjectMetrics
+from repro.util.units import GiB
+
+
+@dataclass
+class EnergyReport:
+    """Energy of one configuration over the instrumented window."""
+
+    static_nj: float
+    dynamic_nj: float
+    window_ns: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.static_nj + self.dynamic_nj
+
+    @property
+    def average_power_mw(self) -> float:
+        return self.total_nj / self.window_ns * 1e3 if self.window_ns > 0 else 0.0
+
+    def savings_vs(self, baseline: "EnergyReport") -> float:
+        """Fractional energy saving relative to *baseline*."""
+        if baseline.total_nj == 0:
+            return 0.0
+        return 1.0 - self.total_nj / baseline.total_nj
+
+
+class HybridEnergyModel:
+    """Prices a placement plan against an all-DRAM baseline."""
+
+    def __init__(
+        self,
+        nvram: MemoryTechnology,
+        dram: MemoryTechnology = DRAM_DDR3,
+        dram_standby_mw_per_gib: float = 180.0,
+        burst_ns: float = 10.0,
+    ) -> None:
+        """*dram_standby_mw_per_gib* is the refresh+leakage density charged
+        to DRAM-resident bytes; *burst_ns* is the channel burst duration a
+        dynamic access's array power applies over (the same convention as
+        the trace-driven power simulator)."""
+        if dram_standby_mw_per_gib < 0:
+            raise PlacementError("standby density must be non-negative")
+        if burst_ns <= 0:
+            raise PlacementError("burst duration must be positive")
+        self.nvram = nvram
+        self.dram = dram
+        self.dram_standby_mw_per_gib = dram_standby_mw_per_gib
+        self.burst_ns = burst_ns
+
+    # ------------------------------------------------------------------
+    def _dynamic_nj(self, tech: MemoryTechnology, reads: int, writes: int) -> float:
+        read_nj = tech.read_power_mw * self.burst_ns / 1e3
+        write_nj = tech.write_power_mw * self.burst_ns / 1e3
+        return reads * read_nj + writes * write_nj
+
+    def _static_nj(self, tech: MemoryTechnology, nbytes: int, window_ns: float) -> float:
+        if tech.nonvolatile:
+            return 0.0  # zero standby power (paper §II)
+        mw = self.dram_standby_mw_per_gib * (nbytes / GiB)
+        return mw * window_ns / 1e3  # mW * ns = pJ; /1e3 -> nJ
+
+    # ------------------------------------------------------------------
+    def energy(
+        self,
+        rows: list[ObjectMetrics],
+        plan: PlacementPlan,
+        window_ns: float,
+        memory_access_fraction: float = 1.0,
+    ) -> EnergyReport:
+        """Energy with objects split per *plan*.
+
+        *memory_access_fraction* scales object reference counts down to the
+        post-cache traffic that actually reaches memory (use the cache
+        hierarchy's measured memory-accesses-per-reference).
+        """
+        if window_ns <= 0:
+            raise PlacementError("window must be positive")
+        nvram_set = set(plan.nvram_oids)
+        static = dynamic = 0.0
+        for m in rows:
+            tech = self.nvram if m.oid in nvram_set else self.dram
+            static += self._static_nj(tech, m.size, window_ns)
+            dynamic += self._dynamic_nj(
+                tech,
+                int(m.reads * memory_access_fraction),
+                int(m.writes * memory_access_fraction),
+            )
+        return EnergyReport(static_nj=static, dynamic_nj=dynamic, window_ns=window_ns)
+
+    def calibrated_window_ns(
+        self,
+        rows: list[ObjectMetrics],
+        memory_access_fraction: float = 1.0,
+        static_fraction: float = 0.4,
+    ) -> float:
+        """Window length that makes static energy *static_fraction* of the
+        all-DRAM baseline — the regime the paper's premise describes
+        (refresh + leakage >= 35% of subsystem power)."""
+        if not (0 < static_fraction < 1):
+            raise PlacementError("static_fraction must be in (0, 1)")
+        dynamic = sum(
+            self._dynamic_nj(
+                self.dram,
+                int(m.reads * memory_access_fraction),
+                int(m.writes * memory_access_fraction),
+            )
+            for m in rows
+        )
+        static_mw = self.dram_standby_mw_per_gib * sum(m.size for m in rows) / GiB
+        if static_mw <= 0:
+            raise PlacementError("no DRAM-resident bytes to calibrate against")
+        # static_nj = static_mw * window / 1e3 ; solve for the target share
+        target_static = dynamic * static_fraction / (1 - static_fraction)
+        return target_static * 1e3 / static_mw
+
+    def all_dram_baseline(
+        self,
+        rows: list[ObjectMetrics],
+        window_ns: float,
+        memory_access_fraction: float = 1.0,
+    ) -> EnergyReport:
+        """The same objects with everything in DRAM."""
+        empty = PlacementPlan(tech_name=self.dram.name)
+        return self.energy(rows, empty, window_ns, memory_access_fraction)

@@ -1,0 +1,92 @@
+"""Page table for a horizontal hybrid memory: which pool holds each page.
+
+Pages are fixed-size; each maps to :attr:`MemoryPool.DRAM` or
+:attr:`MemoryPool.NVRAM`. The map is dense over the simulated address
+space regions that objects occupy, stored as numpy arrays for vectorized
+"which pool does this batch of addresses hit" queries — the hybrid energy
+model's hot path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import PlacementError
+
+
+class MemoryPool(enum.IntEnum):
+    DRAM = 0
+    NVRAM = 1
+
+
+class PageMap:
+    """Sparse page -> pool mapping with vectorized lookup.
+
+    Pages are keyed by page number (address // page_bytes). Unmapped pages
+    default to DRAM (the safe home).
+    """
+
+    def __init__(self, page_bytes: int = 4096) -> None:
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise PlacementError("page_bytes must be a positive power of two")
+        self.page_bytes = page_bytes
+        self._shift = page_bytes.bit_length() - 1
+        self._pages: dict[int, MemoryPool] = {}
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    def page_of(self, addr: int) -> int:
+        return addr >> self._shift
+
+    def pages_of_range(self, base: int, size: int) -> np.ndarray:
+        first = base >> self._shift
+        last = (base + max(size, 1) - 1) >> self._shift
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def assign_range(self, base: int, size: int, pool: MemoryPool) -> int:
+        """Map every page of ``[base, base+size)`` to *pool*; returns pages."""
+        pages = self.pages_of_range(base, size)
+        for p in pages:
+            self._pages[int(p)] = pool
+        return len(pages)
+
+    def migrate_page(self, page: int, pool: MemoryPool) -> bool:
+        """Move one page; returns True if it actually changed pools."""
+        old = self._pages.get(page, MemoryPool.DRAM)
+        if old is pool:
+            return False
+        self._pages[page] = pool
+        self.migrations += 1
+        return True
+
+    def pool_of(self, addr: int) -> MemoryPool:
+        return self._pages.get(addr >> self._shift, MemoryPool.DRAM)
+
+    def pool_of_batch(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized pool lookup; returns int8 array of MemoryPool values."""
+        pages = np.asarray(addrs, dtype=np.uint64) >> np.uint64(self._shift)
+        if not self._pages:
+            return np.zeros(pages.shape, dtype=np.int8)
+        keys = np.fromiter(self._pages.keys(), dtype=np.int64, count=len(self._pages))
+        vals = np.fromiter(
+            (int(v) for v in self._pages.values()), dtype=np.int8, count=len(self._pages)
+        )
+        order = np.argsort(keys)
+        keys = keys[order]
+        vals = vals[order]
+        pos = np.searchsorted(keys, pages.astype(np.int64))
+        out = np.zeros(pages.shape, dtype=np.int8)
+        ok = (pos < len(keys)) & (keys[np.minimum(pos, len(keys) - 1)] == pages.astype(np.int64))
+        out[ok] = vals[pos[ok]]
+        return out
+
+    # ------------------------------------------------------------------
+    def bytes_in_pool(self, pool: MemoryPool) -> int:
+        return sum(1 for p in self._pages.values() if p is pool) * self.page_bytes
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,22 @@
+"""The instrumentation substrate: a stand-in for PIN.
+
+Real NV-SCAVENGER attaches to a binary and observes every instruction's
+memory operands plus allocation and call/return events. Here, model
+applications execute against an :class:`InstrumentedRuntime` that provides
+the same observable surface: a simulated address space, malloc/free/realloc,
+call/ret with a shadow stack, and vectorized load/store probes whose
+references flow through a :class:`~repro.trace.TraceBuffer` to registered
+probes.
+"""
+
+from repro.instrument.api import Probe, FanoutProbe
+from repro.instrument.runtime import InstrumentedRuntime, SimArray
+from repro.instrument.sampling import SamplingProbe
+
+__all__ = [
+    "Probe",
+    "FanoutProbe",
+    "InstrumentedRuntime",
+    "SimArray",
+    "SamplingProbe",
+]

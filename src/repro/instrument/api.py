@@ -1,0 +1,84 @@
+"""Probe protocol: what an instrumentation consumer can observe.
+
+A probe sees exactly the events a PIN tool would: reference batches,
+allocation/deallocation, routine entry/exit, and iteration boundaries.
+All hooks default to no-ops so consumers override only what they need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.memory.object import MemoryObject
+from repro.memory.stack import StackFrame
+from repro.trace.record import RefBatch
+
+
+class Probe:
+    """Base class for instrumentation consumers (analyzers, cache sim, ...)."""
+
+    def on_batch(self, batch: RefBatch) -> None:
+        """A flushed buffer of memory references."""
+
+    def on_alloc(self, obj: MemoryObject) -> None:
+        """A heap object was allocated (or resurrected with the same signature)."""
+
+    def on_free(self, obj: MemoryObject) -> None:
+        """A heap object was freed (its dead flag has been set)."""
+
+    def on_global(self, obj: MemoryObject) -> None:
+        """A global symbol / merged common block was registered."""
+
+    def on_call(self, frame: StackFrame, frame_obj: MemoryObject) -> None:
+        """A routine was entered; *frame_obj* is its per-routine object."""
+
+    def on_ret(self, frame: StackFrame) -> None:
+        """The current routine returned."""
+
+    def on_iteration(self, iteration: int) -> None:
+        """The main loop advanced to *iteration* (0 = outside the loop)."""
+
+    def on_finish(self) -> None:
+        """End of the instrumented run; flush any pending state."""
+
+
+class FanoutProbe(Probe):
+    """Broadcasts every event to a list of child probes, in order."""
+
+    def __init__(self, probes: Sequence[Probe]) -> None:
+        self.probes = list(probes)
+
+    def add(self, probe: Probe) -> None:
+        self.probes.append(probe)
+
+    def on_batch(self, batch: RefBatch) -> None:
+        for p in self.probes:
+            p.on_batch(batch)
+
+    def on_alloc(self, obj: MemoryObject) -> None:
+        for p in self.probes:
+            p.on_alloc(obj)
+
+    def on_free(self, obj: MemoryObject) -> None:
+        for p in self.probes:
+            p.on_free(obj)
+
+    def on_global(self, obj: MemoryObject) -> None:
+        for p in self.probes:
+            p.on_global(obj)
+
+    def on_call(self, frame: StackFrame, frame_obj: MemoryObject) -> None:
+        for p in self.probes:
+            p.on_call(frame, frame_obj)
+
+    def on_ret(self, frame: StackFrame) -> None:
+        for p in self.probes:
+            p.on_ret(frame)
+
+    def on_iteration(self, iteration: int) -> None:
+        for p in self.probes:
+            p.on_iteration(iteration)
+
+    def on_finish(self) -> None:
+        for p in self.probes:
+            p.on_finish()

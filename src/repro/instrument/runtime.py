@@ -1,0 +1,250 @@
+"""The instrumented runtime: model applications execute against this.
+
+Design notes
+------------
+* ``load``/``store`` take *element offset arrays* (numpy) relative to a
+  :class:`SimArray`; the runtime converts them to byte addresses in one
+  vectorized step and appends them to the trace buffer. No per-reference
+  Python work happens anywhere on the hot path.
+* References may be emitted pre-attributed (``oid`` filled in). The
+  NV-SCAVENGER analyzers deliberately *ignore* producer attribution and
+  re-derive it from addresses (that is the point of the tool); the producer
+  oid exists so tests can check the analyzers' attribution against ground
+  truth.
+* Iteration bookkeeping matches the paper: iteration 0 denotes the
+  pre-computing and post-processing phases; the main loop runs iterations
+  1..N. Heap (de)allocations are intercepted during *all* phases, while
+  references are recorded only when ``recording`` is enabled — exactly the
+  paper's §VI protocol.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InstrumentationError
+from repro.instrument.api import Probe
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import AddressLayout
+from repro.memory.object import MemoryObject
+from repro.trace.buffer import DEFAULT_CAPACITY, TraceBuffer
+from repro.trace.record import AccessType, RefBatch
+
+
+@dataclass
+class SimArray:
+    """A handle to a contiguous simulated array (any segment).
+
+    ``itemsize`` converts element offsets to byte addresses; the handle does
+    not hold data — model applications compute on ordinary numpy arrays and
+    use handles only to describe *where* those values live.
+    """
+
+    obj: MemoryObject
+    itemsize: int = 8
+
+    @property
+    def base(self) -> int:
+        return self.obj.base
+
+    @property
+    def nbytes(self) -> int:
+        return self.obj.size
+
+    @property
+    def n_elements(self) -> int:
+        return self.obj.size // self.itemsize
+
+    def addresses(self, offsets: np.ndarray) -> np.ndarray:
+        """Byte addresses of element *offsets* (vectorized)."""
+        offsets = np.asarray(offsets)
+        return (np.uint64(self.base) + offsets.astype(np.uint64) * np.uint64(self.itemsize))
+
+
+class InstrumentedRuntime:
+    """Simulated process + instrumentation event fan-out."""
+
+    def __init__(
+        self,
+        probe: Probe,
+        layout: AddressLayout | None = None,
+        buffer_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.space = AddressSpace(layout)
+        self._probe = probe
+        self._buffer = TraceBuffer(probe.on_batch, capacity=buffer_capacity)
+        self.recording = True
+        self.instruction_count = 0  # non-memory work, for the perf model
+        self.dependent_refs = 0  # serialized-chain reads (no MLP)
+
+    # ------------------------------------------------------------------
+    # phases / iterations
+    @property
+    def iteration(self) -> int:
+        return self.space.current_iteration
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Advance to a main-loop iteration (or back to 0 for post-processing)."""
+        if iteration < 0:
+            raise InstrumentationError(f"negative iteration {iteration}")
+        self._buffer.set_iteration(iteration)
+        self.space.current_iteration = iteration
+        self._probe.on_iteration(iteration)
+
+    def finish(self) -> None:
+        """Flush buffers and signal end-of-run to probes."""
+        self._buffer.flush()
+        self._probe.on_finish()
+
+    @contextlib.contextmanager
+    def paused_recording(self) -> Iterator[None]:
+        """Temporarily stop recording references (allocations still observed)."""
+        old, self.recording = self.recording, False
+        try:
+            yield
+        finally:
+            self.recording = old
+
+    # ------------------------------------------------------------------
+    # allocation surface
+    def global_array(
+        self, name: str, n_elements: int, itemsize: int = 8, tags: frozenset[str] = frozenset()
+    ) -> SimArray:
+        obj = self.space.define_global(name, n_elements * itemsize, tags=tags)
+        self._probe.on_global(obj)
+        return SimArray(obj, itemsize)
+
+    def common_block(
+        self,
+        block_name: str,
+        members: list[tuple[str, int]],
+        itemsize: int = 8,
+        tags: frozenset[str] = frozenset(),
+    ) -> SimArray:
+        """FORTRAN common block; members given as (name, n_elements)."""
+        byte_members = [(n, c * itemsize) for n, c in members]
+        obj = self.space.define_common_block(block_name, byte_members, tags=tags)
+        self._probe.on_global(obj)
+        return SimArray(obj, itemsize)
+
+    def malloc(
+        self,
+        n_elements: int,
+        callsite: str,
+        itemsize: int = 8,
+        tags: frozenset[str] = frozenset(),
+    ) -> SimArray:
+        # flush so buffered references are attributed against the heap
+        # state that produced them (a freed object may alias this one)
+        self._buffer.flush()
+        obj = self.space.malloc(n_elements * itemsize, callsite, tags=tags)
+        self._probe.on_alloc(obj)
+        return SimArray(obj, itemsize)
+
+    def free(self, arr: SimArray) -> None:
+        if not arr.obj.alive:
+            raise InstrumentationError(f"double free of {arr.obj!r}")
+        self._buffer.flush()
+        obj = self.space.free(arr.base)
+        self._probe.on_free(obj)
+
+    def realloc(self, arr: SimArray, n_elements: int, callsite: str) -> SimArray:
+        """free + malloc, per the paper; returns a new handle."""
+        self.free(arr)
+        return self.malloc(n_elements, callsite, itemsize=arr.itemsize)
+
+    # ------------------------------------------------------------------
+    # call surface
+    @contextlib.contextmanager
+    def call(self, routine: str, frame_bytes: int = 256) -> Iterator[MemoryObject]:
+        """Enter *routine* with a frame; yields the frame's memory object.
+
+        The trace buffer is flushed at entry and exit so that probes which
+        mirror the shadow stack (the slow stack analyzer) always see
+        reference batches under the call context that produced them.
+        """
+        self._buffer.flush()
+        frame_obj = self.space.call(routine, frame_bytes)
+        frame = self.space.stack.current_frame
+        self._probe.on_call(frame, frame_obj)
+        try:
+            yield frame_obj
+        finally:
+            self._buffer.flush()
+            popped = self.space.stack.current_frame
+            self.space.ret()
+            self._probe.on_ret(popped)
+
+    def local_array(self, name: str, n_elements: int, itemsize: int = 8) -> SimArray:
+        """A named local variable inside the current frame."""
+        addr = self.space.stack.alloc_local(name, n_elements * itemsize)
+        frame = self.space.stack.current_frame
+        frame_obj = self.space.frame_object_for(frame.routine)
+        assert frame_obj is not None
+        # locals belong to the routine's frame object; build a thin view
+        view = MemoryObject(
+            oid=frame_obj.oid,
+            kind=frame_obj.kind,
+            name=f"{frame_obj.name}.{name}",
+            base=addr,
+            size=n_elements * itemsize,
+            birth_iteration=frame_obj.birth_iteration,
+        )
+        return SimArray(view, itemsize)
+
+    # ------------------------------------------------------------------
+    # reference surface
+    def load(
+        self,
+        arr: SimArray,
+        offsets: np.ndarray,
+        repeat: int = 1,
+        dependent: bool = False,
+    ) -> None:
+        """Issue reads. *dependent* marks a serialized chain (each address
+        computed from the previous load's value, e.g. pointer chasing):
+        the performance model then denies these references memory-level
+        parallelism. Address streams cannot reveal dependence, so the
+        program declares it — the one place the instrumentation needs
+        cooperation a binary tool would get from dataflow analysis."""
+        self._access(arr, offsets, AccessType.READ, repeat)
+        if dependent:
+            n = len(np.asarray(offsets)) * repeat
+            self.dependent_refs += n if self.recording else 0
+
+    def store(self, arr: SimArray, offsets: np.ndarray, repeat: int = 1) -> None:
+        self._access(arr, offsets, AccessType.WRITE, repeat)
+
+    def compute(self, n_instructions: int) -> None:
+        """Account non-memory instructions (used by the performance model)."""
+        if n_instructions < 0:
+            raise InstrumentationError("negative instruction count")
+        self.instruction_count += n_instructions
+
+    def _access(self, arr: SimArray, offsets: np.ndarray, access: AccessType, repeat: int) -> None:
+        if not arr.obj.alive:
+            raise InstrumentationError(f"access to dead object {arr.obj!r}")
+        if repeat < 1:
+            raise InstrumentationError(f"repeat must be >= 1, got {repeat}")
+        if not self.recording:
+            return
+        addrs = arr.addresses(np.asarray(offsets))
+        if repeat > 1:
+            addrs = np.tile(addrs, repeat)
+        batch = RefBatch.from_access(
+            addrs,
+            access,
+            size=min(arr.itemsize, 255),
+            oid=arr.obj.oid,
+            iteration=self.iteration,
+        )
+        self._buffer.append(batch)
+
+    # ------------------------------------------------------------------
+    @property
+    def refs_emitted(self) -> int:
+        return self._buffer.refs_seen

@@ -1,0 +1,85 @@
+"""Periodic sampling of the reference stream (paper §III-D, ablation).
+
+The paper considers SimPoint-style periodic sampling to cut instrumentation
+cost and *rejects* it: "Sampling can lead to the loss of access information
+for many memory objects, which in turn causes improper data placement."
+We implement it anyway so the claim can be demonstrated quantitatively
+(see ``benchmarks/test_ablation_sampling.py``): a :class:`SamplingProbe`
+forwards only windows of the stream and the ablation measures how many
+objects lose *all* of their access information.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.instrument.api import Probe
+from repro.memory.object import MemoryObject
+from repro.memory.stack import StackFrame
+from repro.trace.record import RefBatch
+
+
+class SamplingProbe(Probe):
+    """Forwards ``sample_refs`` references out of every ``period_refs``.
+
+    Windowing is measured in references (a proxy for instructions, which is
+    what SimPoint windows count). Non-reference events (allocations, calls)
+    are always forwarded — sampling only thins the reference stream.
+    """
+
+    def __init__(self, child: Probe, period_refs: int, sample_refs: int) -> None:
+        if period_refs <= 0 or sample_refs <= 0:
+            raise ConfigurationError("sampling period and window must be positive")
+        if sample_refs > period_refs:
+            raise ConfigurationError(
+                f"sample window {sample_refs} exceeds period {period_refs}"
+            )
+        self.child = child
+        self.period = period_refs
+        self.window = sample_refs
+        self._pos = 0  # position within the current period
+        self.refs_in = 0
+        self.refs_out = 0
+
+    @property
+    def sampling_fraction(self) -> float:
+        return self.window / self.period
+
+    def on_batch(self, batch: RefBatch) -> None:
+        """Forward the sub-ranges of *batch* that fall inside sample windows."""
+        n = len(batch)
+        self.refs_in += n
+        start = 0
+        while start < n:
+            if self._pos < self.window:
+                take = min(self.window - self._pos, n - start)
+                sub = batch.take(slice(start, start + take))  # type: ignore[arg-type]
+                self.child.on_batch(sub)
+                self.refs_out += take
+            else:
+                take = min(self.period - self._pos, n - start)
+            self._pos += take
+            if self._pos >= self.period:
+                self._pos = 0
+            start += take
+
+    # non-reference events pass through unconditionally
+    def on_alloc(self, obj: MemoryObject) -> None:
+        self.child.on_alloc(obj)
+
+    def on_free(self, obj: MemoryObject) -> None:
+        self.child.on_free(obj)
+
+    def on_global(self, obj: MemoryObject) -> None:
+        self.child.on_global(obj)
+
+    def on_call(self, frame: StackFrame, frame_obj: MemoryObject) -> None:
+        self.child.on_call(frame, frame_obj)
+
+    def on_ret(self, frame: StackFrame) -> None:
+        self.child.on_ret(frame)
+
+    def on_iteration(self, iteration: int) -> None:
+        self.child.on_iteration(iteration)
+
+    def on_finish(self) -> None:
+        self.child.on_finish()

@@ -1,0 +1,30 @@
+"""Simulated process memory substrate.
+
+This package stands in for the real process a PIN tool would attach to:
+a virtual address space split into global-data, heap, and stack segments,
+with a free-list heap allocator, a downward-growing stack with a shadow
+call stack, and a global segment that understands FORTRAN common-block
+aliasing. The instrumented runtime (:mod:`repro.instrument`) builds on it.
+"""
+
+from repro.memory.layout import AddressLayout, Segment, SegmentKind
+from repro.memory.object import MemoryObject, ObjectKind, HeapSignature
+from repro.memory.heap import HeapAllocator
+from repro.memory.stack import StackManager, StackFrame
+from repro.memory.globals import GlobalSegment, GlobalSymbol
+from repro.memory.address_space import AddressSpace
+
+__all__ = [
+    "AddressLayout",
+    "Segment",
+    "SegmentKind",
+    "MemoryObject",
+    "ObjectKind",
+    "HeapSignature",
+    "HeapAllocator",
+    "StackManager",
+    "StackFrame",
+    "GlobalSegment",
+    "GlobalSymbol",
+    "AddressSpace",
+]

@@ -1,0 +1,187 @@
+"""Facade that ties segments, allocator, stack, and globals into one
+simulated process address space and assigns dense object ids.
+
+The object table implements the paper's identity rules:
+
+* heap objects with the same :class:`HeapSignature` fold into one logical
+  object across (de)allocations (§III-B);
+* freed heap objects stay in the table with ``alive=False`` so the analyzer
+  can distinguish a dead object that aliases a new allocation (§III-B);
+* overlapping global symbols are merged into a single object (§III-C);
+* stack-frame objects are keyed by routine identity (§III-A) — all
+  invocations of a routine share one frame object, mirroring the paper's
+  use of the routine's starting address as its signature.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InstrumentationError
+from repro.memory.globals import GlobalSegment
+from repro.memory.heap import HeapAllocator
+from repro.memory.layout import AddressLayout, SegmentKind
+from repro.memory.object import HeapSignature, MemoryObject, ObjectKind
+from repro.memory.stack import StackManager
+
+
+class AddressSpace:
+    """One simulated process: segments + allocators + object table."""
+
+    def __init__(self, layout: AddressLayout | None = None) -> None:
+        self.layout = layout or AddressLayout()
+        self.heap = HeapAllocator(self.layout.heap_segment)
+        self.stack = StackManager(self.layout.stack_segment)
+        self.globals = GlobalSegment(self.layout.global_segment)
+        self._objects: list[MemoryObject] = []
+        self._by_signature: dict[HeapSignature, int] = {}
+        self._live_heap_by_base: dict[int, int] = {}  # base -> oid
+        self._frame_oid_by_routine: dict[str, int] = {}
+        self.current_iteration = 0  # 0 = pre-compute; set by the runtime
+
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> list[MemoryObject]:
+        """All tracked objects, dense by oid (read-only view)."""
+        return list(self._objects)
+
+    def object(self, oid: int) -> MemoryObject:
+        return self._objects[oid]
+
+    def _new_object(self, obj_kwargs: dict) -> MemoryObject:
+        obj = MemoryObject(oid=len(self._objects), **obj_kwargs)
+        self._objects.append(obj)
+        return obj
+
+    # ------------------------------------------------------------------
+    # globals
+    def define_global(self, name: str, size: int, tags: frozenset[str] = frozenset()) -> MemoryObject:
+        """Define a fresh global symbol and its memory object."""
+        sym = self.globals.define(name, size)
+        return self._new_object(
+            dict(
+                kind=ObjectKind.GLOBAL,
+                name=name,
+                base=sym.base,
+                size=sym.size,
+                birth_iteration=self.current_iteration,
+                tags=tags,
+            )
+        )
+
+    def define_common_block(
+        self,
+        block_name: str,
+        members: list[tuple[str, int]],
+        tags: frozenset[str] = frozenset(),
+    ) -> MemoryObject:
+        """Define a FORTRAN common block; member views merge into ONE object."""
+        self.globals.define_common_block(block_name, members)
+        merged = self.globals.merged_objects()
+        # the block we just defined is the last merged group
+        name, base, size = merged[-1]
+        return self._new_object(
+            dict(
+                kind=ObjectKind.GLOBAL,
+                name=name,
+                base=base,
+                size=size,
+                birth_iteration=self.current_iteration,
+                tags=tags,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # heap
+    def malloc(
+        self, size: int, callsite: str, tags: frozenset[str] = frozenset()
+    ) -> MemoryObject:
+        """Allocate heap memory; folds into an existing object when the
+        signature (base, size, callsite, shadow stack) repeats."""
+        base = self.heap.malloc(size)
+        sig = HeapSignature(
+            base=base,
+            size=size,
+            callsite=callsite,
+            callstack=self.stack.callstack_names(),
+        )
+        oid = self._by_signature.get(sig)
+        if oid is None:
+            obj = self._new_object(
+                dict(
+                    kind=ObjectKind.HEAP,
+                    name=f"heap:{callsite}",
+                    base=base,
+                    size=size,
+                    signature=sig,
+                    birth_iteration=self.current_iteration,
+                    tags=tags,
+                )
+            )
+            self._by_signature[sig] = obj.oid
+        else:
+            obj = self._objects[oid]
+            obj.alive = True  # resurrection: same program context re-allocates
+        self._live_heap_by_base[base] = obj.oid
+        return obj
+
+    def free(self, base: int) -> MemoryObject:
+        """Free heap memory; marks the owning object dead (flag, §III-B)."""
+        oid = self._live_heap_by_base.pop(base, None)
+        if oid is None:
+            raise InstrumentationError(f"free of untracked heap base {base:#x}")
+        self.heap.free(base)
+        obj = self._objects[oid]
+        obj.alive = False
+        return obj
+
+    def realloc(
+        self, base: int, new_size: int, callsite: str
+    ) -> MemoryObject:
+        """Paper semantics: treated as free() + malloc() (§III-B)."""
+        self.free(base)
+        return self.malloc(new_size, callsite)
+
+    def live_heap_object_at(self, base: int) -> MemoryObject | None:
+        oid = self._live_heap_by_base.get(base)
+        return None if oid is None else self._objects[oid]
+
+    # ------------------------------------------------------------------
+    # stack
+    def call(self, routine: str, frame_size: int) -> MemoryObject:
+        """Enter a routine; returns the (per-routine) frame object."""
+        frame = self.stack.push_frame(routine, frame_size)
+        oid = self._frame_oid_by_routine.get(routine)
+        if oid is None:
+            obj = self._new_object(
+                dict(
+                    kind=ObjectKind.STACK_FRAME,
+                    name=f"frame:{routine}",
+                    base=frame.sp,
+                    size=frame.size,
+                    birth_iteration=self.current_iteration,
+                )
+            )
+            self._frame_oid_by_routine[routine] = obj.oid
+        else:
+            obj = self._objects[oid]
+            # the frame may land at a different depth this time; track the
+            # deepest extent so `size` stays meaningful as a footprint
+            obj.base = min(obj.base, frame.sp)
+            obj.size = max(obj.size, frame.size)
+        return obj
+
+    def ret(self) -> None:
+        """Return from the current routine."""
+        self.stack.pop_frame()
+
+    def frame_object_for(self, routine: str) -> MemoryObject | None:
+        oid = self._frame_oid_by_routine.get(routine)
+        return None if oid is None else self._objects[oid]
+
+    # ------------------------------------------------------------------
+    def segment_of(self, addr: int) -> SegmentKind:
+        return self.layout.segment_of(addr)
+
+    def footprint_bytes(self) -> int:
+        """Total bytes of distinct global + live-heap + stack-extent memory."""
+        stack_extent = self.layout.stack_top - self.stack.max_extent
+        return self.globals.bytes_used + self.heap.bytes_allocated + stack_extent

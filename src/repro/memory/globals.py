@@ -1,0 +1,118 @@
+"""Global data segment: symbol table with FORTRAN common-block merging.
+
+The paper (§III-C) obtains (symbol, base, size) from DWARF and then merges
+symbols whose address ranges overlap — FORTRAN lets every program unit
+re-partition a common block under different names, so overlapping views must
+become one memory object whose range is the union of the views and whose
+name is the combination of the member names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SegmentError
+from repro.memory.layout import Segment
+from repro.util.intervals import IntervalSet
+
+_GLOBAL_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class GlobalSymbol:
+    """One symbol as a DWARF reader would report it."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+
+class GlobalSegment:
+    """Allocates global symbols and computes overlap-merged memory objects."""
+
+    def __init__(self, segment: Segment) -> None:
+        self._segment = segment
+        self._cursor = segment.base
+        self._symbols: list[GlobalSymbol] = []
+
+    @property
+    def symbols(self) -> list[GlobalSymbol]:
+        return list(self._symbols)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor - self._segment.base
+
+    # ------------------------------------------------------------------
+    def define(self, name: str, size: int) -> GlobalSymbol:
+        """Lay out a fresh (non-aliasing) symbol at the segment cursor."""
+        if size <= 0:
+            raise SegmentError(f"global {name!r} must have positive size, got {size}")
+        size_aligned = (size + _GLOBAL_ALIGN - 1) // _GLOBAL_ALIGN * _GLOBAL_ALIGN
+        if self._cursor + size_aligned > self._segment.limit:
+            raise SegmentError(
+                f"global segment exhausted defining {name!r} ({size} bytes)"
+            )
+        sym = GlobalSymbol(name, self._cursor, size)
+        self._cursor += size_aligned
+        self._symbols.append(sym)
+        return sym
+
+    def define_view(self, name: str, base: int, size: int) -> GlobalSymbol:
+        """Register an aliasing view (a common-block re-partition) at *base*."""
+        if size <= 0:
+            raise SegmentError(f"view {name!r} must have positive size, got {size}")
+        if not (self._segment.contains(base) and base + size <= self._segment.limit):
+            raise SegmentError(
+                f"view {name!r} [{base:#x},{base + size:#x}) outside global segment"
+            )
+        sym = GlobalSymbol(name, base, size)
+        self._symbols.append(sym)
+        return sym
+
+    def define_common_block(
+        self, block_name: str, members: list[tuple[str, int]]
+    ) -> list[GlobalSymbol]:
+        """Lay out a FORTRAN common block: contiguous members that alias the
+        block. Returns the member symbols (the block itself is also a view).
+        """
+        total = sum(size for _, size in members)
+        block = self.define(block_name, total)
+        syms = []
+        offset = 0
+        for member_name, size in members:
+            syms.append(self.define_view(f"{block_name}%{member_name}", block.base + offset, size))
+            offset += size
+        return syms
+
+    # ------------------------------------------------------------------
+    def merged_objects(self) -> list[tuple[str, int, int]]:
+        """Union-merge overlapping symbols (paper §III-C).
+
+        Returns ``(combined_name, base, size)`` triples where every group of
+        transitively-overlapping symbols becomes one object whose range is
+        the union of members and whose name joins the member names with '+'.
+        """
+        if not self._symbols:
+            return []
+        order = sorted(range(len(self._symbols)), key=lambda i: self._symbols[i].base)
+        merged: list[tuple[list[str], IntervalSet]] = []
+        for i in order:
+            sym = self._symbols[i]
+            if merged:
+                names, ivals = merged[-1]
+                lo, hi = ivals.span
+                if sym.base < hi:  # overlaps the running group
+                    names.append(sym.name)
+                    ivals.add(sym.base, sym.limit)
+                    continue
+            merged.append(([sym.name], IntervalSet([(sym.base, sym.limit)])))
+        out = []
+        for names, ivals in merged:
+            lo, hi = ivals.span
+            out.append(("+".join(sorted(set(names))), lo, hi - lo))
+        return out

@@ -1,0 +1,103 @@
+"""Virtual address space layout.
+
+A classic Unix-style layout, scaled down: the global data segment sits low,
+the heap grows upward above it, and the stack grows *downward* from the top
+of the address space (the stack-pointer test in the paper's fast stack
+analyzer assumes exactly this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SegmentError
+from repro.util.units import MiB
+
+
+class SegmentKind(enum.IntEnum):
+    """Which part of the address space an address belongs to."""
+
+    GLOBAL = 0
+    HEAP = 1
+    STACK = 2
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open address range ``[base, limit)`` with a kind."""
+
+    kind: SegmentKind
+    base: int
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit <= self.base:
+            raise ConfigurationError(
+                f"segment {self.kind.name} has non-positive size "
+                f"[{self.base:#x}, {self.limit:#x})"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.limit - self.base
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.limit
+
+    def check(self, addr: int) -> None:
+        """Raise :class:`SegmentError` if *addr* is outside this segment."""
+        if not self.contains(addr):
+            raise SegmentError(
+                f"address {addr:#x} outside {self.kind.name} segment "
+                f"[{self.base:#x}, {self.limit:#x})"
+            )
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """The three segments of the simulated process.
+
+    Defaults give a 4 GiB-style miniature: 256 MiB globals, 1 GiB heap,
+    256 MiB stack, which comfortably fits the scaled model applications.
+    """
+
+    global_base: int = 0x0040_0000
+    global_size: int = 256 * MiB
+    heap_size: int = 1024 * MiB
+    stack_size: int = 256 * MiB
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("global_size", self.global_size),
+            ("heap_size", self.heap_size),
+            ("stack_size", self.stack_size),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+
+    @property
+    def global_segment(self) -> Segment:
+        return Segment(SegmentKind.GLOBAL, self.global_base, self.global_base + self.global_size)
+
+    @property
+    def heap_segment(self) -> Segment:
+        base = self.global_base + self.global_size
+        return Segment(SegmentKind.HEAP, base, base + self.heap_size)
+
+    @property
+    def stack_segment(self) -> Segment:
+        base = self.heap_segment.limit
+        return Segment(SegmentKind.STACK, base, base + self.stack_size)
+
+    @property
+    def stack_top(self) -> int:
+        """The initial stack pointer (stack grows downward from here)."""
+        return self.stack_segment.limit
+
+    def segment_of(self, addr: int) -> SegmentKind:
+        """Classify an address; raises :class:`SegmentError` if unmapped."""
+        for seg in (self.global_segment, self.heap_segment, self.stack_segment):
+            if seg.contains(addr):
+                return seg.kind
+        raise SegmentError(f"address {addr:#x} is unmapped")

@@ -1,0 +1,78 @@
+"""Memory objects and their identities.
+
+A *memory object* (paper §III) is the granularity of the whole analysis:
+a heap allocation, a global symbol (or merged common block), or a stack
+frame. Heap objects are identified by a :class:`HeapSignature` — base
+address, size, allocation callsite, and the active shadow call stack —
+so that per-iteration re-allocations in the same program context fold into
+one logical object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ObjectKind(enum.IntEnum):
+    """Which analyzer owns the object."""
+
+    GLOBAL = 0
+    HEAP = 1
+    STACK_FRAME = 2
+
+
+@dataclass(frozen=True)
+class HeapSignature:
+    """Identity of a heap object across (de)allocations (paper §III-B).
+
+    Two allocations with the same signature "appear within the same program
+    context and tend to have the same access pattern", so NV-SCAVENGER
+    treats them as one object.
+    """
+
+    base: int
+    size: int
+    callsite: str  # "file:line" of the malloc call
+    callstack: tuple[str, ...]  # starting addresses / names of active routines
+
+    def __str__(self) -> str:
+        stack = ">".join(self.callstack[-3:])
+        return f"heap@{self.base:#x}+{self.size}({self.callsite};{stack})"
+
+
+@dataclass
+class MemoryObject:
+    """One tracked memory object and its live address range.
+
+    ``oid`` is a dense integer id assigned by the address space; analyzers
+    index their counter arrays by it.
+    """
+
+    oid: int
+    kind: ObjectKind
+    name: str
+    base: int
+    size: int
+    alive: bool = True
+    #: heap objects only: identity for fold-on-reallocation
+    signature: HeapSignature | None = None
+    #: iteration index the object first existed in (0 = pre-compute phase)
+    birth_iteration: int = 0
+    #: free-form tags the applications attach ("read_only", "aux", ...)
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def limit(self) -> int:
+        """One past the last byte."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.limit
+
+    def __repr__(self) -> str:
+        state = "live" if self.alive else "dead"
+        return (
+            f"MemoryObject(#{self.oid} {self.kind.name} {self.name!r} "
+            f"[{self.base:#x},{self.limit:#x}) {state})"
+        )

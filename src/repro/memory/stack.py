@@ -1,0 +1,148 @@
+"""Downward-growing program stack with a shadow call stack.
+
+Reproduces what NV-SCAVENGER instruments (paper §III-A):
+
+* the *current stack pointer* and the *maximum extent* the stack pointer has
+  ever reached (the fast analyzer counts a reference as "stack" iff its
+  address lies between the two, assuming downward growth);
+* a *shadow stack* of frames — routine name, base frame address, frame size —
+  so the slow analyzer can attribute each reference to the owning routine's
+  frame, including references that land *underneath* the current frame
+  (attributed to the earlier routine that allocated that data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StackError
+from repro.memory.layout import Segment
+
+_FRAME_ALIGN = 16
+
+
+@dataclass
+class StackFrame:
+    """One shadow-stack entry.
+
+    ``base`` is the frame's high address (the SP value *before* the call);
+    the frame occupies ``[sp, base)`` with ``sp = base - size``.
+    """
+
+    routine: str
+    base: int
+    size: int
+    depth: int
+    #: named variables inside the frame: name -> (addr, nbytes)
+    variables: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def sp(self) -> int:
+        return self.base - self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.sp <= addr < self.base
+
+
+class StackManager:
+    """Maintains the simulated SP, its maximum extent, and the shadow stack."""
+
+    def __init__(self, segment: Segment) -> None:
+        self._segment = segment
+        self._sp = segment.limit
+        self._min_sp = segment.limit  # deepest the stack has ever grown
+        self._frames: list[StackFrame] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def segment(self) -> Segment:
+        return self._segment
+
+    @property
+    def sp(self) -> int:
+        """Current stack pointer."""
+        return self._sp
+
+    @property
+    def max_extent(self) -> int:
+        """Deepest (lowest) SP value seen; the paper's 'maximum stack pointer'."""
+        return self._min_sp
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def frames(self) -> list[StackFrame]:
+        """The shadow stack, outermost first (read-only view)."""
+        return list(self._frames)
+
+    @property
+    def current_frame(self) -> StackFrame:
+        if not self._frames:
+            raise StackError("no active stack frame")
+        return self._frames[-1]
+
+    def callstack_names(self) -> tuple[str, ...]:
+        """Routine names of all active frames (heap signatures use this)."""
+        return tuple(f.routine for f in self._frames)
+
+    # ------------------------------------------------------------------
+    def push_frame(self, routine: str, size: int) -> StackFrame:
+        """Enter a routine with a *size*-byte frame."""
+        if size < 0:
+            raise StackError(f"negative frame size {size}")
+        size = (size + _FRAME_ALIGN - 1) // _FRAME_ALIGN * _FRAME_ALIGN
+        new_sp = self._sp - size
+        if new_sp < self._segment.base:
+            raise StackError(
+                f"stack overflow: frame {routine!r} of {size} bytes exceeds "
+                f"the {self._segment.size}-byte stack segment"
+            )
+        frame = StackFrame(routine=routine, base=self._sp, size=size, depth=len(self._frames))
+        self._frames.append(frame)
+        self._sp = new_sp
+        self._min_sp = min(self._min_sp, new_sp)
+        return frame
+
+    def pop_frame(self) -> StackFrame:
+        """Return from the current routine."""
+        if not self._frames:
+            raise StackError("pop of empty shadow stack")
+        frame = self._frames.pop()
+        self._sp = frame.base
+        return frame
+
+    def alloc_local(self, name: str, nbytes: int) -> int:
+        """Reserve *nbytes* inside the current frame for a named local.
+
+        Locals are carved from the frame top downward; running out means
+        the declared frame size was too small.
+        """
+        frame = self.current_frame
+        used = sum(n for _, n in frame.variables.values())
+        if used + nbytes > frame.size:
+            raise StackError(
+                f"frame {frame.routine!r} overflow: "
+                f"{used} + {nbytes} > {frame.size} bytes"
+            )
+        addr = frame.base - used - nbytes
+        frame.variables[name] = (addr, nbytes)
+        return addr
+
+    # ------------------------------------------------------------------
+    def is_stack_address(self, addr: int) -> bool:
+        """The fast analyzer's membership test (paper §III-A, method 1)."""
+        return self._min_sp <= addr < self._segment.limit
+
+    def owner_frame(self, addr: int) -> StackFrame | None:
+        """The slow analyzer's attribution (paper §III-A, method 2).
+
+        Walks the shadow stack; a reference below the current frame is
+        attributed to the (earlier) frame that contains it — "it is the
+        previously called routine that really allocates data on the stack".
+        """
+        for frame in reversed(self._frames):
+            if frame.contains(addr):
+                return frame
+        return None

@@ -1,0 +1,34 @@
+"""NVRAM technology models: categories, latencies, energies, endurance."""
+
+from repro.nvram.technology import (
+    NVRAMCategory,
+    MemoryTechnology,
+    DRAM_DDR3,
+    PCRAM,
+    STTRAM,
+    MRAM,
+    FLASH,
+    RRAM,
+    TECHNOLOGIES,
+    technology,
+)
+from repro.nvram.endurance import EnduranceModel, WearState
+from repro.nvram.wearlevel import StartGapLeveler, WearLevelReport, simulate_leveling
+
+__all__ = [
+    "NVRAMCategory",
+    "MemoryTechnology",
+    "DRAM_DDR3",
+    "PCRAM",
+    "STTRAM",
+    "MRAM",
+    "FLASH",
+    "RRAM",
+    "TECHNOLOGIES",
+    "technology",
+    "EnduranceModel",
+    "WearState",
+    "StartGapLeveler",
+    "WearLevelReport",
+    "simulate_leveling",
+]

@@ -1,0 +1,36 @@
+"""Performance simulator: the PTLsim stand-in (paper §V).
+
+A deterministic interval model of the Table III out-of-order core: cycles
+are base work plus miss intervals whose visible penalty is the memory
+latency minus what the reorder window hides, divided by the memory-level
+parallelism extracted from the measured miss stream. The memory access
+latency is swept (read latency == write latency, as the paper's simulator
+requires, making results a performance lower bound), and main memory is
+assumed fully replaced by the NVRAM under test — both assumptions straight
+from §V.
+"""
+
+from repro.perfsim.config import CoreConfig, TABLE3_CORE
+from repro.perfsim.core import WorkloadCounts, IntervalCoreModel, estimate_mlp
+from repro.perfsim.simulator import PerformanceSimulator, LatencySweepResult
+from repro.perfsim.rwmodel import ReadWriteCoreModel, RWWorkloadCounts
+from repro.perfsim.prefetch import (
+    PrefetchAwareModel,
+    PrefetchStats,
+    estimate_prefetch_coverage,
+)
+
+__all__ = [
+    "CoreConfig",
+    "TABLE3_CORE",
+    "WorkloadCounts",
+    "IntervalCoreModel",
+    "estimate_mlp",
+    "PerformanceSimulator",
+    "LatencySweepResult",
+    "ReadWriteCoreModel",
+    "RWWorkloadCounts",
+    "PrefetchAwareModel",
+    "PrefetchStats",
+    "estimate_prefetch_coverage",
+]

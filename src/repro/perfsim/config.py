@@ -1,0 +1,56 @@
+"""Core configuration (paper Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """The simulated out-of-order core.
+
+    Table III: 2.266 GHz x86 cores, out of order, one thread per core;
+    32-entry TLB; 8-banked L1 with 1-cycle hits; 5-cycle L2 hits; 64-entry
+    load fill request queue; 64-entry miss buffer. The reorder-buffer depth
+    and issue width are the era-typical values PTLsim models for such a
+    part (Nehalem-class).
+    """
+
+    frequency_ghz: float = 2.266
+    issue_width: int = 4
+    rob_entries: int = 128
+    load_fill_queue: int = 64
+    miss_buffer: int = 64
+    tlb_entries: int = 32
+    l1_hit_cycles: int = 1
+    l2_hit_cycles: int = 5
+    #: fraction of L2-hit latency the OoO window hides on average
+    l2_hide_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        for name in ("issue_width", "rob_entries", "load_fill_queue", "miss_buffer"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not (0 <= self.l2_hide_fraction <= 1):
+            raise ConfigurationError("l2_hide_fraction must be in [0,1]")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_ghz
+
+    @property
+    def rob_hide_cycles(self) -> float:
+        """Latency the reorder window can overlap with useful work: the
+        time to drain a full window at the issue width."""
+        return self.rob_entries / self.issue_width
+
+
+#: Table III core.
+TABLE3_CORE = CoreConfig()

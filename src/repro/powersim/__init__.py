@@ -1,0 +1,54 @@
+"""Memory power simulator, modelled on DRAMSim2 (paper §IV).
+
+Three modules, as in the paper: the *memory system* integrates the other
+two and interfaces to trace files (or a full-system simulator); the
+*memory controller* regulates transactions — address mapping, row policy,
+bank-state updates; the *rank* module tracks bank states and services the
+command stream. Power components: burst (read/write cell access),
+background, activation/precharge — and refresh, which is zero for NVRAM.
+
+Trace-driven runs process requests at full speed and report **average
+power**, exactly as the paper describes for the no-timing-information case.
+"""
+
+from repro.powersim.config import DeviceConfig, PowerModelConfig, TABLE3_DEVICE
+from repro.powersim.addressing import AddressMapping
+from repro.powersim.bankstate import BankState, BankStatus
+from repro.powersim.rank import Rank
+from repro.powersim.controller import MemoryController, ControllerStats
+from repro.powersim.power import PowerBreakdown
+from repro.powersim.system import (
+    MemorySystem,
+    PowerReport,
+    simulate_power,
+    normalized_power,
+)
+from repro.powersim.scheduler import FRFCFSController
+from repro.powersim.timing import (
+    TimedMemorySystem,
+    TimedPowerReport,
+    simulate_timed_power,
+    arrivals_from_rate,
+)
+
+__all__ = [
+    "DeviceConfig",
+    "PowerModelConfig",
+    "TABLE3_DEVICE",
+    "AddressMapping",
+    "BankState",
+    "BankStatus",
+    "Rank",
+    "MemoryController",
+    "ControllerStats",
+    "PowerBreakdown",
+    "MemorySystem",
+    "PowerReport",
+    "simulate_power",
+    "normalized_power",
+    "TimedMemorySystem",
+    "TimedPowerReport",
+    "simulate_timed_power",
+    "arrivals_from_rate",
+    "FRFCFSController",
+]

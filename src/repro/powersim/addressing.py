@@ -1,0 +1,91 @@
+"""Physical address mapping: line address -> (rank, bank, row, column).
+
+DRAMSim2 supports several interleaving schemes; two are implemented:
+
+* ``"row:rank:bank:col"`` (default) — column bits lowest, so consecutive
+  lines stream within one open row: the open-page-friendly mapping;
+* ``"row:col:rank:bank"`` — bank bits lowest, so consecutive lines
+  round-robin across banks: maximizes bank-level parallelism at the cost
+  of row locality (the closed-page-friendly mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.powersim.config import DeviceConfig
+
+
+def _log2(n: int) -> int:
+    return n.bit_length() - 1
+
+
+@dataclass
+class DecodedAddress:
+    """One decoded physical line address."""
+
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+
+SCHEMES = ("row:rank:bank:col", "row:col:rank:bank")
+
+
+class AddressMapping:
+    """Vectorized line-address decomposition under a selectable scheme."""
+
+    def __init__(self, config: DeviceConfig, scheme: str = "row:rank:bank:col") -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown mapping scheme {scheme!r}; know {SCHEMES}")
+        self.config = config
+        self.scheme = scheme
+        lines_per_row = max(1, config.row_bytes // config.line_bytes)
+        self._col_bits = _log2(lines_per_row)
+        self._bank_bits = _log2(config.n_banks)
+        self._rank_bits = _log2(config.n_ranks)
+        self._row_bits = _log2(config.n_rows)
+
+    def decode_batch(
+        self, addrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Decode byte addresses to (rank, bank, row, col) arrays."""
+        line = np.asarray(addrs, dtype=np.uint64) >> np.uint64(
+            _log2(self.config.line_bytes)
+        )
+
+        def take(bits: int) -> np.ndarray:
+            nonlocal line
+            field = line & np.uint64((1 << bits) - 1)
+            line = line >> np.uint64(bits)
+            return field
+
+        if self.scheme == "row:rank:bank:col":
+            # LSB..MSB: col | bank | rank | row
+            col = take(self._col_bits)
+            bank = take(self._bank_bits)
+            rank = take(self._rank_bits)
+            row = take(self._row_bits)
+        else:  # row:col:rank:bank — banks interleave at line granularity
+            bank = take(self._bank_bits)
+            rank = take(self._rank_bits)
+            col = take(self._col_bits)
+            row = take(self._row_bits)
+        return (
+            rank.astype(np.int32),
+            bank.astype(np.int32),
+            row.astype(np.int32),
+            col.astype(np.int32),
+        )
+
+    def decode(self, addr: int) -> DecodedAddress:
+        r, b, row, c = self.decode_batch(np.array([addr], dtype=np.uint64))
+        return DecodedAddress(int(r[0]), int(b[0]), int(row[0]), int(c[0]))
+
+    def flat_bank_batch(self, addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(flat bank index, row) per address — the controller's hot path."""
+        rank, bank, row, _ = self.decode_batch(addrs)
+        return rank * self.config.n_banks + bank, row

@@ -1,0 +1,87 @@
+"""Memory device organization (Table III) and power-model constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.units import GiB
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Memory organization, paper Table III.
+
+    2 GB, 16 banks, 16 ranks, device width 4, 64-bit JEDEC data bus,
+    1024 rows x 1024 columns.
+    """
+
+    capacity_bytes: int = 2 * GiB
+    n_ranks: int = 16
+    n_banks: int = 16  # banks per rank
+    n_rows: int = 1024
+    n_cols: int = 1024
+    device_width_bits: int = 4
+    bus_width_bits: int = 64
+    #: data-bus transfer rate, MT/s (DDR3-1066-class part at 2.266 GHz core)
+    bus_mts: int = 1066
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("n_ranks", "n_banks", "n_rows", "n_cols"):
+            v = getattr(self, name)
+            if v <= 0 or v & (v - 1):
+                raise ConfigurationError(f"{name} must be a positive power of two, got {v}")
+        if self.bus_width_bits % self.device_width_bits:
+            raise ConfigurationError("bus width must be a multiple of device width")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError("line_bytes must be a positive power of two")
+
+    @property
+    def devices_per_rank(self) -> int:
+        return self.bus_width_bits // self.device_width_bits
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per row per rank (the open-page granularity)."""
+        return self.n_cols * self.bus_width_bits // 8
+
+    @property
+    def burst_ns(self) -> float:
+        """Channel occupancy of one line transfer."""
+        bytes_per_ns = self.bus_width_bits / 8 * self.bus_mts * 1e6 / 1e9
+        return self.line_bytes / bytes_per_ns
+
+    @property
+    def total_banks(self) -> int:
+        return self.n_ranks * self.n_banks
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Energy/power constants shared by all technologies.
+
+    The paper assumes identical peripheral circuitry (DIMM interface, row
+    buffers, decoders) for DRAM and NVRAM, so activation/precharge and I/O
+    constants are technology-independent here; technology differences enter
+    via burst currents, timings, and the DRAM-only background terms.
+    """
+
+    #: energy of one activate+precharge pair, nanojoules (row fetch into
+    #: the row buffer; shared peripheral circuitry assumption)
+    act_pre_energy_nj: float = 8.0
+    #: I/O (bus driver) power while bursting, milliwatts
+    io_power_mw: float = 95.0
+    #: peripheral standby power per rank, milliwatts (always present;
+    #: identical for DRAM and NVRAM under the paper's assumption)
+    peripheral_standby_mw_per_rank: float = 53.0
+
+    def __post_init__(self) -> None:
+        if self.act_pre_energy_nj < 0 or self.io_power_mw < 0:
+            raise ConfigurationError("power constants must be non-negative")
+        if self.peripheral_standby_mw_per_rank < 0:
+            raise ConfigurationError("standby power must be non-negative")
+
+
+#: The Table III organization.
+TABLE3_DEVICE = DeviceConfig()

@@ -1,0 +1,169 @@
+"""Memory controller: transaction flow, address mapping, row policy,
+bank-state updates (paper §IV, module 2).
+
+Open-page policy with in-order (FCFS) issue: a transaction becomes
+
+* a column access when its row is open in the target bank (row hit);
+* precharge + activate + column access otherwise.
+
+Timing is tracked with a channel cursor plus per-bank busy times: the data
+bus serializes bursts; activates and (long NVRAM) write recoveries busy
+only their bank, so bank-level parallelism hides them — this is exactly
+the mechanism that makes STTRAM/MRAM *busier per unit time* than PCRAM
+and reproduces Table VI's "faster NVRAM draws more average power".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nvram.technology import MemoryTechnology
+from repro.powersim.addressing import AddressMapping
+from repro.powersim.bankstate import BankArray
+from repro.powersim.config import DeviceConfig
+from repro.powersim.rank import Rank
+from repro.trace.record import RefBatch
+
+
+@dataclass
+class ControllerStats:
+    """Transaction and command counts after a run."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0  # activate (+precharge when a row was open)
+    precharges: int = 0
+    elapsed_ns: float = 0.0
+    bank_stall_ns: float = 0.0  # time the channel waited on busy banks
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def channel_utilization(self) -> float:
+        """Burst time as a fraction of elapsed time."""
+        return 0.0  # filled in by the memory system (needs burst_ns)
+
+
+class MemoryController:
+    """Processes memory-access batches against one technology's timings."""
+
+    def __init__(
+        self,
+        device: DeviceConfig,
+        tech: MemoryTechnology,
+        row_policy: str = "open",
+        mapping_scheme: str = "row:rank:bank:col",
+    ) -> None:
+        if row_policy not in ("open", "closed"):
+            raise ValueError(f"row_policy must be 'open' or 'closed', got {row_policy!r}")
+        self.device = device
+        self.tech = tech
+        self.row_policy = row_policy
+        self.mapping = AddressMapping(device, scheme=mapping_scheme)
+        self.banks = BankArray(device.total_banks)
+        self.ranks = [
+            Rank(r, self.banks, r * device.n_banks, device.n_banks)
+            for r in range(device.n_ranks)
+        ]
+        self.stats = ControllerStats()
+        self._now = 0.0  # channel cursor, ns
+        self._prev_write = False
+        # command timings: activate = row fetch (read-latency class);
+        # precharge modelled at half a row access, DRAMSim2-ish tRP ~ tRCD.
+        self._t_act = tech.read_latency_ns
+        self._t_pre = tech.read_latency_ns * 0.5
+        self._t_burst = device.burst_ns
+        # closing a dirty row writes back only the written columns, so the
+        # array write-back costs a fraction of the full-row write latency
+        self._t_wr = tech.write_latency_ns * 0.45
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: RefBatch) -> None:
+        """Run one batch of memory accesses through the controller."""
+        if len(batch) == 0:
+            return
+        flat_bank, row = self.mapping.flat_bank_batch(batch.addr)
+        is_write = batch.is_write
+        open_row = self.banks.open_row
+        busy = self.banks.busy_until
+        acts = self.banks.activations
+        dirty = self.banks.dirty
+        n_banks_per_rank = self.device.n_banks
+        now = self._now
+        st = self.stats
+        t_act, t_pre, t_burst, t_wr = self._t_act, self._t_pre, self._t_burst, self._t_wr
+        read_lat = self.tech.read_latency_ns
+        turnaround = self.tech.channel_turnaround_ns
+        close_after = self.row_policy == "closed"
+        prev_write = self._prev_write
+        for i in range(len(batch)):
+            b = int(flat_bank[i])
+            r = int(row[i])
+            w = bool(is_write[i])
+            # write-to-read bus turnaround (asymmetric-write devices)
+            if prev_write and not w and turnaround > 0.0:
+                now += turnaround
+            prev_write = w
+            # the bank prepares (precharge+activate) independently of the
+            # channel; only the burst itself occupies the data bus, so
+            # activations overlap with other banks' bursts. Reads and
+            # writes both hit the row buffer at bus speed; the technology's
+            # long write latency is paid when a *dirty* row is closed
+            # (array write-back on precharge), the standard PCM row-buffer
+            # organization.
+            bank_ready = busy[b]
+            cur = open_row[b]
+            if cur == r:
+                st.row_hits += 1
+                col_ready = bank_ready
+            else:
+                st.row_misses += 1
+                delay = t_act
+                if cur >= 0:
+                    st.precharges += 1
+                    delay += t_wr if dirty[b] else t_pre
+                dirty[b] = False
+                open_row[b] = r
+                acts[b] += 1
+                col_ready = bank_ready + delay
+            if w:
+                dirty[b] = True
+            if col_ready > now:
+                st.bank_stall_ns += col_ready - now
+            burst_start = col_ready if col_ready > now else now
+            now = burst_start + t_burst
+            # a row-buffer hit is a column access at bus speed; the array
+            # read latency was already paid by the activate on a miss
+            busy[b] = burst_start + t_burst
+            rank = self.ranks[b // n_banks_per_rank]
+            rank.record_access(w, t_burst, cur != r)
+            if w:
+                st.writes += 1
+            else:
+                st.reads += 1
+            if close_after:
+                # closed-page policy: auto-precharge after every access
+                st.precharges += 1
+                if dirty[b]:
+                    busy[b] += t_wr
+                    dirty[b] = False
+                open_row[b] = -1
+        self._now = now
+        self._prev_write = prev_write
+        st.elapsed_ns = max(now, float(busy.max()))
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.stats.elapsed_ns
+
+    def activation_count(self) -> int:
+        return int(self.banks.activations.sum())

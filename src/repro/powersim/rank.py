@@ -1,0 +1,56 @@
+"""Rank module: services commands, tracks per-rank activity windows.
+
+In DRAMSim2 the rank module handles command transactions issued by the
+controller and powers banks up and down; here it owns the slice of the
+bank array belonging to one rank and accounts how long the rank was
+actively bursting (needed to split background power into active-standby
+and idle components, and to attribute per-rank utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.powersim.bankstate import BankArray
+
+
+@dataclass
+class RankActivity:
+    """Accumulated activity of one rank."""
+
+    reads: int = 0
+    writes: int = 0
+    activations: int = 0
+    busy_ns: float = 0.0  # total time the rank's banks were bursting
+
+
+class Rank:
+    """One rank: a window onto the shared bank array plus activity counters."""
+
+    def __init__(self, rank_id: int, banks: BankArray, first_bank: int, n_banks: int) -> None:
+        self.rank_id = rank_id
+        self._banks = banks
+        self._first = first_bank
+        self._n = n_banks
+        self.activity = RankActivity()
+
+    @property
+    def bank_slice(self) -> slice:
+        return slice(self._first, self._first + self._n)
+
+    def open_rows(self) -> list[int]:
+        """Open row per bank of this rank (-1 = precharged)."""
+        return list(self._banks.open_row[self.bank_slice])
+
+    def record_access(self, is_write: bool, burst_ns: float, activated: bool) -> None:
+        if is_write:
+            self.activity.writes += 1
+        else:
+            self.activity.reads += 1
+        if activated:
+            self.activity.activations += 1
+        self.activity.busy_ns += burst_ns
+
+    def utilization(self, total_ns: float) -> float:
+        """Fraction of wall time this rank spent bursting."""
+        return self.activity.busy_ns / total_ns if total_ns > 0 else 0.0

@@ -1,0 +1,140 @@
+"""NVRAM-friendliness classification and placement recommendations.
+
+Implements the paper's management policy (§II): "place memory pages in
+NVRAM as much as possible while avoiding performance-critical frequent
+accesses (especially write accesses) to NVRAM". The three metrics combine
+into a placement verdict per memory object, per NVRAM category:
+
+* category 1 (PCRAM/Flash: slow reads AND writes) additionally bars objects
+  with a high share of total traffic even when their r/w ratio is high
+  (metric 3's corner case);
+* category 2 (STTRAM: DRAM-like reads, slow writes) admits everything that
+  is not write-intensive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.scavenger.config import ScavengerConfig
+from repro.scavenger.metrics import ObjectMetrics
+
+
+class NVRAMClass(enum.Enum):
+    """How strongly an object's access pattern favors NVRAM."""
+
+    UNTOUCHED = "untouched"  # never referenced in the window: ideal
+    READ_ONLY = "read_only"  # zero writes
+    HIGH_RW = "high_rw"  # r/w ratio > rw_friendly (default 50)
+    MODERATE_RW = "moderate_rw"  # r/w ratio > rw_moderate (default 10)
+    READ_LEANING = "read_leaning"  # r/w ratio > 1
+    WRITE_HEAVY = "write_heavy"  # r/w ratio <= 1
+
+
+class Placement(enum.Enum):
+    """Recommended home in a horizontal hybrid memory system."""
+
+    NVRAM = "nvram"  # safe for category 1 and 2
+    NVRAM_CAT2 = "nvram_cat2"  # safe for STTRAM-like NVRAM only
+    MIGRATABLE = "migratable"  # sparsely/unevenly used: dynamic migration
+    DRAM = "dram"
+
+
+@dataclass
+class Classified:
+    """Classification outcome for one object."""
+
+    metrics: ObjectMetrics
+    nvram_class: NVRAMClass
+    placement: Placement
+    #: why the object was kept out of (category-1) NVRAM, if applicable
+    reason: str = ""
+
+
+def classify_one(
+    m: ObjectMetrics,
+    config: ScavengerConfig,
+    n_main_iterations: int,
+) -> Classified:
+    """Apply the §II policy to one object."""
+    # 1. access-pattern class
+    if m.untouched:
+        klass = NVRAMClass.UNTOUCHED
+    elif m.read_only:
+        klass = NVRAMClass.READ_ONLY
+    elif m.rw_ratio > config.rw_friendly:
+        klass = NVRAMClass.HIGH_RW
+    elif m.rw_ratio > config.rw_moderate:
+        klass = NVRAMClass.MODERATE_RW
+    elif m.rw_ratio > 1.0:
+        klass = NVRAMClass.READ_LEANING
+    else:
+        klass = NVRAMClass.WRITE_HEAVY
+
+    # 2. placement. Only data with NO write traffic in the instrumented
+    # window is safe for category-1 NVRAM without dynamic support — the
+    # paper's §VII-B reading: even r/w > 50 structures "can be placed into
+    # NVRAM too, especially NVRAM of the second category".
+    if klass in (NVRAMClass.UNTOUCHED, NVRAMClass.READ_ONLY):
+        return Classified(m, klass, Placement.NVRAM)
+    if klass is NVRAMClass.HIGH_RW:
+        # metric-3 corner case: high r/w ratio but large absolute write share
+        if m.write_share > config.write_share_cap:
+            return Classified(
+                m,
+                klass,
+                Placement.NVRAM_CAT2,
+                reason=(
+                    f"write share {m.write_share:.1%} exceeds cap "
+                    f"{config.write_share_cap:.1%}; category-2 NVRAM only"
+                ),
+            )
+        return Classified(m, klass, Placement.NVRAM_CAT2)
+    if klass is NVRAMClass.MODERATE_RW:
+        return Classified(m, klass, Placement.NVRAM_CAT2)
+    # sparsely used objects are migration candidates even when write-leaning
+    if (
+        n_main_iterations > 0
+        and 0 < m.iterations_touched <= config.sparse_use_fraction * n_main_iterations
+    ):
+        return Classified(
+            m,
+            klass,
+            Placement.MIGRATABLE,
+            reason=(
+                f"touched in only {m.iterations_touched}/{n_main_iterations} "
+                "iterations; migrate to NVRAM when idle"
+            ),
+        )
+    if klass is NVRAMClass.READ_LEANING:
+        return Classified(m, klass, Placement.NVRAM_CAT2)
+    return Classified(m, klass, Placement.DRAM)
+
+
+def classify_objects(
+    rows: list[ObjectMetrics],
+    config: ScavengerConfig | None = None,
+    n_main_iterations: int = 10,
+) -> list[Classified]:
+    """Classify all objects; rows come back in the input order."""
+    cfg = config or ScavengerConfig()
+    return [classify_one(m, cfg, n_main_iterations) for m in rows]
+
+
+def nvram_eligible_bytes(classified: list[Classified], category: int = 2) -> int:
+    """Bytes placeable in NVRAM of the given category (1 or 2).
+
+    Category 1 (PCRAM-like) admits only the NVRAM placement (untouched and
+    read-only data); category 2 (STTRAM-like) additionally admits
+    NVRAM_CAT2 and MIGRATABLE objects. The paper's headline — "31% and 27%
+    of the memory working sets are suitable for NVRAM" — corresponds to
+    the category-1 measure over the footprint.
+    """
+    if category not in (1, 2):
+        raise ValueError(f"NVRAM category must be 1 or 2, got {category}")
+    ok = {Placement.NVRAM}
+    if category == 2:
+        ok.add(Placement.NVRAM_CAT2)
+        ok.add(Placement.MIGRATABLE)
+    return sum(c.metrics.size for c in classified if c.placement in ok)

@@ -1,0 +1,107 @@
+"""Comparing two analysis results: input studies, regression tracking.
+
+Formalizes the comparison the input-dependence experiment performs ad hoc:
+given two :class:`~repro.scavenger.ScavengerResult`s (different inputs,
+different code versions, different ranks), report per-object metric deltas
+and classification changes. Heap object names are normalized so callsites
+that embed an application name still match across variants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.scavenger.classify import Classified
+from repro.scavenger.scavenger import ScavengerResult
+
+
+@dataclass
+class ObjectDelta:
+    """One object's change between two runs."""
+
+    name: str
+    rw_ratio_a: float
+    rw_ratio_b: float
+    reference_rate_a: float
+    reference_rate_b: float
+    size_a: int
+    size_b: int
+    class_a: str
+    class_b: str
+    placement_a: str
+    placement_b: str
+
+    @property
+    def classification_changed(self) -> bool:
+        return self.class_a != self.class_b or self.placement_a != self.placement_b
+
+    @property
+    def rw_ratio_shift(self) -> float:
+        """b/a ratio of the read/write ratios (1.0 = unchanged; inf-aware)."""
+        if self.rw_ratio_a == self.rw_ratio_b:
+            return 1.0
+        if self.rw_ratio_a in (0.0, float("inf")) or self.rw_ratio_b == float("inf"):
+            return float("inf")
+        if self.rw_ratio_a == 0:
+            return float("inf")
+        return self.rw_ratio_b / self.rw_ratio_a
+
+
+@dataclass
+class ComparisonReport:
+    """Everything that differs between two analyses."""
+
+    shared: list[ObjectDelta] = field(default_factory=list)
+    only_in_a: list[str] = field(default_factory=list)
+    only_in_b: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> list[ObjectDelta]:
+        return [d for d in self.shared if d.classification_changed]
+
+    @property
+    def stable_fraction(self) -> float:
+        """Fraction of shared objects whose classification held."""
+        if not self.shared:
+            return 1.0
+        return 1.0 - len(self.changed) / len(self.shared)
+
+
+_HEAP_NAME = re.compile(r"^heap:[^:]+:")
+
+
+def normalize_object_name(name: str) -> str:
+    """Strip an app-name component out of heap callsite names."""
+    return _HEAP_NAME.sub("heap:", name)
+
+
+def compare_results(a: ScavengerResult, b: ScavengerResult) -> ComparisonReport:
+    """Join two results on (normalized) object names."""
+
+    def index(result: ScavengerResult) -> dict[str, Classified]:
+        return {normalize_object_name(c.metrics.name): c for c in result.classified}
+
+    ia, ib = index(a), index(b)
+    report = ComparisonReport(
+        only_in_a=sorted(set(ia) - set(ib)),
+        only_in_b=sorted(set(ib) - set(ia)),
+    )
+    for name in sorted(set(ia) & set(ib)):
+        ca, cb = ia[name], ib[name]
+        report.shared.append(
+            ObjectDelta(
+                name=name,
+                rw_ratio_a=ca.metrics.rw_ratio,
+                rw_ratio_b=cb.metrics.rw_ratio,
+                reference_rate_a=ca.metrics.reference_rate,
+                reference_rate_b=cb.metrics.reference_rate,
+                size_a=ca.metrics.size,
+                size_b=cb.metrics.size,
+                class_a=ca.nvram_class.value,
+                class_b=cb.nvram_class.value,
+                placement_a=ca.placement.value,
+                placement_b=cb.placement.value,
+            )
+        )
+    return report

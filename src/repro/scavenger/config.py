@@ -1,0 +1,56 @@
+"""NV-SCAVENGER configuration and classification thresholds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScavengerConfig:
+    """Tuning knobs for the analyzers.
+
+    The thresholds encode the paper's reading of its own figures:
+    objects with read/write ratio > ``rw_friendly`` are NVRAM candidates
+    (the paper repeatedly singles out r/w > 50); ``rw_moderate`` marks the
+    "larger than 10" population of Figure 2; ``write_share_cap`` implements
+    the third metric's corner case — an object with a high r/w ratio may
+    still absorb a large fraction of all writes and must then be kept out
+    of category-1 NVRAM.
+    """
+
+    #: number of buckets the bucketized object index starts with
+    initial_buckets: int = 64
+    #: rebuild (double bucket count) when mean bucket occupancy exceeds this
+    max_mean_occupancy: float = 8.0
+    #: entries in the software LRU object cache (paper: "a small cache")
+    lru_capacity: int = 16
+    #: cache-line granularity of the LRU cache keys
+    lru_block_bytes: int = 64
+    #: r/w ratio above which an object is strongly NVRAM friendly
+    rw_friendly: float = 50.0
+    #: r/w ratio above which an object is moderately NVRAM friendly
+    rw_moderate: float = 10.0
+    #: an object absorbing more than this fraction of ALL writes is barred
+    #: from category-1 NVRAM regardless of its own r/w ratio
+    write_share_cap: float = 0.05
+    #: objects touched in at most this fraction of iterations are migration
+    #: candidates (Fig 7 discussion)
+    sparse_use_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.initial_buckets <= 0:
+            raise ConfigurationError("initial_buckets must be positive")
+        if self.max_mean_occupancy <= 0:
+            raise ConfigurationError("max_mean_occupancy must be positive")
+        if self.lru_capacity <= 0:
+            raise ConfigurationError("lru_capacity must be positive")
+        if self.lru_block_bytes <= 0 or self.lru_block_bytes & (self.lru_block_bytes - 1):
+            raise ConfigurationError("lru_block_bytes must be a positive power of two")
+        if not (0 < self.write_share_cap <= 1):
+            raise ConfigurationError("write_share_cap must be in (0, 1]")
+        if not (0 < self.sparse_use_fraction <= 1):
+            raise ConfigurationError("sparse_use_fraction must be in (0, 1]")
+        if self.rw_moderate > self.rw_friendly:
+            raise ConfigurationError("rw_moderate must not exceed rw_friendly")

@@ -1,0 +1,49 @@
+"""Global-data analyzer (paper §III-C).
+
+Consumes symbol registrations (the stand-in for libdwarf extraction) —
+including merged FORTRAN common blocks, which arrive as single union
+objects — and attributes global-segment references to them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.instrument.api import Probe
+from repro.memory.layout import Segment
+from repro.memory.object import MemoryObject, ObjectKind
+from repro.scavenger.buckets import SortedRangeIndex
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.trace.record import RefBatch
+
+
+class GlobalAnalyzer(Probe):
+    """Attributes global-segment references to (merged) global objects."""
+
+    def __init__(self, global_segment: Segment) -> None:
+        self._segment = global_segment
+        self._index = SortedRangeIndex()
+        self.stats = ObjectStatsTable()
+        self.objects: dict[int, MemoryObject] = {}
+        self.total_refs = 0
+        self.global_refs = 0
+        self.unattributed = 0
+
+    def on_global(self, obj: MemoryObject) -> None:
+        if obj.kind != ObjectKind.GLOBAL:
+            return
+        self.objects[obj.oid] = obj
+        self._index.insert(obj.oid, obj.base, obj.limit)
+
+    def on_batch(self, batch: RefBatch) -> None:
+        self.total_refs += len(batch)
+        lo = np.uint64(self._segment.base)
+        hi = np.uint64(self._segment.limit)
+        in_global = (batch.addr >= lo) & (batch.addr < hi)
+        if not in_global.any():
+            return
+        sub = batch.take(in_global)
+        self.global_refs += len(sub)
+        oids = self._index.lookup_batch(sub.addr)
+        self.unattributed += int((oids < 0).sum())
+        self.stats.add_batch(oids, sub.is_write, sub.iteration)

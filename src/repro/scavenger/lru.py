@@ -1,0 +1,101 @@
+"""Small software LRU cache of hot objects (paper §III-D).
+
+"We also employ a small software cache using LRU algorithm to save
+information for most often used memory objects. This scheme provides a
+shortcut for updating access records." Keys are cache-block-aligned
+addresses; values are object ids. Wraps any scalar lookup index.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.scavenger.buckets import MISS
+
+
+class LRUObjectCache:
+    """Block-granular address → oid LRU cache in front of a scalar index."""
+
+    def __init__(self, capacity: int = 16, block_bytes: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if block_bytes <= 0 or block_bytes & (block_bytes - 1):
+            raise ValueError("block_bytes must be a positive power of two")
+        self.capacity = capacity
+        self._shift = block_bytes.bit_length() - 1
+        self._map: OrderedDict[int, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, addr: int) -> int:
+        return addr >> self._shift
+
+    def get(self, addr: int) -> int:
+        """Cached oid for *addr*, or :data:`MISS`."""
+        key = self._key(addr)
+        oid = self._map.get(key, MISS)
+        if oid != MISS:
+            self._map.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return oid
+
+    def put(self, addr: int, oid: int) -> None:
+        key = self._key(addr)
+        self._map[key] = oid
+        self._map.move_to_end(key)
+        while len(self._map) > self.capacity:
+            self._map.popitem(last=False)
+
+    def invalidate_object(self, oid: int) -> None:
+        """Drop all blocks cached for *oid* (on free/remove)."""
+        stale = [k for k, v in self._map.items() if v == oid]
+        for k in stale:
+            del self._map[k]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class CachedIndex:
+    """A scalar index composed with an :class:`LRUObjectCache`.
+
+    Mirrors the paper's lookup path: consult the LRU shortcut first, fall
+    back to the bucket search, then install the mapping.
+    """
+
+    def __init__(self, index, cache: LRUObjectCache) -> None:
+        self.index = index
+        self.cache = cache
+
+    def insert(self, oid: int, base: int, limit: int) -> None:
+        self.index.insert(oid, base, limit)
+
+    def remove(self, oid: int) -> None:
+        self.index.remove(oid)
+        self.cache.invalidate_object(oid)
+
+    def lookup(self, addr: int) -> int:
+        oid = self.cache.get(addr)
+        if oid != MISS:
+            return oid
+        oid = self.index.lookup(addr)
+        if oid != MISS:
+            self.cache.put(addr, oid)
+        return oid
+
+    def lookup_batch(self, addrs: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self.lookup(int(a)) for a in addrs), dtype=np.int32, count=len(addrs)
+        )
+
+    def __len__(self) -> int:
+        return len(self.index)

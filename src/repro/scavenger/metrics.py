@@ -1,0 +1,125 @@
+"""Per-object metric rows: the three metrics of §II plus derived views.
+
+1. **Read/write ratio** — higher favors NVRAM (especially category 2);
+2. **memory size** — static power savings scale with bytes placed in NVRAM;
+3. **memory reference rate** — catches the corner case where an object with
+   a high r/w ratio still absorbs a large share of total (write) traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memory.object import MemoryObject, ObjectKind
+from repro.scavenger.object_stats import ObjectStatsTable
+
+
+@dataclass
+class ObjectMetrics:
+    """One row of Figures 3–6 (plus bookkeeping used elsewhere)."""
+
+    oid: int
+    name: str
+    kind: ObjectKind
+    size: int
+    base: int
+    reads: int
+    writes: int
+    #: this object's share of all references in the run
+    reference_rate: float
+    #: this object's share of all WRITE references in the run (metric 3's
+    #: corner case)
+    write_share: float
+    #: per-iteration reads/writes (index 0 = pre/post phases)
+    reads_per_iter: np.ndarray = field(repr=False)
+    writes_per_iter: np.ndarray = field(repr=False)
+    #: number of main-loop iterations in which the object was referenced
+    iterations_touched: int = 0
+    tags: frozenset[str] = frozenset()
+
+    @property
+    def refs(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def rw_ratio(self) -> float:
+        """Read/write ratio; ``inf`` for read-only objects."""
+        return self.reads / self.writes if self.writes else float("inf")
+
+    @property
+    def read_only(self) -> bool:
+        return self.writes == 0 and self.reads > 0
+
+    @property
+    def untouched(self) -> bool:
+        """Never referenced during the instrumented window."""
+        return self.refs == 0
+
+
+def compute_object_metrics(
+    objects: dict[int, MemoryObject],
+    stats: ObjectStatsTable,
+    total_refs: int,
+    total_writes: int | None = None,
+) -> list[ObjectMetrics]:
+    """Join the object table with its counters into metric rows.
+
+    *total_refs* should be the run's full reference count (all segments) so
+    reference rates are comparable across the three analyzers; pass the
+    analyzer's own count to get segment-local rates instead.
+    """
+    reads_m = stats.reads
+    writes_m = stats.writes
+    if total_writes is None:
+        total_writes = int(writes_m.sum())
+    touched = stats.iterations_touched(main_loop_only=True)
+    rows: list[ObjectMetrics] = []
+    for oid, obj in sorted(objects.items()):
+        if oid < stats.n_objects:
+            r_per = reads_m[oid].copy()
+            w_per = writes_m[oid].copy()
+            it_touched = int(touched[oid])
+        else:  # object registered but never referenced
+            r_per = np.zeros(stats.n_iterations, np.int64)
+            w_per = np.zeros_like(r_per)
+            it_touched = 0
+        r = int(r_per.sum())
+        w = int(w_per.sum())
+        rows.append(
+            ObjectMetrics(
+                oid=oid,
+                name=obj.name,
+                kind=obj.kind,
+                size=obj.size,
+                base=obj.base,
+                reads=r,
+                writes=w,
+                reference_rate=(r + w) / total_refs if total_refs else 0.0,
+                write_share=w / total_writes if total_writes else 0.0,
+                reads_per_iter=r_per,
+                writes_per_iter=w_per,
+                iterations_touched=it_touched,
+                tags=obj.tags,
+            )
+        )
+    return rows
+
+
+def read_only_bytes(rows: list[ObjectMetrics]) -> int:
+    """Total size of read-only objects (the paper's 59 MB / 94 MB numbers)."""
+    return sum(m.size for m in rows if m.read_only)
+
+
+def high_rw_bytes(rows: list[ObjectMetrics], threshold: float = 50.0) -> int:
+    """Total size of objects with finite r/w ratio above *threshold*
+    (the paper's 38.6 MB / 4.8 MB numbers)."""
+    return sum(
+        m.size for m in rows if m.writes > 0 and m.rw_ratio > threshold
+    )
+
+
+def untouched_bytes(rows: list[ObjectMetrics]) -> int:
+    """Total size of objects never used in the main loop (Fig 7's x=0 mass)."""
+    return sum(m.size for m in rows if m.iterations_touched == 0)

@@ -1,0 +1,115 @@
+"""Per-object, per-iteration access counters.
+
+The central accumulator all analyzers write into. Counts live in dense
+``(n_objects, n_iterations)`` int64 matrices that grow geometrically; a
+whole batch is folded in with two ``np.bincount`` calls, so cost is O(batch)
+regardless of object count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.trace.record import RefBatch
+
+
+class ObjectStatsTable:
+    """Growable read/write count matrices indexed ``[oid, iteration]``."""
+
+    def __init__(self, n_objects_hint: int = 64, n_iterations_hint: int = 12) -> None:
+        self._reads = np.zeros((n_objects_hint, n_iterations_hint), dtype=np.int64)
+        self._writes = np.zeros_like(self._reads)
+        self._n_objects = 0
+        self._n_iterations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        return self._n_objects
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of iteration slots seen (including iteration 0)."""
+        return self._n_iterations
+
+    @property
+    def reads(self) -> np.ndarray:
+        """Read counts, shape ``(n_objects, n_iterations)`` (view)."""
+        return self._reads[: self._n_objects, : self._n_iterations]
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Write counts, shape ``(n_objects, n_iterations)`` (view)."""
+        return self._writes[: self._n_objects, : self._n_iterations]
+
+    @property
+    def refs(self) -> np.ndarray:
+        """Total references, shape ``(n_objects, n_iterations)``."""
+        return self.reads + self.writes
+
+    # ------------------------------------------------------------------
+    def _ensure(self, n_objects: int, n_iterations: int) -> None:
+        rows = max(self._reads.shape[0], n_objects)
+        cols = max(self._reads.shape[1], n_iterations)
+        if rows > self._reads.shape[0] or cols > self._reads.shape[1]:
+            rows = max(rows, 2 * self._reads.shape[0])
+            cols = max(cols, 2 * self._reads.shape[1])
+            for name in ("_reads", "_writes"):
+                old = getattr(self, name)
+                new = np.zeros((rows, cols), dtype=np.int64)
+                new[: old.shape[0], : old.shape[1]] = old
+                setattr(self, name, new)
+        self._n_objects = max(self._n_objects, n_objects)
+        self._n_iterations = max(self._n_iterations, n_iterations)
+
+    def add_batch(self, oids: np.ndarray, is_write: np.ndarray, iteration: int) -> None:
+        """Fold attributed references in; ``oid < 0`` entries are dropped."""
+        if iteration < 0:
+            raise SimulationError(f"negative iteration {iteration}")
+        oids = np.asarray(oids)
+        is_write = np.asarray(is_write, dtype=bool)
+        keep = oids >= 0
+        if not keep.all():
+            oids = oids[keep]
+            is_write = is_write[keep]
+        if oids.size == 0:
+            self._ensure(self._n_objects, iteration + 1)
+            return
+        top = int(oids.max()) + 1
+        self._ensure(top, iteration + 1)
+        r = np.bincount(oids[~is_write], minlength=top)
+        w = np.bincount(oids[is_write], minlength=top)
+        self._reads[:top, iteration] += r
+        self._writes[:top, iteration] += w
+
+    def add_ref_batch(self, batch: RefBatch, oids: np.ndarray | None = None) -> None:
+        """Fold a :class:`RefBatch` in, using *oids* (or the batch's own)."""
+        self.add_batch(batch.oid if oids is None else oids, batch.is_write, batch.iteration)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    def totals_per_iteration(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(reads, writes)`` summed over objects, per iteration."""
+        return self.reads.sum(axis=0), self.writes.sum(axis=0)
+
+    def totals_per_object(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(reads, writes)`` summed over iterations, per object."""
+        return self.reads.sum(axis=1), self.writes.sum(axis=1)
+
+    def iterations_touched(self, main_loop_only: bool = True) -> np.ndarray:
+        """Per object: in how many iterations was it referenced at all?
+
+        With *main_loop_only*, iteration 0 (pre/post phases) is excluded —
+        that is Figure 7's x-axis.
+        """
+        refs = self.refs
+        if main_loop_only and refs.shape[1] > 0:
+            refs = refs[:, 1:]
+        return (refs > 0).sum(axis=1)
+
+    def merge(self, other: "ObjectStatsTable") -> None:
+        """Fold another table in (object ids must be from the same space)."""
+        self._ensure(other.n_objects, other.n_iterations)
+        self._reads[: other.n_objects, : other.n_iterations] += other.reads
+        self._writes[: other.n_objects, : other.n_iterations] += other.writes

@@ -1,0 +1,114 @@
+"""Offline trace processing (paper §III-D, the design that was rejected).
+
+"One possible solution is to offload major instrumentation functionality
+into an offline tool ... However, it is not a scalable solution. A short
+serial HPC application can easily produce a trace of tens of gigabytes of
+data." We implement the offline pipeline anyway — record raw references to
+a trace file during the run, attribute and analyze later — both because it
+is genuinely useful at small scales (run once, analyze many ways) and so
+the ablation benchmark can quantify the paper's scalability argument
+(trace bytes per reference, end-to-end time vs the on-the-fly design).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.instrument.api import Probe
+from repro.memory.object import MemoryObject, ObjectKind
+from repro.scavenger.buckets import SortedRangeIndex
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.trace.io import TraceReader, TraceWriter
+from repro.trace.record import RefBatch
+
+
+class RawTraceRecorder(Probe):
+    """The online half: record raw references + an object-event journal.
+
+    The journal captures allocation lifecycles so the offline pass can
+    rebuild the live-range timeline (trace batches are interleaved with
+    journal events in program order because the runtime flushes its buffer
+    at allocation events).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._writer = TraceWriter(path)
+        #: (kind, oid, name, base, size, alive-event) in arrival order,
+        #: interleaved with batch indices
+        self.journal: list[tuple] = []
+        self._batch_counter = 0
+        self.refs = 0
+
+    def on_batch(self, batch: RefBatch) -> None:
+        self._writer.append(batch)
+        if len(batch):
+            self.refs += len(batch)
+            self._batch_counter += 1
+
+    def on_global(self, obj: MemoryObject) -> None:
+        self.journal.append(("global", self._batch_counter, obj.oid, obj.name,
+                             obj.base, obj.size))
+
+    def on_alloc(self, obj: MemoryObject) -> None:
+        self.journal.append(("alloc", self._batch_counter, obj.oid, obj.name,
+                             obj.base, obj.size))
+
+    def on_free(self, obj: MemoryObject) -> None:
+        self.journal.append(("free", self._batch_counter, obj.oid, obj.name,
+                             obj.base, obj.size))
+
+    def on_finish(self) -> None:
+        self._writer.close()
+
+
+@dataclass
+class OfflineResult:
+    """What the offline pass produces (the online analyzers' equivalent)."""
+
+    stats: ObjectStatsTable
+    objects: dict[int, tuple[str, int, int]]  # oid -> (name, base, size)
+    total_refs: int
+    unattributed: int
+
+
+class OfflineAnalyzer:
+    """The offline half: replay the trace against the journal's timeline."""
+
+    def __init__(self, trace_path: str | os.PathLike, journal: list[tuple]) -> None:
+        self._path = trace_path
+        self._journal = journal
+
+    def run(self) -> OfflineResult:
+        stats = ObjectStatsTable()
+        index = SortedRangeIndex()
+        objects: dict[int, tuple[str, int, int]] = {}
+        # journal events grouped by the batch index they precede
+        events_at: dict[int, list[tuple]] = {}
+        for ev in self._journal:
+            events_at.setdefault(ev[1], []).append(ev)
+        total = unattributed = 0
+        with TraceReader(self._path) as reader:
+            for batch_idx, batch in enumerate(reader):
+                for ev in events_at.pop(batch_idx, []):
+                    kind, _, oid, name, base, size = ev
+                    if kind == "free":
+                        index.remove(oid)
+                    else:
+                        objects[oid] = (name, base, size)
+                        index.remove(oid)
+                        index.insert(oid, base, base + size)
+                oids = index.lookup_batch(batch.addr)
+                unattributed += int((oids < 0).sum())
+                stats.add_batch(oids, batch.is_write, batch.iteration)
+                total += len(batch)
+        return OfflineResult(
+            stats=stats, objects=objects, total_refs=total, unattributed=unattributed
+        )
+
+
+def trace_bytes_per_reference(path: str | os.PathLike, refs: int) -> float:
+    """The scalability metric the paper's argument turns on."""
+    if refs <= 0:
+        return 0.0
+    return os.path.getsize(path) / refs

@@ -1,0 +1,91 @@
+"""Plain-text and CSV rendering of analysis results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Sequence
+
+from repro.scavenger.classify import Classified
+from repro.scavenger.metrics import ObjectMetrics
+from repro.util.units import fmt_bytes
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with per-column width fitting."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "inf"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def objects_table(rows: list[ObjectMetrics], limit: int | None = None) -> str:
+    """Figures 3–6 as text: one line per global/heap object."""
+    data = []
+    ordered = sorted(rows, key=lambda m: -m.size)
+    if limit is not None:
+        ordered = ordered[:limit]
+    for m in ordered:
+        data.append(
+            (
+                m.name,
+                m.kind.name,
+                fmt_bytes(m.size),
+                m.reads,
+                m.writes,
+                "inf" if m.writes == 0 else f"{m.rw_ratio:.2f}",
+                f"{m.reference_rate:.4%}",
+                m.iterations_touched,
+            )
+        )
+    return format_table(
+        ["object", "kind", "size", "reads", "writes", "r/w", "ref rate", "iters"],
+        data,
+    )
+
+
+def classification_table(classified: list[Classified]) -> str:
+    data = [
+        (
+            c.metrics.name,
+            fmt_bytes(c.metrics.size),
+            c.nvram_class.value,
+            c.placement.value,
+            c.reason or "-",
+        )
+        for c in sorted(classified, key=lambda c: -c.metrics.size)
+    ]
+    return format_table(["object", "size", "class", "placement", "reason"], data)
+
+
+def objects_csv(rows: list[ObjectMetrics]) -> str:
+    """CSV export of per-object metrics (for external plotting)."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(
+        ["oid", "name", "kind", "size_bytes", "reads", "writes", "rw_ratio",
+         "reference_rate", "write_share", "iterations_touched"]
+    )
+    for m in rows:
+        w.writerow(
+            [m.oid, m.name, m.kind.name, m.size, m.reads, m.writes,
+             "" if m.writes == 0 else f"{m.rw_ratio:.6g}",
+             f"{m.reference_rate:.6g}", f"{m.write_share:.6g}",
+             m.iterations_touched]
+        )
+    return buf.getvalue()

@@ -1,0 +1,151 @@
+"""The NV-SCAVENGER facade: run an instrumented program through all
+analyzers and assemble every analysis the paper reports.
+
+The paper runs three tools (stack / heap / global) in parallel over the
+same execution; here all analyzers subscribe to one instrumented run via a
+fan-out probe, which is behaviorally identical and cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.instrument.api import FanoutProbe, Probe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.memory.layout import AddressLayout
+from repro.memory.object import MemoryObject
+from repro.scavenger.classify import Classified, classify_objects
+from repro.scavenger.config import ScavengerConfig
+from repro.scavenger.global_analysis import GlobalAnalyzer
+from repro.scavenger.heap_analysis import HeapAnalyzer
+from repro.scavenger.metrics import ObjectMetrics, compute_object_metrics
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.scavenger.stackfast import FastStackAnalyzer, StackSummary
+from repro.scavenger.stackslow import FrameStats, SlowStackAnalyzer
+from repro.scavenger.usage import UsageAnalysis, compute_usage
+from repro.scavenger.variance import VarianceAnalysis, compute_variance
+
+#: A program is anything that drives an instrumented runtime.
+Program = Callable[[InstrumentedRuntime], None]
+
+
+@dataclass
+class ScavengerResult:
+    """Everything NV-SCAVENGER reports for one application run."""
+
+    stack_summary: StackSummary  # Table V
+    frame_stats: list[FrameStats]  # Figure 2
+    object_metrics: list[ObjectMetrics]  # Figures 3-6 (global + heap)
+    usage: UsageAnalysis  # Figure 7
+    variance: VarianceAnalysis  # Figures 8-11
+    classified: list[Classified]
+    total_refs: int
+    total_reads: int
+    total_writes: int
+    footprint_bytes: int
+    n_main_iterations: int
+    #: id -> object for every tracked global/heap object
+    objects: dict[int, MemoryObject]
+
+    @property
+    def rw_ratio(self) -> float:
+        """Whole-run read/write ratio."""
+        return self.total_reads / self.total_writes if self.total_writes else float("inf")
+
+    def metrics_by_name(self, name: str) -> ObjectMetrics:
+        for m in self.object_metrics:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+
+class NVScavenger:
+    """Builds the analyzer pipeline, runs a program, assembles the result."""
+
+    def __init__(
+        self,
+        config: ScavengerConfig | None = None,
+        layout: AddressLayout | None = None,
+        extra_probes: Sequence[Probe] = (),
+        buffer_capacity: int = 1 << 16,
+    ) -> None:
+        self.config = config or ScavengerConfig()
+        self._layout = layout or AddressLayout()
+        self._extra = list(extra_probes)
+        self._buffer_capacity = buffer_capacity
+
+    def analyze(self, program: Program, n_main_iterations: int = 10) -> ScavengerResult:
+        """Instrument *program* and compute every analysis.
+
+        The program is responsible for calling ``rt.begin_iteration`` as its
+        main loop advances; *n_main_iterations* is used for classification
+        (the sparse-use rule needs to know the loop length).
+        """
+        layout = self._layout
+        # the analyzers need the concrete address space, which only exists
+        # once the runtime does — build runtime first with a fanout shell.
+        fanout = FanoutProbe([])
+        rt = InstrumentedRuntime(fanout, layout=layout, buffer_capacity=self._buffer_capacity)
+        fast = FastStackAnalyzer(rt.space.stack)
+        slow = SlowStackAnalyzer(rt.space.stack)
+        heap = HeapAnalyzer(layout.heap_segment)
+        glob = GlobalAnalyzer(layout.global_segment)
+        for probe in (fast, slow, heap, glob, *self._extra):
+            fanout.add(probe)
+
+        program(rt)
+        rt.finish()
+        return self._assemble(rt, fast, slow, heap, glob, n_main_iterations)
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        rt: InstrumentedRuntime,
+        fast: FastStackAnalyzer,
+        slow: SlowStackAnalyzer,
+        heap: HeapAnalyzer,
+        glob: GlobalAnalyzer,
+        n_main_iterations: int,
+    ) -> ScavengerResult:
+        # combined global + heap stats (oids share one dense space)
+        combined = ObjectStatsTable()
+        combined.merge(glob.stats)
+        combined.merge(heap.stats)
+        objects: dict[int, MemoryObject] = {}
+        objects.update(glob.objects)
+        objects.update(heap.objects)
+
+        stack_summary = fast.summary()
+        total_refs = int(stack_summary.total_refs.sum())
+        reads_m, writes_m = combined.totals_per_iteration()
+        stack_reads = int(stack_summary.stack_reads.sum())
+        stack_writes = int(stack_summary.stack_writes.sum())
+        total_reads = int(reads_m.sum()) + stack_reads
+        total_writes = int(writes_m.sum()) + stack_writes
+
+        rows = compute_object_metrics(objects, combined, total_refs)
+        short_term = {oid for oid in heap.objects if heap.is_short_term(oid)}
+        usage = compute_usage(rows, exclude_oids=short_term)
+        eligible = np.array(
+            [m.oid for m in rows if m.oid not in short_term], dtype=np.int64
+        )
+        variance = compute_variance(combined, eligible_oids=eligible)
+        classified = classify_objects(rows, self.config, n_main_iterations)
+
+        return ScavengerResult(
+            stack_summary=stack_summary,
+            frame_stats=slow.frame_stats(),
+            object_metrics=rows,
+            usage=usage,
+            variance=variance,
+            classified=classified,
+            total_refs=total_refs,
+            total_reads=total_reads,
+            total_writes=total_writes,
+            footprint_bytes=rt.space.footprint_bytes(),
+            n_main_iterations=n_main_iterations,
+            objects=objects,
+        )

@@ -1,0 +1,130 @@
+"""Slow per-frame stack analyzer (paper §III-A, method 2).
+
+Instruments call and return points to maintain a shadow stack, records each
+routine's base frame address, and attributes every stack reference to the
+owning routine's frame by walking the stack — including references landing
+*underneath* the current routine's frame, which belong to the earlier
+routine that allocated that data. Routines are identified by name (the
+paper uses the routine's starting address as its signature; our runtime's
+routine names play that role).
+
+Produces Figure 2: per-routine-frame read/write ratios and memory
+reference rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instrument.api import Probe
+from repro.memory.object import MemoryObject
+from repro.memory.stack import StackFrame, StackManager
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.trace.record import RefBatch
+
+
+@dataclass
+class FrameStats:
+    """Figure-2 row: one routine's stack frame over the whole run."""
+
+    routine: str
+    reads: int
+    writes: int
+    refs: int
+    #: share of ALL references (stack + non-stack) this frame received
+    reference_rate: float
+    max_frame_bytes: int
+
+    @property
+    def rw_ratio(self) -> float:
+        return self.reads / self.writes if self.writes else float("inf")
+
+
+class SlowStackAnalyzer(Probe):
+    """Attributes stack references to routine frames via a mirrored shadow
+    stack; vectorized with one ``searchsorted`` per batch."""
+
+    def __init__(self, stack: StackManager) -> None:
+        self._segment_limit = stack.segment.limit
+        self._mirror: list[tuple[str, int, int]] = []  # (routine, sp, base)
+        self._rid_by_routine: dict[str, int] = {}
+        self._routines: list[str] = []
+        self._max_frame_bytes: list[int] = []
+        self.stats = ObjectStatsTable()
+        self._total_refs = 0
+        self._unattributed_stack_refs = 0
+
+    # ------------------------------------------------------------------
+    def _rid(self, routine: str) -> int:
+        rid = self._rid_by_routine.get(routine)
+        if rid is None:
+            rid = len(self._routines)
+            self._rid_by_routine[routine] = rid
+            self._routines.append(routine)
+            self._max_frame_bytes.append(0)
+        return rid
+
+    def on_call(self, frame: StackFrame, frame_obj: MemoryObject) -> None:
+        rid = self._rid(frame.routine)
+        self._max_frame_bytes[rid] = max(self._max_frame_bytes[rid], frame.size)
+        self._mirror.append((frame.routine, frame.sp, frame.base))
+
+    def on_ret(self, frame: StackFrame) -> None:
+        if self._mirror:
+            self._mirror.pop()
+
+    # ------------------------------------------------------------------
+    def on_batch(self, batch: RefBatch) -> None:
+        self._total_refs += len(batch)
+        if not self._mirror:
+            return
+        # frames partition [sp_innermost, base_outermost); boundaries are
+        # the ascending sp values plus the outermost base.
+        sps = np.array([sp for _, sp, _ in self._mirror[::-1]], dtype=np.uint64)
+        top = np.uint64(self._mirror[0][2])
+        boundaries = np.append(sps, top)
+        addrs = batch.addr
+        on_stack = (addrs >= boundaries[0]) & (addrs < np.uint64(self._segment_limit))
+        if not on_stack.any():
+            return
+        k = np.searchsorted(boundaries, addrs[on_stack], side="right")
+        # k in [1, len(sps)] maps to a frame; k == len(boundaries) means the
+        # address lies above all frames (e.g. red zone) — unattributed.
+        valid = (k >= 1) & (k <= len(sps))
+        self._unattributed_stack_refs += int((~valid).sum())
+        frame_idx = len(self._mirror) - k[valid]  # 0 = outermost
+        routines = [self._mirror[i][0] for i in range(len(self._mirror))]
+        rids = np.array([self._rid(r) for r in routines], dtype=np.int32)
+        oid_per_ref = rids[frame_idx]
+        self.stats.add_batch(oid_per_ref, batch.is_write[on_stack][valid], batch.iteration)
+
+    # ------------------------------------------------------------------
+    def frame_stats(self) -> list[FrameStats]:
+        """Per-routine totals, Figure 2's data set."""
+        reads, writes = self.stats.totals_per_object()
+        out = []
+        for rid, routine in enumerate(self._routines):
+            r = int(reads[rid]) if rid < len(reads) else 0
+            w = int(writes[rid]) if rid < len(writes) else 0
+            refs = r + w
+            out.append(
+                FrameStats(
+                    routine=routine,
+                    reads=r,
+                    writes=w,
+                    refs=refs,
+                    reference_rate=refs / self._total_refs if self._total_refs else 0.0,
+                    max_frame_bytes=self._max_frame_bytes[rid],
+                )
+            )
+        return out
+
+    @property
+    def total_refs(self) -> int:
+        return self._total_refs
+
+    @property
+    def unattributed_stack_refs(self) -> int:
+        return self._unattributed_stack_refs

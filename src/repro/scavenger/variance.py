@@ -1,0 +1,131 @@
+"""Cross-iteration variance of access patterns (paper §VII-C, Figs 8–11).
+
+For each memory object, the per-iteration read/write ratio and memory
+reference rate are normalized by the object's iteration-1 values; the
+figures then show, per iteration, the distribution of these normalized
+values over objects. "There are more than 60% memory objects whose
+normalized values stay within [1,2) for each iteration" is the headline —
+stable patterns mean NVRAM-friendly objects can be placed statically,
+without migration overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scavenger.object_stats import ObjectStatsTable
+
+#: Normalized-value bins used by Figures 8–11 (the last bin is open-ended).
+DEFAULT_BINS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, np.inf)
+
+
+@dataclass
+class VarianceAnalysis:
+    """Distributions of normalized per-iteration metrics.
+
+    ``rw_hist[b, i]`` = fraction of eligible objects whose normalized
+    read/write ratio in main-loop iteration ``i`` falls into bin ``b``
+    (bins per :data:`DEFAULT_BINS`); likewise ``rate_hist`` for the
+    normalized reference rate. Iterations are indexed from 1 (iteration 1 is
+    the normalization basis, so every object sits in the [1,2) bin there).
+    """
+
+    bins: np.ndarray
+    rw_hist: np.ndarray
+    rate_hist: np.ndarray
+    n_objects: int
+    iterations: np.ndarray
+
+    def stable_fraction(self, iteration: int, lo: float = 1.0, hi: float = 2.0) -> float:
+        """Fraction of objects with BOTH normalized metrics within [lo, hi)."""
+        # conservative: use the min of the two per-bin fractions' [1,2) mass
+        b = int(np.searchsorted(self.bins, lo, side="right") - 1)
+        i = int(np.searchsorted(self.iterations, iteration))
+        return float(min(self.rw_hist[b, i], self.rate_hist[b, i]))
+
+    def min_stable_fraction(self) -> float:
+        """The worst over iterations of the [1,2)-bin mass (paper: >60%)."""
+        b = int(np.searchsorted(self.bins, 1.0, side="right") - 1)
+        if self.rw_hist.shape[1] == 0:
+            return 0.0
+        return float(
+            min(self.rw_hist[b, :].min(), self.rate_hist[b, :].min())
+        )
+
+
+def compute_variance(
+    stats: ObjectStatsTable,
+    eligible_oids: np.ndarray | None = None,
+    bins: tuple[float, ...] = DEFAULT_BINS,
+) -> VarianceAnalysis:
+    """Build Figures 8–11 from a stats table.
+
+    Only objects referenced in iteration 1 are eligible (the normalization
+    basis must exist); *eligible_oids* can restrict further (e.g. to global
+    + long-term heap objects).
+    """
+    bins_arr = np.asarray(bins, dtype=np.float64)
+    reads = stats.reads
+    writes = stats.writes
+    n_it = stats.n_iterations
+    if n_it < 2:
+        return VarianceAnalysis(
+            bins=bins_arr,
+            rw_hist=np.zeros((len(bins) - 1, 0)),
+            rate_hist=np.zeros((len(bins) - 1, 0)),
+            n_objects=0,
+            iterations=np.empty(0, np.int64),
+        )
+    if eligible_oids is None:
+        eligible = np.arange(stats.n_objects)
+    else:
+        eligible = np.asarray(eligible_oids, dtype=np.int64)
+        eligible = eligible[eligible < stats.n_objects]
+    refs1 = reads[eligible, 1] + writes[eligible, 1]
+    eligible = eligible[refs1 > 0]
+    n = len(eligible)
+    iterations = np.arange(1, n_it)
+    rw_hist = np.zeros((len(bins) - 1, len(iterations)))
+    rate_hist = np.zeros_like(rw_hist)
+    if n == 0:
+        return VarianceAnalysis(bins_arr, rw_hist, rate_hist, 0, iterations)
+
+    # read/write ratio per object per iteration; read-only iterations get a
+    # large finite surrogate so normalization ratios stay meaningful
+    r = reads[eligible][:, 1:].astype(np.float64)
+    w = writes[eligible][:, 1:].astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rw = np.where(w > 0, r / np.maximum(w, 1e-300), np.where(r > 0, np.inf, 0.0))
+    rate = (r + w)
+
+    basis_rw = rw[:, :1]
+    basis_rate = rate[:, :1]
+    norm_rw = _normalized_matrix(rw, basis_rw)
+    norm_rate = _normalized_matrix(rate, basis_rate)
+
+    for j in range(len(iterations)):
+        rw_hist[:, j] = _bin_fractions(norm_rw[:, j], bins_arr)
+        rate_hist[:, j] = _bin_fractions(norm_rate[:, j], bins_arr)
+    return VarianceAnalysis(bins_arr, rw_hist, rate_hist, n, iterations)
+
+
+def _normalized_matrix(values: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = values / basis
+    # inf/inf (read-only both iterations) and 0/0 count as unchanged
+    both_inf = np.isinf(values) & np.isinf(np.broadcast_to(basis, values.shape))
+    both_zero = (values == 0) & (np.broadcast_to(basis, values.shape) == 0)
+    out[both_inf | both_zero] = 1.0
+    return out
+
+
+def _bin_fractions(vals: np.ndarray, bins: np.ndarray) -> np.ndarray:
+    ok = ~np.isnan(vals)
+    vals = vals[ok]
+    if vals.size == 0:
+        return np.zeros(len(bins) - 1)
+    idx = np.clip(np.searchsorted(bins, vals, side="right") - 1, 0, len(bins) - 2)
+    counts = np.bincount(idx, minlength=len(bins) - 1)
+    return counts / vals.size

@@ -1,0 +1,101 @@
+"""Compressed trace files.
+
+The paper notes (§III-D) that storing raw traces does not scale — NV-
+SCAVENGER computes statistics on-the-fly — but the power simulator is
+trace-driven, so filtered (post-cache) traces still need a durable form.
+Files are ``.npz`` archives holding one group of arrays per batch.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import RefBatch
+
+_MAGIC = "nvscavenger-trace-v1"
+
+
+class TraceWriter:
+    """Accumulates batches and writes one compressed archive on close."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._batches: list[RefBatch] = []
+        self._closed = False
+
+    def append(self, batch: RefBatch) -> None:
+        if self._closed:
+            raise TraceError("append to a closed TraceWriter")
+        if len(batch):
+            self._batches.append(batch)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        arrays: dict[str, np.ndarray] = {
+            "magic": np.array([_MAGIC]),
+            "n_batches": np.array([len(self._batches)], dtype=np.int64),
+        }
+        for i, b in enumerate(self._batches):
+            arrays[f"b{i}_addr"] = b.addr
+            arrays[f"b{i}_w"] = b.is_write
+            arrays[f"b{i}_sz"] = b.size
+            arrays[f"b{i}_oid"] = b.oid
+            arrays[f"b{i}_it"] = np.array([b.iteration], dtype=np.int64)
+        np.savez_compressed(self._path, **arrays)
+        self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Iterates the batches of a trace file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._npz = np.load(self._path if self._path.endswith(".npz") else self._path + ".npz")
+        magic = self._npz.get("magic")
+        if magic is None or str(magic[0]) != _MAGIC:
+            raise TraceError(f"{self._path}: not an NV-SCAVENGER trace file")
+        self.n_batches = int(self._npz["n_batches"][0])
+
+    def __iter__(self) -> Iterator[RefBatch]:
+        for i in range(self.n_batches):
+            yield RefBatch(
+                addr=self._npz[f"b{i}_addr"],
+                is_write=self._npz[f"b{i}_w"],
+                size=self._npz[f"b{i}_sz"],
+                oid=self._npz[f"b{i}_oid"],
+                iteration=int(self._npz[f"b{i}_it"][0]),
+            )
+
+    def close(self) -> None:
+        self._npz.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def write_trace(path: str | os.PathLike, batches: Iterable[RefBatch]) -> None:
+    """Convenience one-shot writer."""
+    with TraceWriter(path) as w:
+        for b in batches:
+            w.append(b)
+
+
+def read_trace(path: str | os.PathLike) -> list[RefBatch]:
+    """Convenience one-shot reader."""
+    with TraceReader(path) as r:
+        return list(r)

@@ -1,0 +1,53 @@
+"""Stream combinators over :class:`RefBatch` sequences."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import RefBatch
+
+
+def concat_batches(batches: Iterable[RefBatch]) -> RefBatch:
+    """Concatenate batches; all must share one iteration index."""
+    batches = [b for b in batches if len(b) > 0]
+    if not batches:
+        return RefBatch.empty()
+    iterations = {b.iteration for b in batches}
+    if len(iterations) > 1:
+        raise TraceError(f"cannot concat batches from iterations {sorted(iterations)}")
+    return RefBatch(
+        addr=np.concatenate([b.addr for b in batches]),
+        is_write=np.concatenate([b.is_write for b in batches]),
+        size=np.concatenate([b.size for b in batches]),
+        oid=np.concatenate([b.oid for b in batches]),
+        iteration=batches[0].iteration,
+    )
+
+
+def filter_batch(batch: RefBatch, predicate: Callable[[RefBatch], np.ndarray]) -> RefBatch:
+    """Keep the references where *predicate(batch)* (a boolean mask) is True."""
+    mask = np.asarray(predicate(batch), dtype=bool)
+    if mask.shape != batch.addr.shape:
+        raise TraceError("predicate mask shape mismatch")
+    return batch.take(mask)
+
+
+def split_by_predicate(
+    batch: RefBatch, predicate: Callable[[RefBatch], np.ndarray]
+) -> tuple[RefBatch, RefBatch]:
+    """Partition into (matching, non-matching) sub-batches."""
+    mask = np.asarray(predicate(batch), dtype=bool)
+    if mask.shape != batch.addr.shape:
+        raise TraceError("predicate mask shape mismatch")
+    return batch.take(mask), batch.take(~mask)
+
+
+def batch_windows(batch: RefBatch, window: int) -> Iterator[RefBatch]:
+    """Yield consecutive sub-batches of at most *window* references."""
+    if window <= 0:
+        raise TraceError(f"window must be positive, got {window}")
+    for start in range(0, len(batch), window):
+        yield batch.take(np.arange(start, min(start + window, len(batch))))

@@ -1,0 +1,34 @@
+"""Shared utilities: units, seeded RNG helpers, streaming statistics,
+address-interval sets.
+"""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    NS,
+    US,
+    MS,
+    fmt_bytes,
+    fmt_time_ns,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.stats import StreamingStats, Histogram, weighted_cdf
+from repro.util.intervals import IntervalSet
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "NS",
+    "US",
+    "MS",
+    "fmt_bytes",
+    "fmt_time_ns",
+    "make_rng",
+    "spawn_rngs",
+    "StreamingStats",
+    "Histogram",
+    "weighted_cdf",
+    "IntervalSet",
+]

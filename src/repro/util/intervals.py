@@ -1,0 +1,93 @@
+"""Half-open address interval sets.
+
+Used by the global-data analyzer to merge FORTRAN common-block views that
+alias overlapping memory (paper §III-C) and by the hybrid page map to track
+region residency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class IntervalSet:
+    """A set of disjoint half-open integer intervals ``[lo, hi)``.
+
+    Maintains canonical form: sorted, non-empty, non-overlapping,
+    non-adjacent (touching intervals are coalesced).
+    """
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self._ivals: list[tuple[int, int]] = []
+        for lo, hi in intervals:
+            self.add(lo, hi)
+
+    def add(self, lo: int, hi: int) -> None:
+        """Insert ``[lo, hi)``, coalescing with overlapping/adjacent runs."""
+        if hi < lo:
+            raise ValueError(f"inverted interval [{lo}, {hi})")
+        if hi == lo:
+            return
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for a, b in self._ivals:
+            if b < lo or a > hi:  # disjoint and non-adjacent
+                if a > hi and not placed:
+                    merged.append((lo, hi))
+                    placed = True
+                merged.append((a, b))
+            else:  # overlaps or touches: absorb
+                lo = min(lo, a)
+                hi = max(hi, b)
+        if not placed:
+            merged.append((lo, hi))
+        merged.sort()
+        self._ivals = merged
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True if ``[lo, hi)`` intersects any stored interval."""
+        if hi <= lo:
+            return False
+        for a, b in self._ivals:
+            if a < hi and lo < b:
+                return True
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """True if *addr* lies inside some stored interval."""
+        idx = np.searchsorted([a for a, _ in self._ivals], addr, side="right") - 1
+        if idx < 0:
+            return False
+        a, b = self._ivals[idx]
+        return a <= addr < b
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """``(min lo, max hi)`` over all intervals; raises if empty."""
+        if not self._ivals:
+            raise ValueError("empty interval set has no span")
+        return self._ivals[0][0], self._ivals[-1][1]
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of interval lengths."""
+        return sum(b - a for a, b in self._ivals)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._ivals)
+
+    def __len__(self) -> int:
+        return len(self._ivals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivals == other._ivals
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{a:#x},{b:#x})" for a, b in self._ivals)
+        return f"IntervalSet({inner})"

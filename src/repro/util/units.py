@@ -1,0 +1,39 @@
+"""Size and time unit constants and formatting helpers.
+
+The whole package uses bytes for sizes and nanoseconds for times; these
+constants keep call sites readable (``4 * MiB``, ``100 * NS``).
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Time units, expressed in nanoseconds.
+NS: float = 1.0
+US: float = 1e3
+MS: float = 1e6
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``"1.5 MiB"``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, div in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if n >= div:
+            return f"{sign}{n / div:.2f} {unit}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_time_ns(t: float) -> str:
+    """Render a duration given in nanoseconds with an appropriate unit."""
+    t = float(t)
+    if t >= 1e9:
+        return f"{t / 1e9:.3f} s"
+    if t >= MS:
+        return f"{t / MS:.3f} ms"
+    if t >= US:
+        return f"{t / US:.3f} us"
+    return f"{t:.1f} ns"

@@ -1,0 +1,41 @@
+"""Synthetic access-pattern and workload generators.
+
+The model applications compose these patterns to shape their per-object
+access mixes; the benchmarks and property tests use them standalone.
+"""
+
+from repro.workloads.synthetic import (
+    sequential,
+    strided,
+    random_uniform,
+    hotspot,
+    gather_indices,
+    pointer_chase,
+)
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec, ObjectSpec
+from repro.workloads.microbench import (
+    MICROBENCHES,
+    StreamTriad,
+    GUPS,
+    PointerChase,
+    Stencil5,
+    create_microbench,
+)
+
+__all__ = [
+    "sequential",
+    "strided",
+    "random_uniform",
+    "hotspot",
+    "gather_indices",
+    "pointer_chase",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "ObjectSpec",
+    "MICROBENCHES",
+    "StreamTriad",
+    "GUPS",
+    "PointerChase",
+    "Stencil5",
+    "create_microbench",
+]

@@ -1,0 +1,133 @@
+"""Classic memory microbenchmarks as instrumented Programs.
+
+Each has a *known* signature, which makes them end-to-end validators for
+the whole pipeline: if STREAM doesn't show near-unit-stride spatial
+locality and a 2:1 read/write ratio, or GUPS doesn't show ~1:1 RMW traffic
+with no locality, something upstream broke.
+
+* :class:`StreamTriad` — McCalpin STREAM's ``a[i] = b[i] + s*c[i]``:
+  2 reads + 1 write per element, perfect streaming.
+* :class:`GUPS` — RandomAccess: read-modify-write at random addresses,
+  r/w ratio 1.0, no spatial or temporal locality.
+* :class:`PointerChase` — dependent permutation walk: MLP ~= 1, the
+  latency-bound extreme.
+* :class:`Stencil5` — 5-point Jacobi: 5 reads + 1 write per point across
+  two grids, stride-predictable (prefetch-friendly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.util.rng import make_rng
+from repro.workloads import synthetic
+
+
+class _MicroBench:
+    """Common scaffolding: n elements, iterations, seed."""
+
+    name = "micro"
+
+    def __init__(self, n: int = 1 << 15, iterations: int = 3, seed: int = 0) -> None:
+        if n <= 0 or iterations <= 0:
+            raise ConfigurationError("n and iterations must be positive")
+        self.n = n
+        self.iterations = iterations
+        self.seed = seed
+
+    def __call__(self, rt: InstrumentedRuntime) -> None:
+        raise NotImplementedError
+
+
+class StreamTriad(_MicroBench):
+    """a[i] = b[i] + s * c[i] over three arrays."""
+
+    name = "stream_triad"
+
+    def __call__(self, rt: InstrumentedRuntime) -> None:
+        a = rt.global_array("a", self.n)
+        b = rt.global_array("b", self.n)
+        c = rt.global_array("c", self.n)
+        idx = np.arange(self.n)
+        for it in range(1, self.iterations + 1):
+            rt.begin_iteration(it)
+            with rt.call("triad", frame_bytes=256):
+                rt.load(b, idx)
+                rt.load(c, idx)
+                rt.store(a, idx)
+            rt.compute(2 * self.n)  # one FMA + address math per element
+        rt.begin_iteration(0)
+
+
+class GUPS(_MicroBench):
+    """Random read-modify-write updates over one large table."""
+
+    name = "gups"
+
+    def __call__(self, rt: InstrumentedRuntime) -> None:
+        table = rt.global_array("table", self.n)
+        rng = make_rng(self.seed)
+        for it in range(1, self.iterations + 1):
+            rt.begin_iteration(it)
+            updates = rng.integers(0, self.n, self.n // 2, dtype=np.int64)
+            with rt.call("update_loop", frame_bytes=256):
+                rt.load(table, updates)   # read ...
+                rt.store(table, updates)  # ... modify-write
+            rt.compute(self.n // 2)
+        rt.begin_iteration(0)
+
+
+class PointerChase(_MicroBench):
+    """A dependent walk through a random permutation."""
+
+    name = "pointer_chase"
+
+    def __call__(self, rt: InstrumentedRuntime) -> None:
+        ring = rt.global_array("ring", self.n)
+        hops = min(self.n, 1 << 13)
+        chain = synthetic.pointer_chase(self.n, hops, rng=self.seed)
+        for it in range(1, self.iterations + 1):
+            rt.begin_iteration(it)
+            with rt.call("chase", frame_bytes=128):
+                rt.load(ring, chain, dependent=True)
+            rt.compute(hops)
+        rt.begin_iteration(0)
+
+
+class Stencil5(_MicroBench):
+    """5-point Jacobi sweep between two 2-D grids."""
+
+    name = "stencil5"
+
+    def __call__(self, rt: InstrumentedRuntime) -> None:
+        side = max(4, int(np.sqrt(self.n)))
+        n = side * side
+        src = rt.global_array("grid_src", n)
+        dst = rt.global_array("grid_dst", n)
+        inner = np.arange(side, n - side)
+        for it in range(1, self.iterations + 1):
+            rt.begin_iteration(it)
+            with rt.call("jacobi", frame_bytes=1024):
+                for off in (-side, -1, 0, 1, side):
+                    rt.load(src, (inner + off) % n)
+                rt.store(dst, inner)
+            rt.compute(5 * len(inner))
+            src, dst = dst, src  # grid swap
+        rt.begin_iteration(0)
+
+
+MICROBENCHES: dict[str, type[_MicroBench]] = {
+    cls.name: cls for cls in (StreamTriad, GUPS, PointerChase, Stencil5)
+}
+
+
+def create_microbench(name: str, **kwargs) -> _MicroBench:
+    """Instantiate a microbenchmark by name."""
+    cls = MICROBENCHES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown microbench {name!r}; know {sorted(MICROBENCHES)}"
+        )
+    return cls(**kwargs)

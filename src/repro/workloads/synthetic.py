@@ -1,0 +1,83 @@
+"""Element-offset pattern generators (all vectorized, all deterministic).
+
+Each returns an int64 offset array suitable for
+:meth:`repro.instrument.InstrumentedRuntime.load` / ``store`` against an
+array of ``n`` elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def sequential(n: int, count: int | None = None) -> np.ndarray:
+    """0, 1, 2, ... — unit-stride streaming (wraps if count > n)."""
+    count = n if count is None else count
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.arange(count, dtype=np.int64) % n
+
+
+def strided(n: int, stride: int, count: int | None = None) -> np.ndarray:
+    """0, s, 2s, ... modulo n — bank/line-conflict style striding."""
+    if n <= 0 or stride <= 0:
+        raise ValueError("n and stride must be positive")
+    count = -(-n // stride) if count is None else count
+    return (np.arange(count, dtype=np.int64) * stride) % n
+
+
+def random_uniform(n: int, count: int, rng=0) -> np.ndarray:
+    """Uniformly random offsets — irregular gather/scatter."""
+    if n <= 0 or count < 0:
+        raise ValueError("n must be positive and count non-negative")
+    return make_rng(rng).integers(0, n, size=count, dtype=np.int64)
+
+
+def hotspot(
+    n: int, count: int, hot_fraction: float = 0.1, hot_weight: float = 0.9, rng=0
+) -> np.ndarray:
+    """A *hot_fraction* of the array receives *hot_weight* of the accesses."""
+    if not (0 < hot_fraction <= 1) or not (0 <= hot_weight <= 1):
+        raise ValueError("fractions must be in (0,1] / [0,1]")
+    g = make_rng(rng)
+    hot_n = max(1, int(n * hot_fraction))
+    is_hot = g.random(count) < hot_weight
+    out = np.empty(count, dtype=np.int64)
+    out[is_hot] = g.integers(0, hot_n, size=int(is_hot.sum()), dtype=np.int64)
+    out[~is_hot] = g.integers(hot_n, max(n, hot_n + 1), size=int((~is_hot).sum()), dtype=np.int64) % n
+    return out
+
+
+def gather_indices(n: int, count: int, clustering: float = 0.5, rng=0) -> np.ndarray:
+    """Particle-in-cell-style gather: clustered random offsets.
+
+    ``clustering`` 0 is uniform; 1 concentrates accesses into a narrow
+    moving window, mimicking particles sorted by cell.
+    """
+    if not (0 <= clustering <= 1):
+        raise ValueError("clustering must be in [0,1]")
+    g = make_rng(rng)
+    if clustering == 0:
+        return g.integers(0, n, size=count, dtype=np.int64)
+    window = max(1, int(n * (1 - clustering) * 0.25) + 1)
+    centers = np.linspace(0, max(n - 1, 1), num=count, dtype=np.int64)
+    jitter = g.integers(-window, window + 1, size=count, dtype=np.int64)
+    return np.clip(centers + jitter, 0, n - 1)
+
+
+def pointer_chase(n: int, count: int, rng=0) -> np.ndarray:
+    """A dependent random walk (permutation traversal) — no spatial locality
+    and no memory-level parallelism; stresses the MLP estimator."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    g = make_rng(rng)
+    perm = g.permutation(n).astype(np.int64)
+    out = np.empty(count, dtype=np.int64)
+    cur = 0
+    # the chain itself is inherently sequential; generate it once
+    for i in range(count):
+        out[i] = cur
+        cur = int(perm[cur])
+    return out

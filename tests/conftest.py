@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic apps, runtimes, and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.cachesim import MemoryTraceProbe
+from repro.instrument import FanoutProbe, InstrumentedRuntime
+from repro.memory.layout import AddressLayout
+from repro.scavenger import NVScavenger
+from repro.util.units import MiB
+
+#: small-but-meaningful fidelity for unit/integration tests
+FAST_REFS = 6_000
+FAST_SCALE = 1.0 / 256.0
+
+
+@pytest.fixture(scope="session")
+def small_layout() -> AddressLayout:
+    """A compact address space for allocator tests."""
+    return AddressLayout(global_size=4 * MiB, heap_size=16 * MiB, stack_size=4 * MiB)
+
+
+@pytest.fixture
+def runtime() -> InstrumentedRuntime:
+    """A runtime with a no-op probe."""
+    return InstrumentedRuntime(FanoutProbe([]))
+
+
+def make_app(name: str, refs: int = FAST_REFS, iters: int = 10, seed: int = 0):
+    return create_app(
+        name, scale=FAST_SCALE, refs_per_iteration=refs, n_iterations=iters, seed=seed
+    )
+
+
+@pytest.fixture(scope="session")
+def analyzed_apps():
+    """All four apps analyzed once per test session (cached: expensive)."""
+    out = {}
+    for name in ("nek5000", "cam", "gtc", "s3d"):
+        app = make_app(name, refs=10_000)
+        probe = MemoryTraceProbe()
+        sc = NVScavenger(extra_probes=[probe])
+        instructions = 0
+
+        def program(rt, app=app):
+            nonlocal instructions
+            app(rt)
+            instructions = rt.instruction_count
+
+        res = sc.analyze(program, n_main_iterations=10)
+        out[name] = (app, res, probe, instructions)
+    return out
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

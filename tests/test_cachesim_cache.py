@@ -1,0 +1,158 @@
+"""Single cache level: LRU, write policies, eviction correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.cache import AccessResult, SetAssociativeCache
+from repro.cachesim.config import CacheLevelConfig
+from repro.errors import ConfigurationError
+
+
+def make_cache(size=1024, ways=2, line=64, write_allocate=True, name="L"):
+    return SetAssociativeCache(
+        CacheLevelConfig(name=name, size_bytes=size, associativity=ways,
+                         line_bytes=line, write_allocate=write_allocate)
+    )
+
+
+def test_cold_miss_then_hit():
+    c = make_cache()
+    res, victim = c.access(5, False)
+    assert res is AccessResult.MISS_ALLOCATED
+    assert victim == -1
+    res, _ = c.access(5, False)
+    assert res is AccessResult.HIT
+    assert c.stats.read_misses == 1 and c.stats.read_hits == 1
+
+
+def test_lru_eviction_order():
+    c = make_cache(size=2 * 64, ways=2)  # 1 set, 2 ways
+    c.access(0, False)
+    c.access(1, False)
+    c.access(0, False)  # touch 0: 1 becomes LRU
+    res, victim = c.access(2, False)  # evicts 1 (clean -> no writeback)
+    assert res is AccessResult.MISS_ALLOCATED
+    assert victim == -1
+    assert not c.contains(1)
+    assert c.contains(0) and c.contains(2)
+
+
+def test_dirty_eviction_produces_writeback():
+    c = make_cache(size=2 * 64, ways=2)
+    c.access(0, True)  # dirty
+    c.access(1, False)
+    _, victim = c.access(2, False)  # evicts 0
+    assert victim == 0
+    assert c.stats.writebacks == 1
+
+
+def test_write_hit_dirties_line():
+    c = make_cache(size=2 * 64, ways=2)
+    c.access(0, False)  # clean fill
+    c.access(0, True)  # dirty it
+    c.access(1, False)
+    _, victim = c.access(2, False)
+    assert victim == 0
+
+
+def test_no_write_allocate_bypasses_store_miss():
+    c = make_cache(write_allocate=False)
+    res, victim = c.access(7, True)
+    assert res is AccessResult.MISS_BYPASSED
+    assert victim == -1
+    assert not c.contains(7)
+    # a read still allocates
+    res, _ = c.access(7, False)
+    assert res is AccessResult.MISS_ALLOCATED
+
+
+def test_set_mapping_no_cross_set_interference():
+    c = make_cache(size=4 * 64, ways=1)  # 4 sets, direct-mapped
+    c.access(0, False)
+    c.access(1, False)
+    c.access(2, False)
+    c.access(3, False)
+    assert all(c.contains(i) for i in range(4))
+    # line 4 maps to set 0: evicts line 0 only
+    c.access(4, False)
+    assert not c.contains(0)
+    assert c.contains(1)
+
+
+def test_victim_line_number_reconstruction():
+    c = make_cache(size=4 * 64, ways=1)
+    c.access(8 + 2, True)  # set 2, tag 2
+    _, victim = c.access(16 + 2, False)  # set 2, tag 4
+    assert victim == 10
+
+
+def test_flush_returns_dirty_lines():
+    c = make_cache(size=4 * 64, ways=2)
+    c.access(0, True)
+    c.access(1, False)
+    c.access(2, True)
+    dirty = sorted(c.flush())
+    assert dirty == [0, 2]
+    assert c.resident_lines() == 0
+
+
+def test_stats_accounting():
+    c = make_cache()
+    c.access(0, False)
+    c.access(0, True)
+    c.access(1, True)
+    s = c.stats
+    assert s.accesses == 3
+    assert s.read_misses == 1 and s.write_hits == 1 and s.write_misses == 1
+    assert s.miss_rate == pytest.approx(2 / 3)
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigurationError):
+        CacheLevelConfig("x", size_bytes=1000, associativity=2, line_bytes=64)
+    with pytest.raises(ConfigurationError):
+        CacheLevelConfig("x", size_bytes=1024, associativity=2, line_bytes=60)
+    with pytest.raises(ConfigurationError):
+        CacheLevelConfig("x", size_bytes=0, associativity=2)
+
+
+def test_config_derived_quantities():
+    cfg = CacheLevelConfig("x", size_bytes=1 << 20, associativity=16, line_bytes=64)
+    assert cfg.n_sets == 1024
+    assert cfg.n_lines == 16384
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_property_capacity_and_residency(accesses):
+    """Resident lines never exceed capacity; a just-accessed (allocating)
+    line is always resident."""
+    c = make_cache(size=8 * 64, ways=2)
+    for line, is_write in accesses:
+        res, _ = c.access(line, is_write)
+        assert c.resident_lines() <= 8
+        if res is not AccessResult.MISS_BYPASSED:
+            assert c.contains(line)
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_property_fully_assoc_lru_stack(accesses):
+    """In a fully-associative cache, a hit occurs iff the reuse distance
+    (distinct lines since last access) is < capacity — the classic LRU
+    stack property."""
+    capacity = 4
+    c = make_cache(size=capacity * 64, ways=capacity)
+    history: list[int] = []
+    for line in accesses:
+        if line in history:
+            distinct_since = len(set(history[history.index(line) + 1:]))
+            expect_hit = distinct_since < capacity
+        else:
+            expect_hit = False
+        res, _ = c.access(line, False)
+        assert (res is AccessResult.HIT) == expect_hit
+        if line in history:
+            history.remove(line)
+        history.append(line)

@@ -1,0 +1,156 @@
+"""Cache hierarchy: memory-trace extraction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.config import CacheHierarchyConfig, CacheLevelConfig, TABLE2_CONFIG
+from repro.cachesim.filtered import MemoryTraceProbe
+from repro.cachesim.hierarchy import CacheHierarchy
+from repro.trace.record import AccessType, RefBatch
+
+
+def tiny_config(l1_lines=4, l2_lines=16):
+    return CacheHierarchyConfig(
+        levels=(
+            CacheLevelConfig("L1D", size_bytes=l1_lines * 64, associativity=2,
+                             write_allocate=False),
+            CacheLevelConfig("L2", size_bytes=l2_lines * 64, associativity=4),
+        )
+    )
+
+
+def batch_from_lines(lines, write=False, iteration=0):
+    addrs = np.asarray(lines, dtype=np.uint64) * 64
+    return RefBatch.from_access(addrs, AccessType.WRITE if write else AccessType.READ,
+                                iteration=iteration)
+
+
+def test_cold_read_misses_reach_memory():
+    h = CacheHierarchy(tiny_config())
+    mem = h.process_batch(batch_from_lines([0, 1, 2]))
+    assert len(mem) == 3
+    assert mem.n_reads == 3
+    assert (mem.addr == np.array([0, 64, 128], dtype=np.uint64)).all()
+
+
+def test_repeat_hits_generate_no_memory_traffic():
+    h = CacheHierarchy(tiny_config())
+    h.process_batch(batch_from_lines([0, 1]))
+    mem = h.process_batch(batch_from_lines([0, 1, 0, 1]))
+    assert len(mem) == 0
+    assert h.stats().levels["L1D"].read_hits == 4
+
+
+def test_table2_defaults():
+    h = CacheHierarchy()
+    assert h.config is TABLE2_CONFIG
+    assert h.levels[0].config.n_sets == 128
+    assert h.levels[1].config.n_sets == 1024
+
+
+def test_store_miss_bypasses_l1():
+    h = CacheHierarchy(tiny_config())
+    h.process_batch(batch_from_lines([5], write=True))
+    stats = h.stats()
+    assert stats.levels["L1D"].write_misses == 1
+    # the store landed in L2 as a dirty line (write-allocate): one fill
+    assert stats.levels["L2"].write_misses == 1
+    assert stats.memory_reads == 1
+    assert not h.levels[0].contains(5)
+    assert h.levels[1].contains(5)
+
+
+def test_writeback_chain_to_memory():
+    """Dirty L1 victim -> L2; dirty L2 victim -> memory write."""
+    cfg = CacheHierarchyConfig(
+        levels=(
+            CacheLevelConfig("L1D", size_bytes=1 * 64, associativity=1,
+                             write_allocate=True),
+            CacheLevelConfig("L2", size_bytes=2 * 64, associativity=1),
+        )
+    )
+    h = CacheHierarchy(cfg)
+    h.process_batch(batch_from_lines([0], write=True))  # dirty in L1
+    h.process_batch(batch_from_lines([1], write=True))  # evicts 0 into L2
+    # L2 is direct-mapped with 2 sets; line 2 conflicts with line 0
+    h.process_batch(batch_from_lines([2], write=True))  # L1 evicts 1->L2; 2 dirty in L1
+    h.process_batch(batch_from_lines([4], write=True))  # L1 evicts 2 -> L2 set0 evicts 0
+    mem = h.flush()
+    # every dirtied line must eventually reach memory exactly once
+    all_writes = sorted((h.memory_writes, ))
+    assert h.memory_writes >= 1
+    written_lines = set()
+    # flush returns remaining dirty lines
+    written_lines.update((mem.addr[mem.is_write] // 64).tolist())
+    assert written_lines  # something drained
+
+
+def test_flush_drains_all_dirty_data():
+    h = CacheHierarchy(tiny_config())
+    lines = list(range(8))
+    h.process_batch(batch_from_lines(lines, write=True))
+    mem = h.flush()
+    drained = sorted(set((mem.addr[mem.is_write] // 64).tolist()))
+    assert drained == lines
+    assert h.levels[0].resident_lines() == 0
+    assert h.levels[1].resident_lines() == 0
+
+
+def test_every_dirty_line_reaches_memory_exactly_once():
+    """Conservation: each written line appears exactly once as a memory
+    write across steady-state writebacks + final flush."""
+    h = CacheHierarchy(tiny_config(l1_lines=2, l2_lines=4))
+    written = list(range(12))
+    mems = [h.process_batch(batch_from_lines(written, write=True))]
+    mems.append(h.flush())
+    out = np.concatenate([m.addr[m.is_write] for m in mems]) // 64
+    counts = {}
+    for line in out.tolist():
+        counts[line] = counts.get(line, 0) + 1
+    assert sorted(counts) == written
+    assert all(v == 1 for v in counts.values())
+
+
+def test_oid_propagated_to_memory_trace():
+    h = CacheHierarchy(tiny_config())
+    b = RefBatch.from_access(np.array([0], dtype=np.uint64), AccessType.READ, oid=42)
+    mem = h.process_batch(b)
+    assert mem.oid.tolist() == [42]
+
+
+def test_iteration_propagated():
+    h = CacheHierarchy(tiny_config())
+    mem = h.process_batch(batch_from_lines([0], iteration=7))
+    assert mem.iteration == 7
+
+
+def test_empty_batch():
+    h = CacheHierarchy(tiny_config())
+    assert len(h.process_batch(RefBatch.empty())) == 0
+
+
+def test_stats_aggregation():
+    h = CacheHierarchy(tiny_config())
+    h.process_batch(batch_from_lines([0, 0, 1]))
+    s = h.stats()
+    assert s.refs == 3
+    assert s.memory_reads == 2
+    assert s.memory_accesses_per_ref == pytest.approx(2 / 3)
+    assert 0 < s.llc_miss_rate <= 1
+
+
+class TestMemoryTraceProbe:
+    def test_collects_and_forwards(self):
+        forwarded = []
+        p = MemoryTraceProbe(tiny_config(), sink=forwarded.append)
+        p.on_batch(batch_from_lines([0, 1], write=True))
+        p.on_finish()
+        collected = sum(len(b) for b in p.memory_trace)
+        assert collected == sum(len(b) for b in forwarded)
+        assert collected >= 4  # 2 fills + 2 flush writebacks
+
+    def test_no_flush_mode(self):
+        p = MemoryTraceProbe(tiny_config(), flush_at_end=False)
+        p.on_batch(batch_from_lines([0], write=True))
+        p.on_finish()
+        assert sum(b.n_writes for b in p.memory_trace) == 0

@@ -1,0 +1,139 @@
+"""Checkpointing model and the hierarchical DRAM-cache comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hybrid.checkpoint import (
+    NVRAM_LOCAL,
+    PFS_DISK,
+    CheckpointTarget,
+    compare_targets,
+    nvram_capacity_for_checkpointing,
+    plan_checkpoints,
+)
+from repro.hybrid.dramcache import DRAMCacheModel, HorizontalModel
+from repro.hybrid.pagemap import MemoryPool, PageMap
+from repro.nvram.technology import PCRAM, STTRAM
+from repro.trace.record import AccessType, RefBatch
+from repro.util.rng import make_rng
+from repro.util.units import GiB, MiB
+
+
+class TestCheckpoint:
+    FOOTPRINT = int(0.5 * GiB)
+    MTBF = 6 * 3600.0  # 6 hours
+
+    def test_nvram_checkpoints_much_faster(self):
+        d = PFS_DISK.checkpoint_seconds(self.FOOTPRINT)
+        n = NVRAM_LOCAL.checkpoint_seconds(self.FOOTPRINT)
+        assert n < d / 50
+
+    def test_nvram_efficiency_dominates(self):
+        plans = compare_targets(self.FOOTPRINT, self.MTBF)
+        assert plans["NVRAM"].efficiency > plans["PFS-disk"].efficiency
+        assert plans["NVRAM"].efficiency > 0.95
+
+    def test_optimal_interval_follows_youngs_formula(self):
+        import math
+
+        p1 = plan_checkpoints(self.FOOTPRINT, self.MTBF, PFS_DISK)
+        assert p1.optimal_interval_s == pytest.approx(
+            math.sqrt(2.0 * p1.checkpoint_s * self.MTBF)
+        )
+        p2 = plan_checkpoints(self.FOOTPRINT * 4, self.MTBF, PFS_DISK)
+        assert p2.optimal_interval_s == pytest.approx(
+            math.sqrt(2.0 * p2.checkpoint_s * self.MTBF)
+        )
+        assert p2.optimal_interval_s > p1.optimal_interval_s
+
+    def test_more_frequent_checkpoints_on_fast_device(self):
+        plans = compare_targets(self.FOOTPRINT, self.MTBF)
+        assert plans["NVRAM"].checkpoints_per_hour > plans["PFS-disk"].checkpoints_per_hour
+
+    def test_efficiency_degrades_with_flaky_machine(self):
+        good = plan_checkpoints(self.FOOTPRINT, 24 * 3600.0, PFS_DISK)
+        bad = plan_checkpoints(self.FOOTPRINT, 600.0, PFS_DISK)
+        assert bad.efficiency < good.efficiency
+
+    def test_capacity_helper(self):
+        assert nvram_capacity_for_checkpointing(100, n_buffers=2) == 200
+        with pytest.raises(ConfigurationError):
+            nvram_capacity_for_checkpointing(100, n_buffers=0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(0, self.MTBF, PFS_DISK)
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(100, 0, PFS_DISK)
+        with pytest.raises(ConfigurationError):
+            CheckpointTarget("bad", bandwidth_gbs=0, latency_s=0)
+
+
+def make_trace(pattern: str, n: int = 20_000, span_lines: int = 1 << 16, seed: int = 0):
+    rng = make_rng(seed)
+    if pattern == "random":
+        lines = rng.integers(0, span_lines, n, dtype=np.uint64)
+    elif pattern == "hot":
+        lines = rng.integers(0, span_lines // 64, n, dtype=np.uint64)
+    else:
+        lines = np.arange(n, dtype=np.uint64) % span_lines
+    addrs = lines * 64
+    is_w = rng.random(n) < 0.3
+    return [RefBatch(addr=addrs, is_write=is_w, size=np.full(n, 64, np.uint8),
+                     oid=np.full(n, -1, np.int32))]
+
+
+class TestDRAMCacheVsHorizontal:
+    def test_low_locality_defeats_dram_cache(self):
+        """§II: 'For workloads with poor locality, the DRAM cache actually
+        lowers performance and increases energy consumption.'"""
+        trace = make_trace("random", span_lines=1 << 18)
+        # DRAM cache much smaller than the (random) working set
+        cache = DRAMCacheModel(PCRAM, dram_capacity_bytes=int(0.25 * MiB))
+        hier = cache.run(trace)
+        assert hier.hit_rate < 0.2
+        # horizontal comparator with the same DRAM budget: hot pages (none
+        # here, so classification puts everything in NVRAM-eligible or
+        # DRAM) — use all-DRAM-resident for the footprint that fits,
+        # approximated by mapping the first 0.25 MiB of pages to DRAM.
+        pm = PageMap()
+        pm.assign_range(0, (1 << 18) * 64, MemoryPool.NVRAM)
+        pm.assign_range(0, int(0.25 * MiB), MemoryPool.DRAM)
+        horiz = HorizontalModel(PCRAM, pm, dram_capacity_bytes=int(0.25 * MiB)).run(trace)
+        # hierarchical pays probe+fill on ~every access: slower than
+        # flat NVRAM access
+        assert hier.avg_latency_ns > horiz.avg_latency_ns
+
+    def test_high_locality_favors_dram_cache(self):
+        """With a hot working set that fits, the cache wins latency."""
+        trace = make_trace("hot", span_lines=1 << 16)
+        cache = DRAMCacheModel(PCRAM, dram_capacity_bytes=2 * MiB)
+        hier = cache.run(trace)
+        assert hier.hit_rate > 0.8
+        pm = PageMap()
+        pm.assign_range(0, (1 << 16) * 64, MemoryPool.NVRAM)
+        horiz = HorizontalModel(PCRAM, pm).run(trace)
+        assert hier.avg_latency_ns < horiz.avg_latency_ns
+
+    def test_traffic_accounting(self):
+        trace = make_trace("seq", n=5000, span_lines=1 << 14)
+        cache = DRAMCacheModel(STTRAM, dram_capacity_bytes=1 * MiB)
+        res = cache.run(trace)
+        assert res.accesses == 5000
+        assert res.dram_hits + res.nvram_fills == 5000
+        assert res.nvram_writebacks <= res.nvram_fills
+
+    def test_horizontal_latency_composition(self):
+        trace = make_trace("seq", n=1000, span_lines=1 << 12)
+        pm = PageMap()
+        pm.assign_range(0, (1 << 12) * 64, MemoryPool.NVRAM)
+        res = HorizontalModel(PCRAM, pm).run(trace)
+        assert res.nvram_accesses == 1000
+        # reads at 20ns; writes are posted through the controller's write
+        # buffer (DRAM-class visible latency): average lands in between
+        assert 10.0 <= res.avg_latency_ns <= 20.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DRAMCacheModel(PCRAM, dram_capacity_bytes=0)

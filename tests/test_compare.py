@@ -1,0 +1,76 @@
+"""Result comparison API."""
+
+import pytest
+
+from repro.scavenger import NVScavenger
+from repro.scavenger.compare import (
+    ComparisonReport,
+    ObjectDelta,
+    compare_results,
+    normalize_object_name,
+)
+from repro.workloads.generator import ObjectSpec, SyntheticWorkload, WorkloadSpec
+
+
+def make_result(write_table=False, extra=False):
+    objects = [
+        ObjectSpec("table", "global", 1000, reads_per_iter=200,
+                   writes_per_iter=20 if write_table else 0),
+        ObjectSpec("state", "global", 2000, reads_per_iter=100, writes_per_iter=50),
+        ObjectSpec("scratch", "heap", 300, reads_per_iter=30, writes_per_iter=30),
+    ]
+    if extra:
+        objects.append(
+            ObjectSpec("new_buffer", "global", 400, reads_per_iter=10,
+                       writes_per_iter=10)
+        )
+    spec = WorkloadSpec(objects=tuple(objects), n_iterations=4)
+    return NVScavenger().analyze(SyntheticWorkload(spec), n_main_iterations=4)
+
+
+class TestNormalize:
+    def test_heap_names_stripped(self):
+        assert normalize_object_name("heap:cam:workspace") == "heap:workspace"
+        assert normalize_object_name("heap:synthetic:x") == "heap:x"
+
+    def test_globals_untouched(self):
+        assert normalize_object_name("mass_matrix") == "mass_matrix"
+
+
+class TestCompare:
+    def test_identical_runs_fully_stable(self):
+        a = make_result()
+        b = make_result()
+        rep = compare_results(a, b)
+        assert rep.stable_fraction == 1.0
+        assert not rep.changed
+        assert not rep.only_in_a and not rep.only_in_b
+
+    def test_classification_flip_detected(self):
+        rep = compare_results(make_result(write_table=False),
+                              make_result(write_table=True))
+        changed = {d.name for d in rep.changed}
+        assert "table" in changed
+        delta = next(d for d in rep.shared if d.name == "table")
+        assert delta.class_a == "read_only"
+        assert delta.class_b != "read_only"
+        assert delta.classification_changed
+        assert rep.stable_fraction < 1.0
+
+    def test_new_objects_reported(self):
+        rep = compare_results(make_result(), make_result(extra=True))
+        assert "new_buffer" in rep.only_in_b
+        assert not rep.only_in_a
+
+    def test_rw_shift(self):
+        d = ObjectDelta("x", 2.0, 4.0, 0, 0, 1, 1, "a", "a", "p", "p")
+        assert d.rw_ratio_shift == pytest.approx(2.0)
+        ro = ObjectDelta("x", float("inf"), 5.0, 0, 0, 1, 1, "a", "a", "p", "p")
+        assert ro.rw_ratio_shift == float("inf")
+        same = ObjectDelta("x", float("inf"), float("inf"), 0, 0, 1, 1, "a", "a", "p", "p")
+        assert same.rw_ratio_shift == 1.0
+
+    def test_empty_report_defaults(self):
+        rep = ComparisonReport()
+        assert rep.stable_fraction == 1.0
+        assert rep.changed == []

@@ -1,0 +1,208 @@
+"""Hybrid memory: page map, static placement, migration, energy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.hybrid.energy import HybridEnergyModel
+from repro.hybrid.migration import DynamicMigrator
+from repro.hybrid.pagemap import MemoryPool, PageMap
+from repro.hybrid.placement import PlacementPlan, StaticPlacer
+from repro.memory.object import ObjectKind
+from repro.nvram.technology import DRAM_DDR3, PCRAM, STTRAM
+from repro.scavenger.classify import classify_objects
+from repro.scavenger.config import ScavengerConfig
+from repro.scavenger.metrics import ObjectMetrics
+from repro.trace.record import AccessType, RefBatch
+
+
+def make_metrics(oid, reads, writes, size=4096, touched=10, write_share=0.0):
+    return ObjectMetrics(
+        oid=oid, name=f"o{oid}", kind=ObjectKind.GLOBAL, size=size,
+        base=0x100000 + oid * 0x10000, reads=reads, writes=writes,
+        reference_rate=0.0, write_share=write_share,
+        reads_per_iter=np.zeros(11, np.int64),
+        writes_per_iter=np.zeros(11, np.int64),
+        iterations_touched=touched,
+    )
+
+
+class TestPageMap:
+    def test_default_pool_is_dram(self):
+        pm = PageMap()
+        assert pm.pool_of(0x1234) is MemoryPool.DRAM
+
+    def test_assign_range(self):
+        pm = PageMap(page_bytes=4096)
+        n = pm.assign_range(0x10000, 3 * 4096, MemoryPool.NVRAM)
+        assert n == 3
+        assert pm.pool_of(0x10000) is MemoryPool.NVRAM
+        assert pm.pool_of(0x10000 + 3 * 4096) is MemoryPool.DRAM
+
+    def test_partial_page_rounds_up(self):
+        pm = PageMap(page_bytes=4096)
+        assert pm.assign_range(0x1000, 1, MemoryPool.NVRAM) == 1
+
+    def test_migrate_counts_only_changes(self):
+        pm = PageMap()
+        pm.assign_range(0, 4096, MemoryPool.DRAM)
+        assert not pm.migrate_page(0, MemoryPool.DRAM)
+        assert pm.migrate_page(0, MemoryPool.NVRAM)
+        assert pm.migrations == 1
+
+    def test_pool_of_batch_matches_scalar(self):
+        pm = PageMap(page_bytes=4096)
+        pm.assign_range(0x10000, 8192, MemoryPool.NVRAM)
+        addrs = np.array([0x0, 0x10000, 0x11000, 0x12000, 0x20000], dtype=np.uint64)
+        out = pm.pool_of_batch(addrs)
+        expected = [int(pm.pool_of(int(a))) for a in addrs]
+        assert out.tolist() == expected
+
+    def test_bytes_in_pool(self):
+        pm = PageMap(page_bytes=4096)
+        pm.assign_range(0, 2 * 4096, MemoryPool.NVRAM)
+        assert pm.bytes_in_pool(MemoryPool.NVRAM) == 8192
+
+    def test_invalid_page_size(self):
+        with pytest.raises(PlacementError):
+            PageMap(page_bytes=1000)
+
+
+class TestStaticPlacer:
+    CFG = ScavengerConfig()
+
+    def classified(self):
+        rows = [
+            make_metrics(0, reads=100, writes=0, size=1000),  # read-only
+            make_metrics(1, reads=1000, writes=5, size=2000),  # high rw
+            make_metrics(2, reads=100, writes=50, size=4000),  # read-leaning
+            make_metrics(3, reads=10, writes=100, size=8000),  # write-heavy
+        ]
+        return rows, classify_objects(rows, self.CFG)
+
+    def test_category1_admits_only_writeless_objects(self):
+        _, classified = self.classified()
+        plan = StaticPlacer(PCRAM).place(classified)
+        # only the read-only object (oid 0) qualifies for category 1
+        assert set(plan.nvram_oids) == {0}
+        assert plan.nvram_bytes == 1000
+        assert plan.nvram_fraction == pytest.approx(1000 / 15000)
+
+    def test_category2_admits_read_leaning(self):
+        _, classified = self.classified()
+        plan = StaticPlacer(STTRAM).place(classified)
+        assert set(plan.nvram_oids) == {0, 1, 2}
+        assert 3 in plan.dram_oids
+
+    def test_capacity_spill_largest_first(self):
+        _, classified = self.classified()
+        plan = StaticPlacer(STTRAM, nvram_capacity=4000).place(classified)
+        # largest eligible (oid 2, 4000B) fits; the rest spill
+        assert plan.nvram_oids == [2]
+        assert set(plan.spilled_oids) == {0, 1}
+
+    def test_page_map_materialization(self):
+        rows, classified = self.classified()
+        pm = PageMap()
+        StaticPlacer(STTRAM).place(classified, page_map=pm)
+        assert pm.pool_of(rows[0].base) is MemoryPool.NVRAM
+        assert pm.pool_of(rows[3].base) is MemoryPool.DRAM
+
+    def test_dram_tech_rejected(self):
+        with pytest.raises(PlacementError):
+            StaticPlacer(DRAM_DDR3)
+
+
+class TestDynamicMigrator:
+    def batch(self, pages, write=False):
+        addrs = np.asarray(pages, dtype=np.uint64) * 4096
+        return RefBatch.from_access(addrs, AccessType.WRITE if write else AccessType.READ)
+
+    def test_write_hot_page_moves_to_dram(self):
+        pm = PageMap()
+        pm.assign_range(0, 10 * 4096, MemoryPool.NVRAM)
+        mig = DynamicMigrator(pm, write_hot_threshold=10, read_popular_threshold=100)
+        mig.observe(self.batch([3] * 20, write=True))
+        to_dram, _ = mig.end_epoch()
+        assert to_dram == 1
+        assert pm.pool_of(3 * 4096) is MemoryPool.DRAM
+
+    def test_read_only_page_moves_to_nvram(self):
+        pm = PageMap()  # defaults: everything DRAM
+        mig = DynamicMigrator(pm, write_hot_threshold=10, read_popular_threshold=100)
+        mig.observe(self.batch([5] * 7))  # a few reads, zero writes
+        _, to_nvram = mig.end_epoch()
+        assert to_nvram == 1
+        assert pm.pool_of(5 * 4096) is MemoryPool.NVRAM
+
+    def test_decay_forgets_history(self):
+        pm = PageMap()
+        mig = DynamicMigrator(pm, write_hot_threshold=16, decay=0.5)
+        mig.observe(self.batch([1] * 10, write=True))
+        mig.end_epoch()  # below threshold, decays to 5
+        mig.observe(self.batch([1] * 10, write=True))  # 5+10=15 < 16
+        to_dram, _ = mig.end_epoch()
+        assert to_dram == 0
+
+    def test_stats(self):
+        pm = PageMap()
+        pm.assign_range(0, 2 * 4096, MemoryPool.NVRAM)
+        mig = DynamicMigrator(pm, write_hot_threshold=1, read_popular_threshold=1)
+        mig.observe(self.batch([0, 1], write=True))
+        mig.end_epoch()
+        assert mig.stats.epochs == 1
+        assert mig.stats.migrations == 2
+        assert mig.stats.bytes_moved == 2 * 4096
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DynamicMigrator(PageMap(), decay=1.0)
+        with pytest.raises(ConfigurationError):
+            DynamicMigrator(PageMap(), write_hot_threshold=0)
+
+
+class TestEnergyModel:
+    def test_all_nvram_read_only_saves_static(self):
+        rows = [make_metrics(0, reads=1000, writes=0, size=1 << 20)]
+        plan = PlacementPlan(tech_name="PCRAM", nvram_oids=[0], nvram_bytes=1 << 20)
+        model = HybridEnergyModel(PCRAM)
+        window = model.calibrated_window_ns(rows)
+        hybrid = model.energy(rows, plan, window)
+        base = model.all_dram_baseline(rows, window)
+        assert hybrid.savings_vs(base) > 0.3  # static share was 40%
+        assert hybrid.static_nj == 0.0
+
+    def test_write_heavy_nvram_can_cost_energy(self):
+        rows = [make_metrics(0, reads=10, writes=10_000, size=4096)]
+        plan = PlacementPlan(tech_name="STTRAM", nvram_oids=[0], nvram_bytes=4096)
+        model = HybridEnergyModel(STTRAM)
+        window = model.calibrated_window_ns(rows)
+        hybrid = model.energy(rows, plan, window)
+        base = model.all_dram_baseline(rows, window)
+        assert hybrid.savings_vs(base) < 0.2  # writes at 150 mA eat the saving
+
+    def test_memory_access_fraction_scales_dynamic(self):
+        rows = [make_metrics(0, reads=1000, writes=0)]
+        model = HybridEnergyModel(PCRAM)
+        full = model.all_dram_baseline(rows, 1e6, memory_access_fraction=1.0)
+        tenth = model.all_dram_baseline(rows, 1e6, memory_access_fraction=0.1)
+        assert tenth.dynamic_nj == pytest.approx(full.dynamic_nj * 0.1, rel=0.01)
+
+    def test_calibrated_window_hits_static_fraction(self):
+        rows = [make_metrics(0, reads=5000, writes=500, size=1 << 20)]
+        model = HybridEnergyModel(PCRAM)
+        w = model.calibrated_window_ns(rows, static_fraction=0.4)
+        base = model.all_dram_baseline(rows, w)
+        assert base.static_nj / base.total_nj == pytest.approx(0.4, rel=0.01)
+
+    def test_average_power(self):
+        rows = [make_metrics(0, reads=100, writes=0)]
+        rep = HybridEnergyModel(PCRAM).all_dram_baseline(rows, 1e6)
+        assert rep.average_power_mw == pytest.approx(rep.total_nj / 1e6 * 1e3)
+
+    def test_invalid(self):
+        model = HybridEnergyModel(PCRAM)
+        with pytest.raises(PlacementError):
+            model.energy([], PlacementPlan("x"), 0.0)
+        with pytest.raises(PlacementError):
+            model.calibrated_window_ns([make_metrics(0, 1, 0)], static_fraction=1.5)

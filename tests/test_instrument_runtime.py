@@ -1,0 +1,178 @@
+"""Instrumented runtime: probe events, recording windows, access checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrument.api import Probe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.trace.record import RefBatch
+
+
+class RecordingProbe(Probe):
+    """Captures every event for assertions."""
+
+    def __init__(self):
+        self.batches: list[RefBatch] = []
+        self.allocs = []
+        self.frees = []
+        self.globals = []
+        self.calls = []
+        self.rets = []
+        self.iterations = []
+        self.finished = False
+
+    def on_batch(self, batch):
+        self.batches.append(batch)
+
+    def on_alloc(self, obj):
+        self.allocs.append(obj)
+
+    def on_free(self, obj):
+        self.frees.append(obj)
+
+    def on_global(self, obj):
+        self.globals.append(obj)
+
+    def on_call(self, frame, obj):
+        self.calls.append((frame.routine, obj.oid))
+
+    def on_ret(self, frame):
+        self.rets.append(frame.routine)
+
+    def on_iteration(self, i):
+        self.iterations.append(i)
+
+    def on_finish(self):
+        self.finished = True
+
+
+@pytest.fixture
+def rt_probe():
+    probe = RecordingProbe()
+    return InstrumentedRuntime(probe, buffer_capacity=64), probe
+
+
+def test_load_store_reach_probe(rt_probe):
+    rt, probe = rt_probe
+    g = rt.global_array("g", 100)
+    rt.store(g, np.arange(10))
+    rt.load(g, np.arange(10))
+    rt.finish()
+    assert probe.finished
+    total = sum(len(b) for b in probe.batches)
+    assert total == 20
+    writes = sum(b.n_writes for b in probe.batches)
+    assert writes == 10
+
+
+def test_addresses_are_in_object_range(rt_probe):
+    rt, probe = rt_probe
+    g = rt.global_array("g", 100, itemsize=8)
+    rt.load(g, np.array([0, 99]))
+    rt.finish()
+    addrs = np.concatenate([b.addr for b in probe.batches])
+    assert addrs[0] == g.base
+    assert addrs[1] == g.base + 99 * 8
+    assert all(g.obj.contains(int(a)) for a in addrs)
+
+
+def test_repeat(rt_probe):
+    rt, probe = rt_probe
+    g = rt.global_array("g", 10)
+    rt.load(g, np.arange(5), repeat=3)
+    rt.finish()
+    assert sum(len(b) for b in probe.batches) == 15
+
+
+def test_repeat_invalid(rt_probe):
+    rt, _ = rt_probe
+    g = rt.global_array("g", 10)
+    with pytest.raises(InstrumentationError):
+        rt.load(g, np.arange(5), repeat=0)
+
+
+def test_access_dead_object_raises(rt_probe):
+    rt, _ = rt_probe
+    h = rt.malloc(64, "x:1")
+    rt.free(h)
+    with pytest.raises(InstrumentationError):
+        rt.load(h, np.arange(4))
+
+
+def test_double_free_raises(rt_probe):
+    rt, _ = rt_probe
+    h = rt.malloc(64, "x:1")
+    rt.free(h)
+    with pytest.raises(InstrumentationError):
+        rt.free(h)
+
+
+def test_paused_recording_drops_refs_but_not_allocs(rt_probe):
+    rt, probe = rt_probe
+    g = rt.global_array("g", 100)
+    with rt.paused_recording():
+        rt.store(g, np.arange(50))
+        h = rt.malloc(10, "x:1")  # allocation events still observed
+    rt.load(g, np.arange(5))
+    rt.finish()
+    assert sum(len(b) for b in probe.batches) == 5
+    assert len(probe.allocs) == 1
+
+
+def test_call_events_and_flush_boundaries(rt_probe):
+    rt, probe = rt_probe
+    g = rt.global_array("g", 100)
+    rt.load(g, np.arange(3))
+    with rt.call("kernel", frame_bytes=256):
+        loc = rt.local_array("tmp", 8)
+        rt.store(loc, np.arange(8))
+    rt.finish()
+    assert probe.calls == [("kernel", loc.obj.oid)]
+    assert probe.rets == ["kernel"]
+    # the pre-call refs were flushed before the call event
+    assert len(probe.batches[0]) == 3
+
+
+def test_iteration_tagging(rt_probe):
+    rt, probe = rt_probe
+    g = rt.global_array("g", 10)
+    rt.begin_iteration(1)
+    rt.load(g, np.arange(4))
+    rt.begin_iteration(2)
+    rt.load(g, np.arange(6))
+    rt.finish()
+    tags = [(b.iteration, len(b)) for b in probe.batches]
+    assert tags == [(1, 4), (2, 6)]
+    assert probe.iterations == [1, 2]
+
+
+def test_negative_iteration(rt_probe):
+    rt, _ = rt_probe
+    with pytest.raises(InstrumentationError):
+        rt.begin_iteration(-1)
+
+
+def test_realloc_returns_new_handle(rt_probe):
+    rt, probe = rt_probe
+    h = rt.malloc(64, "x:1")
+    h2 = rt.realloc(h, 128, "x:1")
+    assert h2.obj.alive
+    assert len(probe.frees) == 1
+    assert len(probe.allocs) == 2
+
+
+def test_compute_counts_instructions(rt_probe):
+    rt, _ = rt_probe
+    rt.compute(100)
+    rt.compute(50)
+    assert rt.instruction_count == 150
+    with pytest.raises(InstrumentationError):
+        rt.compute(-1)
+
+
+def test_common_block(rt_probe):
+    rt, probe = rt_probe
+    cb = rt.common_block("/blk/", [("a", 10), ("b", 10)])
+    assert cb.n_elements == 20
+    assert len(probe.globals) == 1

@@ -1,0 +1,81 @@
+"""SamplingProbe: window forwarding and the paper's loss-of-objects claim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.instrument.api import Probe
+from repro.instrument.sampling import SamplingProbe
+from repro.trace.record import AccessType, RefBatch
+
+
+class Counter(Probe):
+    def __init__(self):
+        self.refs = 0
+        self.oids = set()
+        self.allocs = 0
+
+    def on_batch(self, batch):
+        self.refs += len(batch)
+        self.oids.update(np.unique(batch.oid).tolist())
+
+    def on_alloc(self, obj):
+        self.allocs += 1
+
+
+def make_batch(n, oid=0):
+    return RefBatch.from_access(np.arange(n, dtype=np.uint64), AccessType.READ, oid=oid)
+
+
+def test_forwards_exact_fraction():
+    c = Counter()
+    s = SamplingProbe(c, period_refs=10, sample_refs=3)
+    s.on_batch(make_batch(100))
+    assert c.refs == 30
+    assert s.refs_in == 100 and s.refs_out == 30
+    assert s.sampling_fraction == pytest.approx(0.3)
+
+
+def test_windows_span_batches():
+    c = Counter()
+    s = SamplingProbe(c, period_refs=10, sample_refs=5)
+    for _ in range(10):
+        s.on_batch(make_batch(3))
+    assert c.refs == 15  # half of 30
+
+
+def test_full_sampling_is_identity():
+    c = Counter()
+    s = SamplingProbe(c, period_refs=5, sample_refs=5)
+    s.on_batch(make_batch(23))
+    assert c.refs == 23
+
+
+def test_loses_objects_outside_window():
+    """The paper's rejection argument: objects whose accesses fall outside
+    sample windows lose ALL access information."""
+    c = Counter()
+    s = SamplingProbe(c, period_refs=100, sample_refs=10)
+    s.on_batch(make_batch(10, oid=1))  # inside the window
+    s.on_batch(make_batch(80, oid=2))  # entirely outside
+    s.on_batch(make_batch(30, oid=3))  # next window starts at ref 100
+    assert 1 in c.oids
+    assert 2 not in c.oids  # lost
+    assert 3 in c.oids
+
+
+def test_non_reference_events_always_forwarded():
+    c = Counter()
+    s = SamplingProbe(c, period_refs=100, sample_refs=1)
+
+    class Obj:
+        pass
+
+    s.on_alloc(Obj())
+    assert c.allocs == 1
+
+
+@pytest.mark.parametrize("period,window", [(0, 1), (10, 0), (5, 10)])
+def test_invalid_config(period, window):
+    with pytest.raises(ConfigurationError):
+        SamplingProbe(Counter(), period, window)

@@ -1,0 +1,122 @@
+"""AddressSpace: object table identity rules (§III)."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.memory.address_space import AddressSpace
+from repro.memory.object import ObjectKind
+
+
+def test_define_global_creates_object():
+    sp = AddressSpace()
+    obj = sp.define_global("mass_matrix", 1024)
+    assert obj.kind is ObjectKind.GLOBAL
+    assert obj.size == 1024
+    assert sp.object(obj.oid) is obj
+
+
+def test_heap_signature_folding():
+    """Same callsite + callstack + base + size => one logical object."""
+    sp = AddressSpace()
+    sp.call("main", 64)
+    a = sp.malloc(256, "solver.f90:42")
+    sp.free(a.base)
+    b = sp.malloc(256, "solver.f90:42")
+    assert a.oid == b.oid
+    assert b.alive
+    sp.ret()
+
+
+def test_heap_different_callsite_not_folded():
+    sp = AddressSpace()
+    a = sp.malloc(256, "x.c:1")
+    sp.free(a.base)
+    b = sp.malloc(256, "y.c:2")  # same base (address reuse), different site
+    assert a.base == b.base
+    assert a.oid != b.oid
+    assert not a.alive and b.alive
+
+
+def test_heap_different_callstack_not_folded():
+    sp = AddressSpace()
+    sp.call("f", 32)
+    a = sp.malloc(64, "s:1")
+    sp.free(a.base)
+    sp.ret()
+    sp.call("g", 32)
+    b = sp.malloc(64, "s:1")
+    sp.ret()
+    assert a.oid != b.oid
+
+
+def test_dead_flag_set_on_free():
+    sp = AddressSpace()
+    a = sp.malloc(128, "s:1")
+    assert a.alive
+    sp.free(a.base)
+    assert not sp.object(a.oid).alive
+
+
+def test_free_untracked_raises():
+    sp = AddressSpace()
+    with pytest.raises(InstrumentationError):
+        sp.free(0x123456)
+
+
+def test_realloc_marks_old_dead_and_creates_new():
+    sp = AddressSpace()
+    a = sp.malloc(128, "s:1")
+    b = sp.realloc(a.base, 64, "s:2")
+    assert not sp.object(a.oid).alive
+    assert b.alive
+    assert b.size == 64
+
+
+def test_live_heap_object_at():
+    sp = AddressSpace()
+    a = sp.malloc(128, "s:1")
+    assert sp.live_heap_object_at(a.base) is a
+    sp.free(a.base)
+    assert sp.live_heap_object_at(a.base) is None
+
+
+def test_stack_frame_object_per_routine():
+    """All invocations of a routine share one frame object (routine
+    signature = starting address in the paper)."""
+    sp = AddressSpace()
+    f1 = sp.call("kernel", 128)
+    sp.ret()
+    sp.call("outer", 64)
+    f2 = sp.call("kernel", 128)  # deeper this time
+    sp.ret()
+    sp.ret()
+    assert f1.oid == f2.oid
+    # footprint tracks the deepest extent
+    assert sp.frame_object_for("kernel").base <= f1.base
+
+
+def test_common_block_single_object():
+    sp = AddressSpace()
+    obj = sp.define_common_block("/com/", [("a", 64), ("b", 64)])
+    assert obj.kind is ObjectKind.GLOBAL
+    assert obj.size == 128
+    assert "/com/%a" in obj.name
+
+
+def test_birth_iteration_tracked():
+    sp = AddressSpace()
+    pre = sp.malloc(64, "pre:1")
+    sp.current_iteration = 3
+    mid = sp.malloc(64, "mid:1")
+    assert pre.birth_iteration == 0
+    assert mid.birth_iteration == 3
+
+
+def test_footprint_accounting():
+    sp = AddressSpace()
+    sp.define_global("g", 1000)
+    sp.malloc(500, "s:1")
+    sp.call("main", 256)
+    fp = sp.footprint_bytes()
+    # globals are 16-aligned internally; footprint >= requested bytes
+    assert fp >= 1000 + 500 + 256

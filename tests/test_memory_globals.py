@@ -1,0 +1,96 @@
+"""Global segment: symbols, views, FORTRAN common-block merging."""
+
+import pytest
+
+from repro.errors import SegmentError
+from repro.memory.globals import GlobalSegment
+from repro.memory.layout import Segment, SegmentKind
+
+
+def make_globals(size=1 << 20, base=0x4000):
+    return GlobalSegment(Segment(SegmentKind.GLOBAL, base, base + size))
+
+
+def test_define_lays_out_disjoint():
+    g = make_globals()
+    a = g.define("a", 100)
+    b = g.define("b", 50)
+    assert a.limit <= b.base
+    assert g.bytes_used >= 150
+
+
+def test_define_bad_size():
+    g = make_globals()
+    with pytest.raises(SegmentError):
+        g.define("zero", 0)
+
+
+def test_exhaustion():
+    g = make_globals(size=128)
+    g.define("a", 64)
+    with pytest.raises(SegmentError):
+        g.define("b", 128)
+
+
+def test_view_must_be_inside_segment():
+    g = make_globals()
+    with pytest.raises(SegmentError):
+        g.define_view("v", 0, 10)
+
+
+def test_merged_objects_disjoint_symbols_stay_separate():
+    g = make_globals()
+    g.define("x", 100)
+    g.define("y", 100)
+    merged = g.merged_objects()
+    assert [m[0] for m in merged] == ["x", "y"]
+
+
+def test_common_block_members_merge_into_one():
+    g = make_globals()
+    g.define("before", 64)
+    g.define_common_block("/fields/", [("t", 80), ("u", 40), ("v", 40)])
+    merged = g.merged_objects()
+    assert len(merged) == 2
+    name, base, size = merged[-1]
+    # union name combines block and member views
+    assert "/fields/" in name
+    assert "/fields/%t" in name
+    assert size == 160
+
+
+def test_repartitioned_common_block_different_views():
+    """The same block viewed as (a,b) by one unit and (c) by another."""
+    g = make_globals()
+    block = g.define("/blk/", 100)
+    g.define_view("unit1%a", block.base, 60)
+    g.define_view("unit1%b", block.base + 60, 40)
+    g.define_view("unit2%c", block.base, 100)
+    merged = g.merged_objects()
+    assert len(merged) == 1
+    name, base, size = merged[0]
+    assert base == block.base
+    assert size == 100
+    for part in ("/blk/", "unit1%a", "unit1%b", "unit2%c"):
+        assert part in name
+
+
+def test_partial_overlap_union_range():
+    g = make_globals()
+    a = g.define("a", 100)
+    # a view starting inside `a` and extending past it (overlapping the gap)
+    g.define_view("tail", a.base + 50, 100)
+    merged = g.merged_objects()
+    assert merged[0][1] == a.base
+    assert merged[0][2] == 150
+
+
+def test_adjacent_symbols_do_not_merge():
+    g = make_globals()
+    a = g.define("a", 16)
+    g.define_view("b_adjacent", a.limit, 16)
+    assert len(g.merged_objects()) == 2
+
+
+def test_merged_objects_empty():
+    assert make_globals().merged_objects() == []

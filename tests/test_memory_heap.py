@@ -1,0 +1,149 @@
+"""Heap allocator: first-fit, coalescing, address reuse, realloc."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import AllocationError, InvalidFreeError
+from repro.memory.heap import HeapAllocator
+from repro.memory.layout import Segment, SegmentKind
+
+
+def make_heap(size=1 << 20, base=0x1000):
+    return HeapAllocator(Segment(SegmentKind.HEAP, base, base + size))
+
+
+def test_malloc_returns_aligned_disjoint_blocks():
+    h = make_heap()
+    a = h.malloc(100)
+    b = h.malloc(200)
+    assert a % 16 == 0 and b % 16 == 0
+    assert b >= a + 112  # 100 aligned up to 112
+    assert h.bytes_allocated == 300
+
+
+def test_malloc_bad_size():
+    h = make_heap()
+    with pytest.raises(AllocationError):
+        h.malloc(0)
+    with pytest.raises(AllocationError):
+        h.malloc(-5)
+
+
+def test_free_and_address_reuse():
+    h = make_heap()
+    a = h.malloc(128)
+    h.free(a)
+    b = h.malloc(64)
+    # first-fit: the freed block is reused from its start
+    assert b == a
+
+
+def test_free_unknown_pointer():
+    h = make_heap()
+    with pytest.raises(InvalidFreeError):
+        h.free(0xDEAD)
+
+
+def test_double_free():
+    h = make_heap()
+    a = h.malloc(10)
+    h.free(a)
+    with pytest.raises(InvalidFreeError):
+        h.free(a)
+
+
+def test_exhaustion():
+    h = make_heap(size=1024)
+    h.malloc(512)
+    with pytest.raises(AllocationError):
+        h.malloc(1024)
+
+
+def test_coalescing_allows_large_realloc():
+    h = make_heap(size=4096)
+    blocks = [h.malloc(512) for _ in range(8)]
+    for b in blocks:
+        h.free(b)
+    # without coalescing this would fail
+    big = h.malloc(4096)
+    assert big == blocks[0]
+
+
+def test_realloc_is_free_then_malloc():
+    h = make_heap()
+    a = h.malloc(100)
+    b = h.realloc(a, 50)
+    # paper semantics: realloc = free + malloc; first-fit reuses the hole
+    assert b == a
+    assert h.size_of(b) == 50
+    with pytest.raises(InvalidFreeError):
+        h.size_of(a + 16)
+
+
+def test_peak_tracking():
+    h = make_heap()
+    a = h.malloc(1000)
+    b = h.malloc(2000)
+    h.free(a)
+    h.free(b)
+    assert h.bytes_allocated == 0
+    assert h.peak_bytes == 3000
+
+
+def test_counters():
+    h = make_heap()
+    a = h.malloc(8)
+    h.free(a)
+    h.malloc(8)
+    assert h.alloc_count == 2
+    assert h.free_count == 1
+
+
+@given(st.lists(st.integers(1, 2000), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_property_alloc_all_then_free_all(sizes):
+    h = make_heap(size=1 << 22)
+    ptrs = [h.malloc(s) for s in sizes]
+    assert len(set(ptrs)) == len(ptrs)
+    h.check_invariants()
+    for p in ptrs:
+        h.free(p)
+    h.check_invariants()
+    assert h.bytes_allocated == 0
+    # the whole segment coalesces back into one block: a full-size malloc works
+    big = h.malloc((1 << 22) - 16)
+    assert big is not None
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Stateful fuzz: interleaved malloc/free preserves invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap = make_heap(size=1 << 20)
+        self.live: list[int] = []
+
+    @rule(size=st.integers(1, 5000))
+    def alloc(self, size):
+        try:
+            p = self.heap.malloc(size)
+        except AllocationError:
+            return
+        assert p not in self.live
+        self.live.append(p)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_one(self, data):
+        idx = data.draw(st.integers(0, len(self.live) - 1))
+        self.heap.free(self.live.pop(idx))
+
+    @invariant()
+    def invariants_hold(self):
+        self.heap.check_invariants()
+
+
+TestHeapMachine = HeapMachine.TestCase
+TestHeapMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,51 @@
+"""Address layout and segment semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SegmentError
+from repro.memory.layout import AddressLayout, Segment, SegmentKind
+
+
+def test_default_layout_segments_are_contiguous():
+    lay = AddressLayout()
+    g, h, s = lay.global_segment, lay.heap_segment, lay.stack_segment
+    assert g.limit == h.base
+    assert h.limit == s.base
+    assert lay.stack_top == s.limit
+
+
+def test_segment_kind_classification():
+    lay = AddressLayout()
+    assert lay.segment_of(lay.global_segment.base) is SegmentKind.GLOBAL
+    assert lay.segment_of(lay.heap_segment.base) is SegmentKind.HEAP
+    assert lay.segment_of(lay.stack_top - 1) is SegmentKind.STACK
+
+
+def test_unmapped_address_raises():
+    lay = AddressLayout()
+    with pytest.raises(SegmentError):
+        lay.segment_of(0)
+    with pytest.raises(SegmentError):
+        lay.segment_of(lay.stack_top)
+
+
+def test_segment_contains_and_check():
+    seg = Segment(SegmentKind.HEAP, 100, 200)
+    assert seg.contains(100)
+    assert seg.contains(199)
+    assert not seg.contains(200)
+    assert seg.size == 100
+    seg.check(150)
+    with pytest.raises(SegmentError):
+        seg.check(200)
+
+
+def test_invalid_segment():
+    with pytest.raises(ConfigurationError):
+        Segment(SegmentKind.HEAP, 100, 100)
+
+
+@pytest.mark.parametrize("field", ["global_size", "heap_size", "stack_size"])
+def test_invalid_layout_sizes(field):
+    with pytest.raises(ConfigurationError):
+        AddressLayout(**{field: 0})

@@ -1,0 +1,112 @@
+"""Stack manager: SP tracking, shadow stack, frame attribution."""
+
+import pytest
+
+from repro.errors import StackError
+from repro.memory.layout import Segment, SegmentKind
+from repro.memory.stack import StackManager
+
+
+def make_stack(size=1 << 16, base=0x10000):
+    return StackManager(Segment(SegmentKind.STACK, base, base + size))
+
+
+def test_initial_state():
+    s = make_stack()
+    assert s.sp == s.segment.limit
+    assert s.max_extent == s.segment.limit
+    assert s.depth == 0
+    with pytest.raises(StackError):
+        s.current_frame
+
+
+def test_push_pop_moves_sp():
+    s = make_stack()
+    top = s.sp
+    f = s.push_frame("main", 100)
+    assert f.size == 112  # aligned to 16
+    assert s.sp == top - 112
+    assert s.max_extent == s.sp
+    s.pop_frame()
+    assert s.sp == top
+    assert s.max_extent == top - 112  # max extent is sticky
+
+
+def test_nested_frames_and_callstack():
+    s = make_stack()
+    s.push_frame("a", 64)
+    s.push_frame("b", 32)
+    s.push_frame("c", 16)
+    assert s.callstack_names() == ("a", "b", "c")
+    assert s.depth == 3
+    assert s.current_frame.routine == "c"
+    s.pop_frame()
+    assert s.callstack_names() == ("a", "b")
+
+
+def test_pop_empty_raises():
+    s = make_stack()
+    with pytest.raises(StackError):
+        s.pop_frame()
+
+
+def test_overflow():
+    s = make_stack(size=256)
+    with pytest.raises(StackError):
+        s.push_frame("big", 512)
+
+
+def test_negative_frame():
+    s = make_stack()
+    with pytest.raises(StackError):
+        s.push_frame("neg", -1)
+
+
+def test_is_stack_address_uses_max_extent():
+    s = make_stack()
+    s.push_frame("deep", 1024)
+    addr_inside = s.sp + 10
+    s.pop_frame()
+    # the paper's test compares against the *maximum* extent: an address in
+    # the popped frame still counts as stack
+    assert s.is_stack_address(addr_inside)
+    assert not s.is_stack_address(s.max_extent - 1)
+    assert not s.is_stack_address(s.segment.limit)
+
+
+def test_owner_frame_attribution():
+    s = make_stack()
+    fa = s.push_frame("caller", 128)
+    fb = s.push_frame("callee", 64)
+    addr_in_caller = fa.sp + 8
+    addr_in_callee = fb.sp + 8
+    # the callee accessing below its own frame attributes to the caller,
+    # "because it is the previously called routine that really allocates
+    # data on the stack"
+    assert s.owner_frame(addr_in_caller).routine == "caller"
+    assert s.owner_frame(addr_in_callee).routine == "callee"
+    assert s.owner_frame(s.segment.base) is None
+
+
+def test_alloc_local():
+    s = make_stack()
+    f = s.push_frame("r", 256)
+    a1 = s.alloc_local("x", 64)
+    a2 = s.alloc_local("y", 64)
+    assert f.contains(a1) and f.contains(a2)
+    assert a2 == a1 - 64  # locals carved downward
+    assert f.variables["x"] == (a1, 64)
+
+
+def test_alloc_local_overflow():
+    s = make_stack()
+    s.push_frame("r", 64)
+    with pytest.raises(StackError):
+        s.alloc_local("too_big", 128)
+
+
+def test_zero_size_frame():
+    s = make_stack()
+    f = s.push_frame("empty", 0)
+    assert f.size == 0
+    assert not f.contains(s.sp)

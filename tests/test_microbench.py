@@ -1,0 +1,131 @@
+"""Microbenchmarks with known signatures: end-to-end pipeline validation."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import MemoryTraceProbe
+from repro.errors import ConfigurationError
+from repro.instrument import InstrumentedRuntime
+from repro.instrument.api import FanoutProbe
+from repro.perfsim import PerformanceSimulator, estimate_prefetch_coverage
+from repro.scavenger import NVScavenger
+from repro.scavenger.locality import LocalityAnalyzer
+from repro.workloads.microbench import (
+    GUPS,
+    MICROBENCHES,
+    PointerChase,
+    Stencil5,
+    StreamTriad,
+    create_microbench,
+)
+
+
+def full_pipeline(bench):
+    """Analyze + cache-filter + locality in one instrumented run."""
+    cache = MemoryTraceProbe()
+    loc = LocalityAnalyzer()
+    sc = NVScavenger(extra_probes=[cache, loc])
+    instructions = 0
+    dep_frac = 0.0
+
+    def program(rt):
+        nonlocal instructions, dep_frac
+        bench(rt)
+        instructions = rt.instruction_count
+        dep_frac = rt.dependent_refs / rt.refs_emitted if rt.refs_emitted else 0.0
+
+    result = sc.analyze(program, n_main_iterations=bench.iterations)
+    return result, cache, loc.scores(), instructions, dep_frac
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(MICROBENCHES) == {
+            "stream_triad", "gups", "pointer_chase", "stencil5",
+        }
+
+    def test_create(self):
+        b = create_microbench("gups", n=1024, iterations=2)
+        assert isinstance(b, GUPS)
+        with pytest.raises(ConfigurationError):
+            create_microbench("linpack")
+        with pytest.raises(ConfigurationError):
+            create_microbench("gups", n=0)
+
+
+class TestStreamTriad:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return full_pipeline(StreamTriad(n=1 << 14, iterations=3))
+
+    def test_rw_ratio_is_two(self, run):
+        result = run[0]
+        # 2 reads (b, c) per 1 write (a)
+        assert result.rw_ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_high_spatial_locality(self, run):
+        scores = run[2]
+        assert scores.spatial > 0.5
+
+    def test_read_streams_read_only(self, run):
+        result = run[0]
+        assert result.metrics_by_name("b").read_only
+        assert result.metrics_by_name("c").read_only
+        a = result.metrics_by_name("a")
+        assert a.reads == 0 and a.writes > 0
+
+
+class TestGUPS:
+    @pytest.fixture(scope="class")
+    def run(self):
+        # table must exceed the 1 MiB L2 for memory traffic to appear
+        return full_pipeline(GUPS(n=1 << 18, iterations=3))
+
+    def test_rw_ratio_is_one(self, run):
+        result = run[0]
+        assert result.rw_ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_poor_locality(self, run):
+        scores = run[2]
+        assert scores.spatial < 0.35
+
+    def test_heavy_memory_traffic(self, run):
+        cache = run[1]
+        stats = cache.stats()
+        # random RMW over a table >> L2: most accesses reach memory
+        assert stats.llc_miss_rate > 0.3
+
+
+class TestPointerChase:
+    def test_serial_mlp(self):
+        bench = PointerChase(n=1 << 16, iterations=2)
+        result, cache, _, instructions, dep_frac = full_pipeline(bench)
+        assert dep_frac > 0.9  # the chase declared its loads dependent
+        sim = PerformanceSimulator()
+        counts = sim.counts_from_run(instructions, cache, dependent_fraction=dep_frac)
+        assert counts.mlp == pytest.approx(1.0, abs=0.3)
+
+    def test_latency_sensitivity_extreme(self):
+        bench = PointerChase(n=1 << 16, iterations=2)
+        _, cache, _, instructions, dep_frac = full_pipeline(bench)
+        sim = PerformanceSimulator()
+        counts = sim.counts_from_run(instructions, cache,
+                                     dependent_fraction=dep_frac)
+        # low MLP makes the chase the most latency-sensitive workload here
+        loss = sim.model.slowdown(counts, 100.0) - 1.0
+        assert loss > 0.10
+
+
+class TestStencil5:
+    def test_prefetch_friendly(self):
+        bench = Stencil5(n=1 << 14, iterations=2)
+        cache = full_pipeline(bench)[1]
+        miss_addrs = np.concatenate(
+            [b.addr[~b.is_write].astype(np.int64) for b in cache.memory_trace]
+        )
+        stats = estimate_prefetch_coverage(miss_addrs)
+        assert stats.coverage > 0.5
+
+    def test_five_to_one_read_write(self):
+        result = full_pipeline(Stencil5(n=1 << 14, iterations=2))[0]
+        assert result.rw_ratio == pytest.approx(5.0, rel=0.05)

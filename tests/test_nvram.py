@@ -1,0 +1,152 @@
+"""NVRAM technology parameters and endurance model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nvram.endurance import EnduranceModel
+from repro.nvram.technology import (
+    DRAM_DDR3,
+    MRAM,
+    PCRAM,
+    RRAM,
+    STTRAM,
+    TECHNOLOGIES,
+    MemoryTechnology,
+    NVRAMCategory,
+    technology,
+)
+
+
+class TestTechnology:
+    def test_table4_latencies(self):
+        """Table IV verbatim."""
+        assert (DRAM_DDR3.read_latency_ns, DRAM_DDR3.write_latency_ns) == (10, 10)
+        assert (PCRAM.read_latency_ns, PCRAM.write_latency_ns) == (20, 100)
+        assert (STTRAM.read_latency_ns, STTRAM.write_latency_ns) == (10, 20)
+        assert (MRAM.read_latency_ns, MRAM.write_latency_ns) == (12, 12)
+        assert PCRAM.perf_sim_latency_ns == 100
+        assert STTRAM.perf_sim_latency_ns == 20
+        assert MRAM.perf_sim_latency_ns == 12
+
+    def test_paper_categories(self):
+        assert PCRAM.category is NVRAMCategory.LONG_READ_WRITE
+        assert STTRAM.category is NVRAMCategory.LONG_WRITE_ONLY
+        assert RRAM.category is NVRAMCategory.NEAR_DRAM
+        assert DRAM_DDR3.category is NVRAMCategory.DRAM_LIKE_VOLATILE
+
+    def test_paper_currents(self):
+        """§IV: 40 mA read / 150 mA write, shared by PCRAM/STTRAM/MRAM."""
+        for tech in (PCRAM, STTRAM, MRAM):
+            assert tech.read_current_ma == 40.0
+            assert tech.write_current_ma == 150.0
+
+    def test_nvram_has_no_refresh_or_leakage(self):
+        for tech in (PCRAM, STTRAM, MRAM, RRAM):
+            assert tech.nonvolatile
+            assert tech.refresh_power_mw_per_rank == 0.0
+            assert tech.standby_leakage_mw_per_rank == 0.0
+        assert DRAM_DDR3.refresh_power_mw_per_rank > 0
+
+    def test_asymmetry(self):
+        assert PCRAM.latency_asymmetry == pytest.approx(5.0)
+        assert STTRAM.latency_asymmetry == pytest.approx(2.0)
+        assert DRAM_DDR3.latency_asymmetry == pytest.approx(1.0)
+
+    def test_power_conversion(self):
+        assert PCRAM.write_power_mw == pytest.approx(150 * 1.5)
+
+    def test_lookup_case_insensitive(self):
+        assert technology("pcram") is PCRAM
+        assert technology("PCRAM") is PCRAM
+        with pytest.raises(ConfigurationError):
+            technology("fooRAM")
+
+    def test_registry_complete(self):
+        assert set(TECHNOLOGIES) >= {"DDR3", "PCRAM", "STTRAM", "MRAM", "Flash", "RRAM"}
+
+    def test_with_overrides(self):
+        t = PCRAM.with_overrides(write_latency_ns=150.0)
+        assert t.write_latency_ns == 150.0
+        assert t.name == "PCRAM"
+        assert PCRAM.write_latency_ns == 100.0  # original untouched
+
+    def test_invalid_nvram_write_faster_than_read(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTechnology(
+                name="bad", category=NVRAMCategory.LONG_WRITE_ONLY,
+                read_latency_ns=20, write_latency_ns=10, perf_sim_latency_ns=10,
+                nonvolatile=True, read_current_ma=1, write_current_ma=1,
+                voltage_v=1, refresh_power_mw_per_rank=0,
+                standby_leakage_mw_per_rank=0, write_endurance=1e8,
+            )
+
+    def test_endurance_ordering(self):
+        """§II limitation 3: PCRAM << DRAM."""
+        assert PCRAM.write_endurance < 1e10
+        assert DRAM_DDR3.write_endurance == 1e16
+        assert 1e8 <= PCRAM.write_endurance <= 10 ** 9.7
+
+
+class TestEndurance:
+    def test_record_and_wear(self):
+        m = EnduranceModel(region_bytes=16 * 4096, page_bytes=4096)
+        m.record_writes(np.array([0, 1, 4096, 4096 * 15]))
+        assert m.state.n_pages == 16
+        assert m.state.writes_per_page[0] == 2
+        assert m.state.max_wear == 2
+        assert m.state.wear_imbalance > 1.0
+
+    def test_out_of_region_ignored(self):
+        m = EnduranceModel(region_bytes=4096)
+        m.record_writes(np.array([999999]))
+        assert m.state.writes_per_page.sum() == 0
+
+    def test_region_base(self):
+        m = EnduranceModel(region_bytes=2 * 4096)
+        m.record_writes(np.array([0x10000 + 4096]), region_base=0x10000)
+        assert m.state.writes_per_page[1] == 1
+
+    def test_uniform_leveling(self):
+        m = EnduranceModel(region_bytes=4 * 4096)
+        m.record_uniform(10)
+        assert m.state.writes_per_page.sum() == 10
+        assert m.state.wear_imbalance <= 1.5
+
+    def test_lifetime_projection(self):
+        m = EnduranceModel(region_bytes=4096)
+        m.record_writes(np.zeros(1000, dtype=np.int64))  # 1000 writes to page 0
+        # 1000 writes/second against PCRAM endurance
+        years = m.lifetime_years(PCRAM, observed_window_seconds=1.0)
+        expected = PCRAM.write_endurance / 1000 / (365.25 * 24 * 3600)
+        assert years == pytest.approx(expected)
+
+    def test_wear_leveling_extends_lifetime(self):
+        m = EnduranceModel(region_bytes=64 * 4096)
+        m.record_writes(np.zeros(5000, dtype=np.int64))  # all on one page
+        raw = m.lifetime_years(PCRAM, 1.0, wear_leveled=False)
+        leveled = m.lifetime_years(PCRAM, 1.0, wear_leveled=True)
+        assert leveled == pytest.approx(raw * 64)
+
+    def test_no_writes_infinite_lifetime(self):
+        m = EnduranceModel(region_bytes=4096)
+        assert m.lifetime_years(PCRAM, 1.0) == float("inf")
+
+    def test_acceptable(self):
+        m = EnduranceModel(region_bytes=4096)
+        m.record_uniform(1)  # ~nothing
+        assert m.acceptable(PCRAM, observed_window_seconds=1.0, required_years=5)
+
+    def test_dram_outlives_pcram(self):
+        m = EnduranceModel(region_bytes=4096)
+        m.record_writes(np.zeros(100, dtype=np.int64))
+        assert m.lifetime_years(DRAM_DDR3, 1.0) > m.lifetime_years(PCRAM, 1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(region_bytes=0)
+        m = EnduranceModel(region_bytes=4096)
+        with pytest.raises(ConfigurationError):
+            m.lifetime_years(PCRAM, 0.0)
+        with pytest.raises(ConfigurationError):
+            m.record_uniform(-1)

@@ -1,0 +1,92 @@
+"""Public API surface: exports resolve, version/errors behave."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    InstrumentationError,
+    InvalidFreeError,
+    MemoryModelError,
+    PlacementError,
+    ReproError,
+    SegmentError,
+    SimulationError,
+    StackError,
+    TraceError,
+)
+
+SUBPACKAGES = [
+    "repro.util",
+    "repro.memory",
+    "repro.trace",
+    "repro.instrument",
+    "repro.scavenger",
+    "repro.cachesim",
+    "repro.nvram",
+    "repro.powersim",
+    "repro.perfsim",
+    "repro.hybrid",
+    "repro.apps",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.validation",
+    "repro.cli",
+]
+
+
+def test_version():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_subpackage_imports(modname):
+    mod = importlib.import_module(modname)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name, None) is not None, f"{modname}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            MemoryModelError, AllocationError, InvalidFreeError, StackError,
+            SegmentError, TraceError, InstrumentationError,
+            ConfigurationError, SimulationError, PlacementError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_memory_errors_grouped(self):
+        for exc in (AllocationError, InvalidFreeError, StackError, SegmentError):
+            assert issubclass(exc, MemoryModelError)
+
+    def test_catchable_as_one(self):
+        with pytest.raises(ReproError):
+            raise AllocationError("x")
+
+
+def test_cli_validate_subcommand_exists(capsys):
+    from repro.cli import main
+
+    # --help exits 0 via SystemExit; just confirm the parser knows it
+    with pytest.raises(SystemExit) as exc:
+        main(["validate", "--help"])
+    assert exc.value.code == 0
+
+
+def test_experiments_module_entrypoint(capsys):
+    from repro.experiments.__main__ import main
+
+    rc = main(["table1", "--refs", "2000", "--scale", "0.004"])
+    assert rc == 0
+    assert "Applications characteristics" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Interval core model, MLP estimation, latency sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
+from repro.perfsim.config import CoreConfig, TABLE3_CORE
+from repro.perfsim.core import IntervalCoreModel, WorkloadCounts, estimate_mlp
+from repro.perfsim.simulator import PerformanceSimulator
+
+
+def make_counts(instructions=1_000_000, refs=300_000, l1=30_000, llc=5_000, mlp=8.0):
+    return WorkloadCounts(
+        instructions=instructions, memory_refs=refs, l1_misses=l1,
+        llc_misses=llc, mlp=mlp,
+    )
+
+
+class TestCoreConfig:
+    def test_table3_values(self):
+        c = TABLE3_CORE
+        assert c.frequency_ghz == pytest.approx(2.266)
+        assert c.tlb_entries == 32
+        assert c.load_fill_queue == 64
+        assert c.miss_buffer == 64
+        assert c.l1_hit_cycles == 1 and c.l2_hit_cycles == 5
+
+    def test_cycle_conversion(self):
+        assert TABLE3_CORE.ns_to_cycles(10.0) == pytest.approx(22.66)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(frequency_ghz=0)
+        with pytest.raises(ConfigurationError):
+            CoreConfig(l2_hide_fraction=1.5)
+
+
+class TestIntervalModel:
+    def test_cycles_monotone_in_latency(self):
+        m = IntervalCoreModel(TABLE3_CORE)
+        w = make_counts()
+        lats = [10, 12, 20, 50, 100, 500]
+        cycles = [m.cycles(w, l) for l in lats]
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_small_latency_fully_hidden(self):
+        """Below the ROB hide threshold the core is latency-insensitive."""
+        m = IntervalCoreModel(TABLE3_CORE)
+        w = make_counts()
+        assert m.cycles(w, 10.0) == m.cycles(w, 11.0)
+
+    def test_slowdown_baseline_is_one(self):
+        m = IntervalCoreModel(TABLE3_CORE)
+        assert m.slowdown(make_counts(), 10.0) == pytest.approx(1.0)
+
+    def test_mlp_divides_exposure(self):
+        m = IntervalCoreModel(TABLE3_CORE)
+        lo = make_counts(mlp=1.0)
+        hi = make_counts(mlp=16.0)
+        loss_lo = m.slowdown(lo, 100.0) - 1
+        loss_hi = m.slowdown(hi, 100.0) - 1
+        assert loss_lo > loss_hi * 4
+
+    def test_runtime_ns(self):
+        m = IntervalCoreModel(TABLE3_CORE)
+        w = make_counts()
+        assert m.runtime_ns(w, 10.0) == pytest.approx(
+            m.cycles(w, 10.0) / 2.266
+        )
+
+    def test_no_misses_no_sensitivity(self):
+        m = IntervalCoreModel(TABLE3_CORE)
+        w = make_counts(l1=0, llc=0)
+        assert m.slowdown(w, 500.0) == pytest.approx(1.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            make_counts(llc=50_000)  # llc > l1
+        with pytest.raises(ConfigurationError):
+            make_counts(mlp=0.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadCounts(-1, 0, 0, 0, 1.0)
+        m = IntervalCoreModel(TABLE3_CORE)
+        with pytest.raises(ConfigurationError):
+            m.cycles(make_counts(), 0.0)
+
+
+class TestMLPEstimator:
+    def test_empty_stream(self):
+        assert estimate_mlp(np.empty(0, np.uint64)) == 1.0
+
+    def test_pointer_chase_is_serial(self):
+        """Repeated hits to one 4 KiB region: no parallelism."""
+        addrs = np.zeros(256, dtype=np.uint64)
+        assert estimate_mlp(addrs, window=16) == pytest.approx(1.0)
+
+    def test_streaming_is_parallel(self):
+        """Each miss on its own page: full window parallelism."""
+        addrs = (np.arange(256, dtype=np.uint64)) * 4096
+        assert estimate_mlp(addrs, window=16) == pytest.approx(16.0)
+
+    def test_clamped_to_max(self):
+        addrs = (np.arange(256, dtype=np.uint64)) * 4096
+        assert estimate_mlp(addrs, window=64, max_mlp=32.0) == 32.0
+
+    def test_partial_window_padding(self):
+        addrs = (np.arange(20, dtype=np.uint64)) * 4096
+        mlp = estimate_mlp(addrs, window=16)
+        assert 1.0 <= mlp <= 16.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            estimate_mlp(np.zeros(4, np.uint64), window=0)
+
+
+class TestSimulator:
+    def test_sweep_fig12_ordering(self):
+        sim = PerformanceSimulator()
+        counts = make_counts()
+        sweep = sim.sweep("test", counts, [DRAM_DDR3, MRAM, STTRAM, PCRAM])
+        assert sweep.slowdown("DDR3") == pytest.approx(1.0)
+        assert sweep.slowdown("MRAM") <= sweep.slowdown("STTRAM")
+        assert sweep.slowdown("STTRAM") < sweep.slowdown("PCRAM")
+        assert sweep.performance_loss("PCRAM") > 0
+
+    def test_sweep_latencies_curve(self):
+        sim = PerformanceSimulator()
+        curve = sim.sweep_latencies(make_counts(), [10, 20, 100])
+        assert [lat for lat, _ in curve] == [10, 20, 100]
+        rels = [rel for _, rel in curve]
+        assert rels == sorted(rels)

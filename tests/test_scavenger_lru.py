@@ -1,0 +1,88 @@
+"""LRU object cache and the cached-index composition."""
+
+import pytest
+
+from repro.scavenger.buckets import MISS, LinearScanIndex
+from repro.scavenger.lru import CachedIndex, LRUObjectCache
+
+
+def test_put_get_hit():
+    c = LRUObjectCache(capacity=4, block_bytes=64)
+    c.put(0x1000, 7)
+    assert c.get(0x1000) == 7
+    assert c.get(0x1010) == 7  # same 64B block
+    assert c.hits == 2 and c.misses == 0
+
+
+def test_miss():
+    c = LRUObjectCache(capacity=4)
+    assert c.get(0x1000) == MISS
+    assert c.misses == 1
+
+
+def test_eviction_order_is_lru():
+    c = LRUObjectCache(capacity=2, block_bytes=64)
+    c.put(0, 0)
+    c.put(64, 1)
+    c.get(0)  # touch block 0 -> block 1 is now LRU
+    c.put(128, 2)  # evicts block 1
+    assert c.get(0) == 0
+    assert c.get(64) == MISS
+    assert c.get(128) == 2
+
+
+def test_capacity_bound():
+    c = LRUObjectCache(capacity=3, block_bytes=64)
+    for i in range(10):
+        c.put(i * 64, i)
+    assert len(c) == 3
+
+
+def test_invalidate_object():
+    c = LRUObjectCache(capacity=8, block_bytes=64)
+    c.put(0, 1)
+    c.put(64, 1)
+    c.put(128, 2)
+    c.invalidate_object(1)
+    assert c.get(0) == MISS
+    assert c.get(128) == 2
+
+
+def test_hit_rate():
+    c = LRUObjectCache(capacity=2)
+    c.put(0, 0)
+    c.get(0)
+    c.get(4096)
+    assert c.hit_rate == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("cap,block", [(0, 64), (4, 0), (4, 48)])
+def test_invalid_params(cap, block):
+    with pytest.raises(ValueError):
+        LRUObjectCache(capacity=cap, block_bytes=block)
+
+
+class TestCachedIndex:
+    def test_consistent_with_underlying(self):
+        idx = LinearScanIndex()
+        idx.insert(0, 0x1000, 0x1100)
+        idx.insert(1, 0x2000, 0x2100)
+        cached = CachedIndex(LinearScanIndex(), LRUObjectCache(capacity=4))
+        cached.insert(0, 0x1000, 0x1100)
+        cached.insert(1, 0x2000, 0x2100)
+        for addr in (0x1000, 0x1050, 0x2000, 0x3000, 0x1050):
+            assert cached.lookup(addr) == idx.lookup(addr)
+
+    def test_cache_warms_up(self):
+        cached = CachedIndex(LinearScanIndex(), LRUObjectCache(capacity=4))
+        cached.insert(0, 0x1000, 0x1100)
+        cached.lookup(0x1000)
+        cached.lookup(0x1008)  # same block: served from cache
+        assert cached.cache.hits == 1
+
+    def test_remove_invalidates(self):
+        cached = CachedIndex(LinearScanIndex(), LRUObjectCache(capacity=4))
+        cached.insert(0, 0x1000, 0x1100)
+        cached.lookup(0x1000)
+        cached.remove(0)
+        assert cached.lookup(0x1000) == MISS

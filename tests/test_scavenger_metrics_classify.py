@@ -1,0 +1,146 @@
+"""Metric rows, derived masses, and NVRAM classification."""
+
+import numpy as np
+import pytest
+
+from repro.memory.object import MemoryObject, ObjectKind
+from repro.scavenger.classify import (
+    NVRAMClass,
+    Placement,
+    classify_objects,
+    classify_one,
+    nvram_eligible_bytes,
+)
+from repro.scavenger.config import ScavengerConfig
+from repro.scavenger.metrics import (
+    ObjectMetrics,
+    compute_object_metrics,
+    high_rw_bytes,
+    read_only_bytes,
+    untouched_bytes,
+)
+from repro.scavenger.object_stats import ObjectStatsTable
+
+
+def make_metrics(
+    reads=0, writes=0, size=1024, ref_rate=0.0, write_share=0.0, touched=8, oid=0
+):
+    return ObjectMetrics(
+        oid=oid,
+        name=f"obj{oid}",
+        kind=ObjectKind.GLOBAL,
+        size=size,
+        base=0x1000 + oid * size,
+        reads=reads,
+        writes=writes,
+        reference_rate=ref_rate,
+        write_share=write_share,
+        reads_per_iter=np.zeros(11, np.int64),
+        writes_per_iter=np.zeros(11, np.int64),
+        iterations_touched=touched,
+    )
+
+
+class TestObjectMetrics:
+    def test_rw_ratio_and_flags(self):
+        m = make_metrics(reads=100, writes=10)
+        assert m.rw_ratio == pytest.approx(10.0)
+        assert not m.read_only and not m.untouched
+        ro = make_metrics(reads=50, writes=0)
+        assert ro.read_only
+        assert ro.rw_ratio == float("inf")
+        dead = make_metrics()
+        assert dead.untouched
+
+    def test_compute_from_table(self):
+        objs = {
+            0: MemoryObject(0, ObjectKind.GLOBAL, "a", 0x1000, 256),
+            1: MemoryObject(1, ObjectKind.HEAP, "b", 0x2000, 512),
+            2: MemoryObject(2, ObjectKind.GLOBAL, "never_used", 0x3000, 64),
+        }
+        t = ObjectStatsTable()
+        t.add_batch(np.array([0, 0, 1]), np.array([False, True, False]), iteration=1)
+        t.add_batch(np.array([0]), np.array([False]), iteration=2)
+        rows = compute_object_metrics(objs, t, total_refs=4)
+        by_oid = {m.oid: m for m in rows}
+        assert by_oid[0].reads == 2 and by_oid[0].writes == 1
+        assert by_oid[0].reference_rate == pytest.approx(3 / 4)
+        assert by_oid[0].write_share == pytest.approx(1.0)
+        assert by_oid[0].iterations_touched == 2
+        assert by_oid[2].untouched
+        assert by_oid[2].size == 64
+
+    def test_mass_helpers(self):
+        rows = [
+            make_metrics(reads=10, writes=0, size=100, oid=0),  # read-only
+            make_metrics(reads=600, writes=10, size=200, oid=1),  # rw 60
+            make_metrics(reads=5, writes=5, size=400, oid=2),
+            make_metrics(reads=0, writes=0, size=800, touched=0, oid=3),  # untouched
+        ]
+        assert read_only_bytes(rows) == 100
+        assert high_rw_bytes(rows, threshold=50) == 200
+        assert untouched_bytes(rows) == 800
+
+
+class TestClassification:
+    CFG = ScavengerConfig()
+
+    def classify(self, m, n_iter=10):
+        return classify_one(m, self.CFG, n_iter)
+
+    def test_untouched_goes_nvram(self):
+        c = self.classify(make_metrics(touched=0))
+        assert c.nvram_class is NVRAMClass.UNTOUCHED
+        assert c.placement is Placement.NVRAM
+
+    def test_read_only_goes_nvram(self):
+        c = self.classify(make_metrics(reads=100, writes=0))
+        assert c.nvram_class is NVRAMClass.READ_ONLY
+        assert c.placement is Placement.NVRAM
+
+    def test_high_rw_goes_cat2(self):
+        """Even r/w > 50 data carries writes: category-2 NVRAM only
+        ("especially NVRAM of the second category", §VII-B)."""
+        c = self.classify(make_metrics(reads=6000, writes=100))
+        assert c.nvram_class is NVRAMClass.HIGH_RW
+        assert c.placement is Placement.NVRAM_CAT2
+
+    def test_metric3_corner_case(self):
+        """High r/w ratio BUT a large share of total writes: barred from
+        category-1 NVRAM (the paper's third metric)."""
+        c = self.classify(make_metrics(reads=6000, writes=100, write_share=0.2))
+        assert c.nvram_class is NVRAMClass.HIGH_RW
+        assert c.placement is Placement.NVRAM_CAT2
+        assert "write share" in c.reason
+
+    def test_moderate_rw_cat2(self):
+        c = self.classify(make_metrics(reads=200, writes=10))
+        assert c.nvram_class is NVRAMClass.MODERATE_RW
+        assert c.placement is Placement.NVRAM_CAT2
+
+    def test_read_leaning_cat2(self):
+        c = self.classify(make_metrics(reads=30, writes=10))
+        assert c.nvram_class is NVRAMClass.READ_LEANING
+        assert c.placement is Placement.NVRAM_CAT2
+
+    def test_write_heavy_dram(self):
+        c = self.classify(make_metrics(reads=10, writes=30))
+        assert c.nvram_class is NVRAMClass.WRITE_HEAVY
+        assert c.placement is Placement.DRAM
+
+    def test_sparse_use_migratable(self):
+        c = self.classify(make_metrics(reads=10, writes=30, touched=2))
+        assert c.placement is Placement.MIGRATABLE
+        assert "migrate" in c.reason
+
+    def test_eligible_bytes_by_category(self):
+        rows = [
+            make_metrics(reads=10, writes=0, size=100, oid=0),  # NVRAM
+            make_metrics(reads=200, writes=10, size=200, oid=1),  # CAT2
+            make_metrics(reads=1, writes=30, size=400, oid=2),  # DRAM
+        ]
+        classified = classify_objects(rows, self.CFG)
+        assert nvram_eligible_bytes(classified, category=1) == 100
+        assert nvram_eligible_bytes(classified, category=2) == 300
+        with pytest.raises(ValueError):
+            nvram_eligible_bytes(classified, category=3)

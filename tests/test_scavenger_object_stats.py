@@ -1,0 +1,98 @@
+"""Per-object per-iteration counter table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.trace.record import AccessType, RefBatch
+
+
+def test_add_batch_counts():
+    t = ObjectStatsTable()
+    t.add_batch(np.array([0, 0, 1]), np.array([False, True, False]), iteration=1)
+    assert t.reads[0, 1] == 1
+    assert t.writes[0, 1] == 1
+    assert t.reads[1, 1] == 1
+    assert t.refs[0, 1] == 2
+
+
+def test_negative_oids_dropped():
+    t = ObjectStatsTable()
+    t.add_batch(np.array([-1, 2, -1]), np.array([False, False, True]), iteration=0)
+    assert t.n_objects == 3
+    assert t.reads.sum() == 1
+
+
+def test_growth_beyond_hints():
+    t = ObjectStatsTable(n_objects_hint=2, n_iterations_hint=2)
+    t.add_batch(np.array([10]), np.array([True]), iteration=7)
+    assert t.writes[10, 7] == 1
+    assert t.n_objects == 11
+    assert t.n_iterations == 8
+
+
+def test_accumulation_across_batches():
+    t = ObjectStatsTable()
+    for _ in range(5):
+        t.add_batch(np.array([0]), np.array([False]), iteration=2)
+    assert t.reads[0, 2] == 5
+
+
+def test_negative_iteration_raises():
+    t = ObjectStatsTable()
+    with pytest.raises(SimulationError):
+        t.add_batch(np.array([0]), np.array([False]), iteration=-1)
+
+
+def test_totals():
+    t = ObjectStatsTable()
+    t.add_batch(np.array([0, 1, 1]), np.array([False, True, True]), iteration=1)
+    t.add_batch(np.array([0]), np.array([False]), iteration=2)
+    r_it, w_it = t.totals_per_iteration()
+    assert r_it.tolist() == [0, 1, 1]
+    assert w_it.tolist() == [0, 2, 0]
+    r_obj, w_obj = t.totals_per_object()
+    assert r_obj.tolist() == [2, 0]
+    assert w_obj.tolist() == [0, 2]
+
+
+def test_iterations_touched_excludes_iteration_zero():
+    t = ObjectStatsTable()
+    t.add_batch(np.array([0]), np.array([False]), iteration=0)  # pre-phase
+    t.add_batch(np.array([1]), np.array([False]), iteration=1)
+    t.add_batch(np.array([1]), np.array([False]), iteration=3)
+    touched = t.iterations_touched(main_loop_only=True)
+    assert touched[0] == 0
+    assert touched[1] == 2
+    all_touched = t.iterations_touched(main_loop_only=False)
+    assert all_touched[0] == 1
+
+
+def test_add_ref_batch():
+    t = ObjectStatsTable()
+    b = RefBatch.from_access(np.arange(4, dtype=np.uint64), AccessType.WRITE,
+                             oid=5, iteration=2)
+    t.add_ref_batch(b)
+    assert t.writes[5, 2] == 4
+    # explicit oids override the batch's own
+    t.add_ref_batch(b, oids=np.zeros(4, np.int32))
+    assert t.writes[0, 2] == 4
+
+
+def test_merge():
+    a = ObjectStatsTable()
+    a.add_batch(np.array([0]), np.array([False]), iteration=1)
+    b = ObjectStatsTable()
+    b.add_batch(np.array([2]), np.array([True]), iteration=4)
+    a.merge(b)
+    assert a.reads[0, 1] == 1
+    assert a.writes[2, 4] == 1
+    assert a.n_objects == 3
+    assert a.n_iterations == 5
+
+
+def test_empty_batch_still_advances_iterations():
+    t = ObjectStatsTable()
+    t.add_batch(np.empty(0, np.int32), np.empty(0, bool), iteration=6)
+    assert t.n_iterations == 7

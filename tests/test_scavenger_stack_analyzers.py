@@ -1,0 +1,148 @@
+"""Fast and slow stack analyzers against ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.api import FanoutProbe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.scavenger.stackfast import FastStackAnalyzer
+from repro.scavenger.stackslow import SlowStackAnalyzer
+
+
+def build(probes_factory):
+    fan = FanoutProbe([])
+    rt = InstrumentedRuntime(fan, buffer_capacity=256)
+    probes = probes_factory(rt)
+    for p in probes:
+        fan.add(p)
+    return rt, probes
+
+
+class TestFastStack:
+    def test_counts_stack_vs_heap(self):
+        rt, (fast,) = build(lambda rt: [FastStackAnalyzer(rt.space.stack)])
+        h = rt.malloc(100, "x:1")
+        rt.begin_iteration(1)
+        with rt.call("k", 1024):
+            loc = rt.local_array("l", 64)
+            rt.store(loc, np.arange(64))
+            rt.load(loc, np.arange(64), repeat=3)
+            rt.load(h, np.arange(100))
+        rt.finish()
+        s = fast.summary()
+        assert s.stack_reads[1] == 192
+        assert s.stack_writes[1] == 64
+        assert s.total_refs[1] == 256 + 100
+        assert s.rw_ratio(iteration=1) == pytest.approx(3.0)
+        assert s.reference_percentage == pytest.approx(256 / 356)
+
+    def test_rw_ratio_skip_first(self):
+        rt, (fast,) = build(lambda rt: [FastStackAnalyzer(rt.space.stack)])
+        for it, (r, w) in enumerate([(10, 10), (40, 2), (40, 2)], start=1):
+            rt.begin_iteration(it)
+            with rt.call("k", 1024):
+                loc = rt.local_array("l", 64)
+                rt.store(loc, np.arange(w))
+                rt.load(loc, np.arange(r))
+        rt.finish()
+        s = fast.summary()
+        assert s.rw_ratio(iteration=1) == pytest.approx(1.0)
+        assert s.rw_ratio(skip_first=True) == pytest.approx(20.0)
+        assert s.rw_ratio() == pytest.approx(90 / 14)
+
+    def test_read_only_stack_gives_inf(self):
+        rt, (fast,) = build(lambda rt: [FastStackAnalyzer(rt.space.stack)])
+        rt.begin_iteration(1)
+        with rt.call("k", 256):
+            loc = rt.local_array("l", 16)
+            with rt.paused_recording():
+                rt.store(loc, np.arange(16))
+            rt.load(loc, np.arange(16))
+        rt.finish()
+        assert fast.summary().rw_ratio() == float("inf")
+
+
+class TestSlowStack:
+    def test_per_routine_attribution(self):
+        rt, (slow,) = build(lambda rt: [SlowStackAnalyzer(rt.space.stack)])
+        rt.begin_iteration(1)
+        with rt.call("outer", 1024):
+            out_loc = rt.local_array("o", 32)
+            rt.store(out_loc, np.arange(32))
+            with rt.call("inner", 512):
+                in_loc = rt.local_array("i", 16)
+                rt.load(in_loc, np.arange(16), repeat=2)
+                # inner reads the OUTER frame's local: attribution goes to
+                # outer, the frame that allocated the data
+                rt.load(out_loc, np.arange(32))
+        rt.finish()
+        stats = {f.routine: f for f in slow.frame_stats()}
+        assert stats["outer"].writes == 32
+        assert stats["outer"].reads == 32
+        assert stats["inner"].reads == 32
+        assert stats["inner"].writes == 0
+        assert stats["inner"].rw_ratio == float("inf")
+
+    def test_reference_rate_is_share_of_all_refs(self):
+        rt, (slow,) = build(lambda rt: [SlowStackAnalyzer(rt.space.stack)])
+        g = rt.global_array("g", 100)
+        rt.begin_iteration(1)
+        rt.load(g, np.arange(100))  # non-stack traffic
+        with rt.call("k", 512):
+            loc = rt.local_array("l", 16)
+            rt.store(loc, np.arange(16))
+        rt.finish()
+        stats = {f.routine: f for f in slow.frame_stats()}
+        assert stats["k"].reference_rate == pytest.approx(16 / 116)
+        assert slow.total_refs == 116
+
+    def test_repeated_calls_accumulate(self):
+        rt, (slow,) = build(lambda rt: [SlowStackAnalyzer(rt.space.stack)])
+        rt.begin_iteration(1)
+        for _ in range(3):
+            with rt.call("k", 256):
+                loc = rt.local_array("l", 8)
+                rt.store(loc, np.arange(8))
+        rt.finish()
+        stats = {f.routine: f for f in slow.frame_stats()}
+        assert stats["k"].writes == 24
+        assert len(slow.frame_stats()) == 1  # one object per routine
+
+    def test_max_frame_bytes_tracked(self):
+        rt, (slow,) = build(lambda rt: [SlowStackAnalyzer(rt.space.stack)])
+        rt.begin_iteration(1)
+        with rt.call("k", 256):
+            loc = rt.local_array("l", 8)
+            rt.store(loc, np.arange(8))
+        with rt.call("k", 1024):
+            loc = rt.local_array("l", 8)
+            rt.store(loc, np.arange(8))
+        rt.finish()
+        stats = {f.routine: f for f in slow.frame_stats()}
+        assert stats["k"].max_frame_bytes == 1024
+
+
+class TestFastSlowConsistency:
+    def test_same_stack_totals(self):
+        """Both analyzers see the same stack reference population."""
+        def factory(rt):
+            return [FastStackAnalyzer(rt.space.stack), SlowStackAnalyzer(rt.space.stack)]
+
+        rt, (fast, slow) = build(factory)
+        g = rt.global_array("g", 50)
+        rt.begin_iteration(1)
+        rt.load(g, np.arange(50))
+        with rt.call("a", 512):
+            la = rt.local_array("x", 32)
+            rt.store(la, np.arange(32))
+            rt.load(la, np.arange(32))
+            with rt.call("b", 256):
+                lb = rt.local_array("y", 16)
+                rt.store(lb, np.arange(16))
+        rt.finish()
+        s = fast.summary()
+        slow_total_reads = sum(f.reads for f in slow.frame_stats())
+        slow_total_writes = sum(f.writes for f in slow.frame_stats())
+        assert slow_total_reads == int(s.stack_reads.sum())
+        assert slow_total_writes == int(s.stack_writes.sum())
+        assert slow.unattributed_stack_refs == 0

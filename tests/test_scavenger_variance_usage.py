@@ -1,0 +1,126 @@
+"""Variance (Figs 8-11) and usage (Fig 7) analyses."""
+
+import numpy as np
+import pytest
+
+from repro.memory.object import ObjectKind
+from repro.scavenger.metrics import ObjectMetrics
+from repro.scavenger.object_stats import ObjectStatsTable
+from repro.scavenger.usage import compute_usage
+from repro.scavenger.variance import compute_variance
+
+
+def fill_table(series):
+    """series: {oid: [(reads, writes) per iteration 0..N]}"""
+    t = ObjectStatsTable()
+    for oid, per_iter in series.items():
+        for it, (r, w) in enumerate(per_iter):
+            oids = np.full(r + w, oid)
+            is_w = np.array([False] * r + [True] * w)
+            if len(oids):
+                t.add_batch(oids, is_w, iteration=it)
+            else:
+                t.add_batch(np.empty(0, np.int32), np.empty(0, bool), iteration=it)
+    return t
+
+
+class TestVariance:
+    def test_perfectly_stable_object(self):
+        t = fill_table({0: [(0, 0), (100, 10), (100, 10), (100, 10)]})
+        var = compute_variance(t)
+        # all iterations in the [1,2) bin
+        assert var.min_stable_fraction() == pytest.approx(1.0)
+        assert var.n_objects == 1
+
+    def test_doubling_ratio_leaves_stable_bin(self):
+        t = fill_table({0: [(0, 0), (100, 10), (200, 10), (400, 10)]})
+        var = compute_variance(t)
+        # iteration 2: normalized rw = 2.0 -> [2,4) bin; rate = 210/110 < 2
+        b_stable = int(np.searchsorted(var.bins, 1.0, side="right") - 1)
+        assert var.rw_hist[b_stable, 1] == 0.0
+
+    def test_read_only_both_iterations_counts_stable(self):
+        t = fill_table({0: [(0, 0), (50, 0), (50, 0)]})
+        var = compute_variance(t)
+        assert var.min_stable_fraction() == pytest.approx(1.0)
+
+    def test_object_missing_iteration1_excluded(self):
+        t = fill_table({0: [(0, 0), (0, 0), (10, 0)], 1: [(0, 0), (10, 0), (10, 0)]})
+        var = compute_variance(t)
+        assert var.n_objects == 1
+
+    def test_eligible_filter(self):
+        t = fill_table({0: [(0, 0), (10, 1), (10, 1)], 1: [(0, 0), (10, 1), (10, 1)]})
+        var = compute_variance(t, eligible_oids=np.array([1]))
+        assert var.n_objects == 1
+
+    def test_too_few_iterations(self):
+        t = fill_table({0: [(5, 5)]})
+        var = compute_variance(t)
+        assert var.n_objects == 0
+        assert var.rw_hist.shape[1] == 0
+
+    def test_histogram_columns_sum_to_one(self):
+        t = fill_table(
+            {
+                0: [(0, 0), (10, 2), (30, 2), (10, 8)],
+                1: [(0, 0), (100, 1), (100, 1), (5, 1)],
+            }
+        )
+        var = compute_variance(t)
+        assert np.allclose(var.rw_hist.sum(axis=0), 1.0)
+        assert np.allclose(var.rate_hist.sum(axis=0), 1.0)
+
+
+def make_row(oid, size, touched):
+    return ObjectMetrics(
+        oid=oid,
+        name=f"o{oid}",
+        kind=ObjectKind.GLOBAL,
+        size=size,
+        base=oid * 0x1000,
+        reads=touched,
+        writes=0,
+        reference_rate=0.0,
+        write_share=0.0,
+        reads_per_iter=np.zeros(11, np.int64),
+        writes_per_iter=np.zeros(11, np.int64),
+        iterations_touched=touched,
+    )
+
+
+class TestUsage:
+    def test_cumulative_semantics(self):
+        rows = [make_row(0, 100, 0), make_row(1, 50, 3), make_row(2, 200, 10)]
+        u = compute_usage(rows)
+        assert u.iteration_counts.tolist() == [0, 3, 10]
+        assert u.cumulative_bytes.tolist() == [100, 150, 350]
+        assert u.unused_in_main_loop_bytes == 100
+        assert u.unused_fraction == pytest.approx(100 / 350)
+
+    def test_exclusion_of_short_term(self):
+        rows = [make_row(0, 100, 0), make_row(1, 50, 5)]
+        u = compute_usage(rows, exclude_oids={1})
+        assert u.total_bytes == 100
+        assert u.n_objects == 1
+
+    def test_evenness(self):
+        rows = [make_row(0, 100, 10), make_row(1, 100, 10), make_row(2, 50, 2)]
+        u = compute_usage(rows)
+        assert u.evenness(10) == pytest.approx(200 / 250)
+        assert u.evenness(11) == 0.0
+
+    def test_no_unused_mass(self):
+        rows = [make_row(0, 100, 5)]
+        u = compute_usage(rows)
+        assert u.unused_in_main_loop_bytes == 0
+
+    def test_empty(self):
+        u = compute_usage([])
+        assert u.total_bytes == 0
+        assert u.unused_fraction == 0.0
+
+    def test_mb_series(self):
+        rows = [make_row(0, 2 * 1024 * 1024, 1)]
+        xs, mb = u = compute_usage(rows).as_mb_series()
+        assert mb[0] == pytest.approx(2.0)

@@ -1,0 +1,87 @@
+"""Text plotting renderers."""
+
+import numpy as np
+import pytest
+
+from repro.util.textplot import bar_chart, line_chart, scatter
+
+
+class TestScatter:
+    def test_basic_dimensions(self):
+        out = scatter([1, 2, 3], [1, 4, 9], width=20, height=5, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 5 + 1  # title + grid + x axis
+        assert all("|" in l for l in lines[1:6])
+
+    def test_markers_present(self):
+        out = scatter([0, 1], [0, 1], width=10, height=4)
+        assert out.count("o") == 2
+
+    def test_extremes_at_corners(self):
+        out = scatter([0, 10], [0, 10], width=10, height=4)
+        lines = [l.split("|")[1] for l in out.splitlines() if "|" in l]
+        assert lines[0][-1] == "o"  # max at top right
+        assert lines[-1][0] == "o"  # min at bottom left
+
+    def test_nan_inf_dropped(self):
+        out = scatter([1, float("nan"), float("inf")], [1, 2, 3], width=10, height=4)
+        assert out.count("o") == 1
+
+    def test_log_axes_clip_nonpositive(self):
+        out = scatter([0, 1, 10, 100], [1, 1, 1, 1], logx=True, width=10, height=4)
+        assert out.count("o") <= 3
+
+    def test_empty(self):
+        assert "no finite points" in scatter([], [])
+
+    def test_degenerate_single_point(self):
+        out = scatter([5], [5], width=10, height=4)
+        assert out.count("o") == 1
+
+    def test_axis_labels(self):
+        out = scatter([1, 2], [1, 2], xlabel="ratio", ylabel="rate")
+        assert "x: ratio" in out and "y: rate" in out
+
+
+class TestLineChart:
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]},
+                         width=20, height=6)
+        assert "o a" in out and "x b" in out
+        assert out.count("o") >= 3
+        assert out.count("x") >= 4  # 3 points + legend
+
+    def test_empty(self):
+        assert "no data" in line_chart([], {})
+
+    def test_nan_skipped(self):
+        out = line_chart([1, 2], {"a": [1.0, float("nan")]}, width=10, height=4)
+        assert out.count("o") == 2  # one point + legend marker
+
+    def test_flat_series(self):
+        out = line_chart([1, 2, 3], {"a": [5, 5, 5]}, width=12, height=4)
+        assert out.count("o") >= 3
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_values_printed(self):
+        out = bar_chart(["x"], [0.721])
+        assert "0.721" in out
+
+    def test_zero_and_nonfinite(self):
+        out = bar_chart(["z", "n"], [0.0, float("nan")])
+        assert "?" in out
+
+    def test_empty(self):
+        assert "no data" in bar_chart([], [])
+
+    def test_custom_format(self):
+        out = bar_chart(["p"], [0.25], fmt="{:.0%}")
+        assert "25%" in out

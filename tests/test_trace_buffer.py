@@ -1,0 +1,100 @@
+"""TraceBuffer: batching, flushing, iteration boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.buffer import TraceBuffer
+from repro.trace.record import AccessType, RefBatch
+
+
+def collect():
+    out = []
+    return out, out.append
+
+
+def make_batch(n, iteration=0, access=AccessType.READ):
+    return RefBatch.from_access(np.arange(n, dtype=np.uint64), access, iteration=iteration)
+
+
+def test_small_appends_buffered_until_flush():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=100)
+    buf.append(make_batch(10))
+    buf.append(make_batch(20))
+    assert out == []
+    assert buf.fill == 30
+    buf.flush()
+    assert len(out) == 1
+    assert len(out[0]) == 30
+
+
+def test_auto_flush_on_capacity():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=16)
+    buf.append(make_batch(40))
+    # 40 refs through a 16-slot buffer: two full flushes, 8 remain
+    assert len(out) == 2
+    assert all(len(b) == 16 for b in out)
+    assert buf.fill == 8
+    buf.flush()
+    assert len(out[2]) == 8
+
+
+def test_no_references_lost_or_reordered():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=7)
+    buf.append(make_batch(25))
+    buf.flush()
+    merged = np.concatenate([b.addr for b in out])
+    assert merged.tolist() == list(range(25))
+
+
+def test_iteration_change_flushes_and_tags():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=100)
+    buf.append(make_batch(5, iteration=0))
+    buf.set_iteration(1)
+    buf.append(make_batch(5, iteration=1))
+    buf.flush()
+    assert [b.iteration for b in out] == [0, 1]
+
+
+def test_set_same_iteration_does_not_flush():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=100)
+    buf.append(make_batch(5))
+    buf.set_iteration(0)
+    assert out == []
+
+
+def test_empty_flush_noop():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=10)
+    buf.flush()
+    assert out == []
+    assert buf.flush_count == 0
+
+
+def test_counters():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=8)
+    buf.append(make_batch(20))
+    buf.flush()
+    assert buf.refs_seen == 20
+    assert buf.flush_count == 3
+
+
+def test_bad_capacity():
+    with pytest.raises(TraceError):
+        TraceBuffer(lambda b: None, capacity=0)
+
+
+def test_write_flag_preserved():
+    out, sink = collect()
+    buf = TraceBuffer(sink, capacity=4)
+    buf.append(make_batch(3, access=AccessType.WRITE))
+    buf.append(make_batch(3, access=AccessType.READ))
+    buf.flush()
+    merged_w = np.concatenate([b.is_write for b in out])
+    assert merged_w.tolist() == [True] * 3 + [False] * 3

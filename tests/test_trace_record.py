@@ -1,0 +1,71 @@
+"""RefBatch construction and operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import AccessType, RefBatch
+
+
+def test_from_access_uniform():
+    b = RefBatch.from_access(np.array([8, 16, 24], dtype=np.uint64), AccessType.WRITE,
+                             size=8, oid=3, iteration=2)
+    assert len(b) == 3
+    assert b.n_writes == 3 and b.n_reads == 0
+    assert b.iteration == 2
+    assert (b.oid == 3).all()
+    assert (b.size == 8).all()
+
+
+def test_empty():
+    b = RefBatch.empty(iteration=5)
+    assert len(b) == 0
+    assert b.iteration == 5
+
+
+def test_dtype_coercion():
+    b = RefBatch(
+        addr=np.array([1, 2]),
+        is_write=np.array([0, 1]),
+        size=np.array([8, 8]),
+        oid=np.array([0, 1]),
+    )
+    assert b.addr.dtype == np.uint64
+    assert b.is_write.dtype == bool
+    assert b.size.dtype == np.uint8
+    assert b.oid.dtype == np.int32
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(TraceError):
+        RefBatch(
+            addr=np.array([1, 2], dtype=np.uint64),
+            is_write=np.array([True]),
+            size=np.array([8, 8], dtype=np.uint8),
+            oid=np.array([0, 0], dtype=np.int32),
+        )
+
+
+def test_take_mask_and_index():
+    b = RefBatch.from_access(np.arange(10, dtype=np.uint64), AccessType.READ)
+    sub = b.take(b.addr >= 5)
+    assert len(sub) == 5
+    sub2 = b.take(np.array([0, 2, 4]))
+    assert sub2.addr.tolist() == [0, 2, 4]
+
+
+def test_with_oid():
+    b = RefBatch.from_access(np.arange(4, dtype=np.uint64), AccessType.READ)
+    c = b.with_oid(np.array([9, 9, 9, 9], dtype=np.int32))
+    assert (c.oid == 9).all()
+    assert c.addr is b.addr  # shares the other arrays
+
+
+def test_counts():
+    b = RefBatch(
+        addr=np.arange(4, dtype=np.uint64),
+        is_write=np.array([True, False, True, False]),
+        size=np.full(4, 8, np.uint8),
+        oid=np.zeros(4, np.int32),
+    )
+    assert b.n_reads == 2 and b.n_writes == 2

@@ -1,0 +1,92 @@
+"""IntervalSet: canonical form, overlap, and merge semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+def test_empty():
+    s = IntervalSet()
+    assert len(s) == 0
+    assert s.total_bytes == 0
+    assert not s.overlaps(0, 100)
+    with pytest.raises(ValueError):
+        s.span
+
+
+def test_add_disjoint():
+    s = IntervalSet([(0, 10), (20, 30)])
+    assert list(s) == [(0, 10), (20, 30)]
+    assert s.total_bytes == 20
+    assert s.span == (0, 30)
+
+
+def test_add_overlapping_coalesces():
+    s = IntervalSet([(0, 10), (5, 15)])
+    assert list(s) == [(0, 15)]
+
+
+def test_add_adjacent_coalesces():
+    s = IntervalSet([(0, 10), (10, 20)])
+    assert list(s) == [(0, 20)]
+
+
+def test_add_bridging():
+    s = IntervalSet([(0, 10), (20, 30)])
+    s.add(5, 25)
+    assert list(s) == [(0, 30)]
+
+
+def test_empty_interval_ignored():
+    s = IntervalSet()
+    s.add(5, 5)
+    assert len(s) == 0
+
+
+def test_inverted_raises():
+    with pytest.raises(ValueError):
+        IntervalSet([(10, 5)])
+
+
+def test_contains():
+    s = IntervalSet([(10, 20), (30, 40)])
+    assert s.contains(10)
+    assert s.contains(19)
+    assert not s.contains(20)
+    assert not s.contains(25)
+    assert s.contains(35)
+    assert not s.contains(5)
+
+
+def test_overlaps():
+    s = IntervalSet([(10, 20)])
+    assert s.overlaps(15, 25)
+    assert s.overlaps(0, 11)
+    assert not s.overlaps(20, 30)  # half-open: touching is not overlapping
+    assert not s.overlaps(0, 10)
+    assert not s.overlaps(5, 5)
+
+
+def test_equality():
+    assert IntervalSet([(0, 10), (5, 20)]) == IntervalSet([(0, 20)])
+    assert IntervalSet([(0, 10)]) != IntervalSet([(0, 11)])
+
+
+@given(st.lists(st.tuples(st.integers(0, 200), st.integers(0, 50)), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_canonical_form_invariant(raw):
+    s = IntervalSet()
+    total_points = set()
+    for lo, length in raw:
+        s.add(lo, lo + length)
+        total_points.update(range(lo, lo + length))
+    ivals = list(s)
+    # sorted, disjoint, non-adjacent
+    for (a1, b1), (a2, b2) in zip(ivals, ivals[1:]):
+        assert b1 < a2
+    # coverage is exactly the union of inserted points
+    assert s.total_bytes == len(total_points)
+    for a, b in ivals:
+        assert all(p in total_points for p in range(a, b))

@@ -1,0 +1,125 @@
+"""Streaming statistics, histograms, weighted CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import Histogram, StreamingStats, weighted_cdf
+
+
+class TestStreamingStats:
+    def test_scalar_updates_match_numpy(self):
+        xs = [1.0, 2.0, 3.5, -1.0, 10.0]
+        s = StreamingStats()
+        for x in xs:
+            s.update(x)
+        assert s.count == 5
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs))
+        assert s.min == -1.0
+        assert s.max == 10.0
+
+    def test_batch_update_matches_scalar(self):
+        xs = np.linspace(-3, 7, 101)
+        a = StreamingStats()
+        a.update_batch(xs)
+        b = StreamingStats()
+        for x in xs:
+            b.update(float(x))
+        assert a.mean == pytest.approx(b.mean)
+        assert a.variance == pytest.approx(b.variance)
+
+    def test_empty_batch_noop(self):
+        s = StreamingStats()
+        s.update_batch(np.empty(0))
+        assert s.count == 0
+        assert np.isnan(s.variance)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concat(self, xs, ys):
+        merged = StreamingStats()
+        merged.update_batch(np.array(xs))
+        other = StreamingStats()
+        other.update_batch(np.array(ys))
+        merged.merge(other)
+        direct = StreamingStats()
+        direct.update_batch(np.array(xs + ys))
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(direct.variance, rel=1e-6, abs=1e-4)
+
+    def test_merge_into_empty(self):
+        a = StreamingStats()
+        b = StreamingStats()
+        b.update(5.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.mean == 5.0
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        h = Histogram(0.0, 10.0, 10)
+        h.add(np.array([0.5, 1.5, 1.7, 9.9]))
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+        assert h.total == 4
+
+    def test_under_overflow(self):
+        h = Histogram(0.0, 1.0, 4)
+        h.add(np.array([-0.1, 1.0, 2.0, 0.5]))
+        assert h.underflow == 1
+        assert h.overflow == 2  # 1.0 lands exactly on hi -> overflow
+        assert h.counts.sum() == 1
+
+    def test_weights(self):
+        h = Histogram(0.0, 1.0, 2)
+        h.add(np.array([0.25, 0.75]), weights=np.array([3, 7]))
+        assert h.counts.tolist() == [3, 7]
+
+    def test_bin_edges(self):
+        h = Histogram(0.0, 1.0, 4)
+        assert np.allclose(h.bin_edges(), [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+
+class TestWeightedCdf:
+    def test_fig7_semantics(self):
+        # objects touched in {0, 0, 3, 10} iterations with sizes 10,20,5,65
+        xs, cum = weighted_cdf(np.array([0, 0, 3, 10]), np.array([10, 20, 5, 65]))
+        assert xs.tolist() == [0, 3, 10]
+        assert cum.tolist() == [30, 35, 100]
+
+    def test_single(self):
+        xs, cum = weighted_cdf(np.array([5]), np.array([2.5]))
+        assert xs.tolist() == [5]
+        assert cum.tolist() == [2.5]
+
+    def test_empty(self):
+        xs, cum = weighted_cdf(np.empty(0), np.empty(0))
+        assert xs.size == 0 and cum.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_cdf(np.array([1, 2]), np.array([1.0]))
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(1, 100)), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_and_total(self, pairs):
+        vals = np.array([p[0] for p in pairs], dtype=float)
+        wts = np.array([p[1] for p in pairs], dtype=float)
+        xs, cum = weighted_cdf(vals, wts)
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(cum) > 0)
+        assert cum[-1] == pytest.approx(wts.sum())

@@ -1,0 +1,43 @@
+"""Unit formatting and constants."""
+
+import pytest
+
+from repro.util.units import GiB, KiB, MiB, fmt_bytes, fmt_time_ns
+
+
+def test_constants_relationship():
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert KiB == 1024
+
+
+@pytest.mark.parametrize(
+    "n, expected",
+    [
+        (0, "0 B"),
+        (512, "512 B"),
+        (1024, "1.00 KiB"),
+        (1536, "1.50 KiB"),
+        (MiB, "1.00 MiB"),
+        (2.5 * GiB, "2.50 GiB"),
+    ],
+)
+def test_fmt_bytes(n, expected):
+    assert fmt_bytes(n) == expected
+
+
+def test_fmt_bytes_negative():
+    assert fmt_bytes(-1536) == "-1.50 KiB"
+
+
+@pytest.mark.parametrize(
+    "t, expected",
+    [
+        (5.0, "5.0 ns"),
+        (1500.0, "1.500 us"),
+        (2.5e6, "2.500 ms"),
+        (3e9, "3.000 s"),
+    ],
+)
+def test_fmt_time(t, expected):
+    assert fmt_time_ns(t) == expected

@@ -1,0 +1,49 @@
+"""The reproduction gate itself."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.validation import Criterion, render, validate
+
+
+@pytest.fixture(scope="module")
+def criteria():
+    # gate fidelity: enough statistics for every criterion to be meaningful
+    ctx = ExperimentContext(refs_per_iteration=15_000, scale=1.0 / 128.0)
+    return validate(ctx)
+
+
+def test_all_criteria_pass(criteria):
+    failing = [c for c in criteria if not c.passed]
+    assert not failing, "\n".join(f"{c.cid}: {c.detail}" for c in failing)
+
+
+def test_gate_covers_every_table_and_figure(criteria):
+    ids = {c.cid for c in criteria}
+    assert {"T5-order", "T5-share", "F2-tail", "F3-6-ro", "F5-gtc",
+            "F7-order", "F8-11", "T6-band", "T6-save", "F12-shape",
+            "ABS-31/27"} <= ids
+
+
+def test_render_format(criteria):
+    text = render(criteria)
+    assert "reproduction gate" in text
+    assert f"{sum(c.passed for c in criteria)}/{len(criteria)} criteria pass" in text
+    for c in criteria:
+        assert c.cid in text
+
+
+def test_render_shows_failures():
+    text = render([Criterion("X-1", "always fails", False, "boom")])
+    assert "[FAIL]" in text
+    assert "boom" in text
+    assert "0/1 criteria pass" in text
+
+
+def test_crashing_predicate_reports_failure():
+    from repro.validation import _check
+
+    out = []
+    _check(out, "C", "crashes", lambda: 1 / 0)
+    assert not out[0].passed
+    assert "ZeroDivisionError" in out[0].detail

@@ -1,0 +1,68 @@
+"""Input-variant applications and the §VII-B input-dependence claim."""
+
+import pytest
+
+from repro.apps import VARIANT_OF, VARIANTS, Nek5000MovingBoundary, create_app
+from repro.apps.variants import _patch_structures
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentContext, run_experiment
+from repro.scavenger import NVScavenger
+from tests.conftest import FAST_SCALE
+
+
+def analyze(cls, refs=6000, iters=5):
+    app = cls(scale=FAST_SCALE, refs_per_iteration=refs, n_iterations=iters)
+    return NVScavenger().analyze(app, n_main_iterations=iters)
+
+
+class TestVariantRegistry:
+    def test_every_base_app_has_a_variant(self):
+        assert set(VARIANT_OF) == {"nek5000", "cam", "gtc", "s3d"}
+        assert len(VARIANTS) == 4
+
+    def test_variants_are_subclasses(self):
+        for base_name, cls in VARIANT_OF.items():
+            assert issubclass(cls, type(create_app(base_name)))
+
+    def test_patch_unknown_structure_rejected(self):
+        from repro.apps.nek5000 import Nek5000
+
+        with pytest.raises(ConfigurationError):
+            _patch_structures(Nek5000.structures, {"no_such_structure": {}})
+
+    def test_variants_run(self):
+        for cls in VARIANTS.values():
+            res = analyze(cls, refs=3000, iters=3)
+            assert res.total_refs > 0
+
+
+class TestInputDependence:
+    def test_nek_boundary_conditions_flip(self):
+        """The paper's own example: boundary conditions are read-only under
+        one input and read-written under another."""
+        base = analyze(type(create_app("nek5000")))
+        variant = analyze(Nek5000MovingBoundary)
+        bc_base = next(
+            m for m in base.object_metrics if "boundary_conditions" in m.name
+        )
+        bc_var = next(
+            m for m in variant.object_metrics if "boundary_conditions" in m.name
+        )
+        assert bc_base.read_only
+        assert not bc_var.read_only
+        assert bc_var.writes > 0
+
+    def test_variant_footprints_grow(self):
+        for base_name, cls in VARIANT_OF.items():
+            base = create_app(base_name)
+            assert cls.info.paper_footprint_mb > base.info.paper_footprint_mb
+
+    def test_inputs_experiment_reports_flips(self):
+        ctx = ExperimentContext(refs_per_iteration=8000, scale=1.0 / 256.0)
+        res = run_experiment("inputs", ctx)
+        assert len(res.rows) == 4
+        # every app demonstrates at least one classification change
+        for r in res.rows:
+            assert r["n_changed"] >= 1, r["application"]
+        nek = next(r for r in res.rows if r["application"] == "nek5000")
+        assert any("boundary_conditions" in c for c in nek["changed"])

@@ -1,0 +1,118 @@
+"""Synthetic pattern generators and declarative workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.instrument.api import FanoutProbe
+from repro.instrument.runtime import InstrumentedRuntime
+from repro.scavenger import NVScavenger
+from repro.workloads import synthetic
+from repro.workloads.generator import ObjectSpec, SyntheticWorkload, WorkloadSpec
+
+
+class TestPatterns:
+    def test_sequential(self):
+        assert synthetic.sequential(5).tolist() == [0, 1, 2, 3, 4]
+        assert synthetic.sequential(3, 5).tolist() == [0, 1, 2, 0, 1]
+
+    def test_strided(self):
+        assert synthetic.strided(10, 3).tolist() == [0, 3, 6, 9]
+        assert synthetic.strided(10, 3, count=5).tolist() == [0, 3, 6, 9, 2]
+
+    def test_random_uniform_bounds(self):
+        out = synthetic.random_uniform(100, 1000, rng=0)
+        assert out.min() >= 0 and out.max() < 100
+        assert np.array_equal(out, synthetic.random_uniform(100, 1000, rng=0))
+
+    def test_hotspot_concentration(self):
+        out = synthetic.hotspot(1000, 10_000, hot_fraction=0.1, hot_weight=0.9, rng=0)
+        hot = (out < 100).mean()
+        assert 0.85 < hot < 0.95
+
+    def test_gather_clustering(self):
+        uniform = synthetic.gather_indices(1000, 500, clustering=0.0, rng=0)
+        clustered = synthetic.gather_indices(1000, 500, clustering=0.9, rng=0)
+        # clustered offsets follow the linspace centers more closely
+        centers = np.linspace(0, 999, 500)
+        assert np.abs(clustered - centers).mean() < np.abs(uniform - centers).mean()
+
+    def test_pointer_chase_is_permutation_walk(self):
+        out = synthetic.pointer_chase(64, 64, rng=0)
+        assert out.min() >= 0 and out.max() < 64
+        # a permutation walk from 0 visits 64 distinct nodes iff the cycle
+        # containing 0 has length >= 64; at minimum there are no immediate
+        # repeats
+        assert (out[1:] != out[:-1]).all()
+
+    @pytest.mark.parametrize(
+        "fn, args",
+        [
+            (synthetic.sequential, (0,)),
+            (synthetic.strided, (10, 0)),
+            (synthetic.random_uniform, (0, 5)),
+            (synthetic.hotspot, (10, 5, 2.0)),
+            (synthetic.gather_indices, (10, 5, 2.0)),
+            (synthetic.pointer_chase, (0, 5)),
+        ],
+    )
+    def test_invalid_args(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+    @given(st.integers(1, 1000), st.integers(0, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_all_patterns_in_bounds(self, n, count):
+        for out in (
+            synthetic.sequential(n, count),
+            synthetic.strided(n, 7, count),
+            synthetic.random_uniform(n, count, rng=1),
+            synthetic.hotspot(n, count, rng=1),
+            synthetic.gather_indices(n, count, rng=1),
+        ):
+            assert len(out) == count
+            if count:
+                assert out.min() >= 0 and out.max() < n
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ObjectSpec("x", "nowhere", 10, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ObjectSpec("x", "global", 10, 1, 1, pattern="zigzag")
+        with pytest.raises(ConfigurationError):
+            ObjectSpec("x", "global", 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(objects=(ObjectSpec("a", "global", 1, 1, 1),
+                                  ObjectSpec("a", "global", 1, 1, 1)))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(objects=(), n_iterations=0)
+
+    def test_executes_with_exact_counts(self):
+        spec = WorkloadSpec(
+            objects=(
+                ObjectSpec("g", "global", 100, reads_per_iter=10, writes_per_iter=5),
+                ObjectSpec("h", "heap", 50, reads_per_iter=3, writes_per_iter=2),
+                ObjectSpec("s", "stack", 20, reads_per_iter=7, writes_per_iter=1),
+            ),
+            n_iterations=4,
+        )
+        rt = InstrumentedRuntime(FanoutProbe([]))
+        SyntheticWorkload(spec)(rt)
+        assert rt.refs_emitted == (10 + 5 + 3 + 2 + 7 + 1) * 4
+
+    def test_active_iterations(self):
+        spec = WorkloadSpec(
+            objects=(
+                ObjectSpec("g", "global", 100, reads_per_iter=10, writes_per_iter=0,
+                           active_iterations=(2,)),
+            ),
+            n_iterations=4,
+        )
+        res = NVScavenger().analyze(SyntheticWorkload(spec), n_main_iterations=4)
+        m = res.metrics_by_name("g")
+        assert m.reads == 10
+        assert m.iterations_touched == 1
