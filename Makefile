@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test bench experiments validate examples all clean
+.PHONY: install test lint bench experiments validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -11,6 +11,9 @@ install:
 
 test:
 	$(PY) -m pytest tests/
+
+lint:
+	ruff check src tests
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -34,6 +34,13 @@ from repro.nvram import (
 from repro.powersim import MemorySystem, simulate_power, normalized_power
 from repro.perfsim import PerformanceSimulator, IntervalCoreModel
 from repro.hybrid import StaticPlacer, DynamicMigrator, HybridEnergyModel
+from repro.resilience import (
+    CheckpointEngine,
+    FaultInjector,
+    FaultScenario,
+    HardenedRunner,
+    measure_efficiency,
+)
 from repro.apps import create_app, APPLICATIONS
 from repro.experiments import run_experiment, run_all
 
@@ -64,6 +71,11 @@ __all__ = [
     "StaticPlacer",
     "DynamicMigrator",
     "HybridEnergyModel",
+    "CheckpointEngine",
+    "FaultInjector",
+    "FaultScenario",
+    "HardenedRunner",
+    "measure_efficiency",
     "create_app",
     "APPLICATIONS",
     "run_experiment",

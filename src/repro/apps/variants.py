@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import replace as dc_replace
 
-from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+from repro.apps.base import AppInfo, ModelApp, StructureSpec
 from repro.apps.cam import CAM
 from repro.apps.gtc import GTC
 from repro.apps.nek5000 import Nek5000

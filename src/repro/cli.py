@@ -6,8 +6,14 @@ Subcommands:
   the per-object report, Table V row, and classification;
 * ``power <app>`` — Table VI-style normalized power for one app;
 * ``perf <app>`` — Figure 12-style latency sweep for one app;
+* ``trace <path> [--verify]`` — inspect a trace file; ``--verify`` checks
+  every batch's CRC32 and reports the first corrupt batch;
 * ``experiments <id>|all`` — regenerate paper tables/figures;
 * ``validate`` — run the reproduction gate (DESIGN.md §5 criteria).
+
+Invalid configurations (non-positive ``--refs``/``--iterations``/
+``--scale``) are rejected up front with exit code 2 instead of crashing
+deep inside the simulator.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import argparse
 import sys
 
 from repro.apps import APPLICATIONS, create_app
+from repro.errors import ConfigurationError, TraceError
 from repro.experiments.__main__ import main as experiments_main
 from repro.scavenger import NVScavenger
 from repro.scavenger.report import classification_table, objects_table
@@ -28,6 +35,16 @@ def _add_app_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=1.0 / 64.0)
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+
+
+def _check_app_args(args: argparse.Namespace) -> None:
+    """Reject non-positive fidelity knobs before they reach the simulator."""
+    for flag, value in (("--refs", args.refs), ("--iterations", args.iterations),
+                        ("--scale", args.scale)):
+        if value <= 0:
+            raise ConfigurationError(
+                f"{flag} must be positive, got {value!r}"
+            )
 
 
 def _make_app(args: argparse.Namespace):
@@ -94,6 +111,31 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.io import TraceReader
+
+    try:
+        with TraceReader(args.path) as reader:
+            n_refs = 0
+            if args.verify:
+                for batch in reader:
+                    n_refs += len(batch)
+                checked = ("all checksums verified" if reader.version >= 2
+                           else "all batches readable (v1: no checksums)")
+                print(f"{args.path}: OK — v{reader.version}, "
+                      f"{reader.n_batches} batches, {n_refs} references, "
+                      f"{checked}")
+            else:
+                print(f"{args.path}: v{reader.version}, "
+                      f"{reader.n_batches} batches")
+    except TraceError as exc:
+        where = (f" (batch {exc.batch_index})"
+                 if exc.batch_index is not None else "")
+        print(f"corrupt trace{where}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="nvscavenger")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -103,18 +145,30 @@ def main(argv: list[str] | None = None) -> int:
     _add_app_args(p_pw)
     p_pf = sub.add_parser("perf", help="latency-sensitivity sweep for a model app")
     _add_app_args(p_pf)
+    p_tr = sub.add_parser("trace", help="inspect/verify a trace file")
+    p_tr.add_argument("path")
+    p_tr.add_argument("--verify", action="store_true",
+                      help="checksum every batch; exit 1 on corruption")
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")
     p_va.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
-    if args.command == "analyze":
-        return cmd_analyze(args)
-    if args.command == "power":
-        return cmd_power(args)
-    if args.command == "perf":
-        return cmd_perf(args)
+    try:
+        if args.command in ("analyze", "power", "perf"):
+            _check_app_args(args)
+        if args.command == "analyze":
+            return cmd_analyze(args)
+        if args.command == "power":
+            return cmd_power(args)
+        if args.command == "perf":
+            return cmd_perf(args)
+    except ConfigurationError as exc:
+        print(f"nvscavenger: error: {exc}", file=sys.stderr)
+        return 2
+    if args.command == "trace":
+        return cmd_trace(args)
     if args.command == "validate":
         from repro.validation import main as validation_main
 

@@ -32,7 +32,15 @@ class SegmentError(MemoryModelError):
 
 
 class TraceError(ReproError):
-    """Malformed trace records, incompatible batches, or bad trace files."""
+    """Malformed trace records, incompatible batches, or bad trace files.
+
+    ``batch_index`` identifies the corrupt batch when the error came from a
+    checksum mismatch while reading a trace file (``None`` otherwise).
+    """
+
+    def __init__(self, message: str, batch_index: int | None = None) -> None:
+        super().__init__(message)
+        self.batch_index = batch_index
 
 
 class InstrumentationError(ReproError):
@@ -49,3 +57,15 @@ class SimulationError(ReproError):
 
 class PlacementError(ReproError):
     """Hybrid DRAM/NVRAM placement could not satisfy its constraints."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault scenario/injector configuration (repro.resilience)."""
+
+
+class CheckpointError(ReproError):
+    """The checkpoint/restart engine cannot make forward progress."""
+
+
+class ExperimentAbortedError(ReproError):
+    """An experiment failed every retry under the hardened runner."""

@@ -22,10 +22,10 @@ from repro.hybrid.pagemap import PageMap
 from repro.hybrid.placement import StaticPlacer
 from repro.instrument import InstrumentedRuntime
 from repro.instrument.api import FanoutProbe
-from repro.nvram.technology import PCRAM, STTRAM
+from repro.nvram.technology import PCRAM
 from repro.scavenger.locality import LocalityAnalyzer
 from repro.scavenger.report import format_table
-from repro.util.units import GiB, MiB
+from repro.util.units import MiB
 
 
 def run_locality(ctx: ExperimentContext) -> ExperimentResult:

@@ -10,7 +10,6 @@ reports how pessimistic the paper's bound was per application and device.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentContext, ExperimentResult
 from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM

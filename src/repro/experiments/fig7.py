@@ -40,7 +40,6 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             }
         )
     # render the three CDFs as a step chart over iteration counts 0..10
-    import numpy as np
 
     grid_x = list(range(0, ctx.n_iterations + 1))
     series = {}

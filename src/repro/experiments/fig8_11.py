@@ -3,7 +3,6 @@ across the computation iterations, normalized to iteration 1."""
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentContext, ExperimentResult
 from repro.scavenger.report import format_table

@@ -1,4 +1,12 @@
-"""Run experiments by id; regenerate EXPERIMENTS.md."""
+"""Run experiments by id; regenerate EXPERIMENTS.md.
+
+``run_all`` executes under the hardened harness from
+:mod:`repro.resilience.harness`: a failing experiment becomes a
+structured :class:`~repro.resilience.harness.ExperimentFailure` row in
+EXPERIMENTS.md instead of aborting the suite, transient failures are
+retried against a deterministically reseeded context, and an optional
+wall-clock budget degrades fidelity instead of hanging.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +14,6 @@ import io
 from typing import Callable
 
 from repro.errors import ConfigurationError
-from repro.experiments import (
-    common,
-)
 from repro.experiments import (
     capacity,
     configs,
@@ -22,11 +27,18 @@ from repro.experiments import (
     fig12x,
     hybrid_ext,
     prefetch_ext,
+    resilience_ext,
     table1,
     table5,
     table6,
 )
 from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.resilience.harness import (
+    ExperimentBudget,
+    ExperimentFailure,
+    HardenedRunner,
+    RetryPolicy,
+)
 
 #: id -> runner
 EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
@@ -48,6 +60,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "capacity": capacity.run,
     "inputs": inputs.run,
     "prefetch": prefetch_ext.run,
+    "resilience": resilience_ext.run,
 }
 
 #: aliases for individual figures in grouped experiments
@@ -79,13 +92,38 @@ def run_experiment(name: str, ctx: ExperimentContext | None = None) -> Experimen
     return fn(ctx)
 
 
-def run_all(ctx: ExperimentContext | None = None) -> list[ExperimentResult]:
-    """Run every experiment against one shared (cached) context."""
+def run_all(
+    ctx: ExperimentContext | None = None,
+    *,
+    experiments: dict[str, Callable[[ExperimentContext], ExperimentResult]] | None = None,
+    retries: int = 1,
+    budget_s: float | None = None,
+    strict: bool = False,
+) -> list[ExperimentResult | ExperimentFailure]:
+    """Run every experiment against one shared (cached) context.
+
+    Each experiment runs isolated: an exception yields a structured
+    :class:`ExperimentFailure` in the returned list (rendered as a
+    failure row by :func:`experiments_markdown`) after ``retries``
+    deterministic reseeded re-runs, unless ``strict`` is set, in which
+    case the suite aborts with
+    :class:`~repro.errors.ExperimentAbortedError`. ``budget_s`` bounds
+    each experiment's wall-clock time; overruns are re-run once at
+    reduced ``refs_per_iteration`` (noted in the result).
+    """
     ctx = ctx or ExperimentContext()
-    return [fn(ctx) for fn in EXPERIMENTS.values()]
+    runner = HardenedRunner(
+        retry=RetryPolicy(retries=retries),
+        budget=ExperimentBudget(wall_s=budget_s) if budget_s is not None else None,
+        strict=strict,
+    )
+    exps = EXPERIMENTS if experiments is None else experiments
+    return [runner.run_one(name, fn, ctx) for name, fn in exps.items()]
 
 
-def experiments_markdown(results: list[ExperimentResult], ctx: ExperimentContext) -> str:
+def experiments_markdown(
+    results: list[ExperimentResult | ExperimentFailure], ctx: ExperimentContext
+) -> str:
     """Render EXPERIMENTS.md from a full run."""
     out = io.StringIO()
     out.write("# EXPERIMENTS — paper vs. measured\n\n")
@@ -100,6 +138,15 @@ def experiments_markdown(results: list[ExperimentResult], ctx: ExperimentContext
         "the measured one.\n\n"
     )
     for res in results:
+        if isinstance(res, ExperimentFailure):
+            out.write(f"## {res.exp_id}: {res.title}\n\n")
+            out.write(res.markdown_row())
+            out.write("\n\n")
+            if res.traceback_tail:
+                out.write("```\n")
+                out.write(res.traceback_tail.rstrip())
+                out.write("\n```\n\n")
+            continue
         out.write(f"## {res.exp_id}: {res.title}\n\n")
         out.write("```\n")
         out.write(res.text.rstrip())

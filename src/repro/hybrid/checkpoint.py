@@ -22,7 +22,6 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.util.units import GiB
 
 
 @dataclass(frozen=True)
@@ -107,6 +106,8 @@ def nvram_capacity_for_checkpointing(
     footprint_bytes: int, n_buffers: int = 2
 ) -> int:
     """NVRAM bytes needed for double-buffered in-memory checkpoints."""
+    if footprint_bytes <= 0:
+        raise ConfigurationError("footprint must be positive")
     if n_buffers < 1:
         raise ConfigurationError("need at least one checkpoint buffer")
     return footprint_bytes * n_buffers

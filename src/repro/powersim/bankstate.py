@@ -9,7 +9,7 @@ column access; bank idle -> activate + column access.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

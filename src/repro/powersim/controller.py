@@ -15,9 +15,8 @@ and reproduces Table VI's "faster NVRAM draws more average power".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.nvram.technology import MemoryTechnology
 from repro.powersim.addressing import AddressMapping

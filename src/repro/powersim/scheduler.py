@@ -17,7 +17,6 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nvram.technology import MemoryTechnology

@@ -1,0 +1,183 @@
+"""Hardened experiment execution: isolation, retries, wall-clock budgets.
+
+``run_all()`` used to die on the first experiment that raised — one bad
+seed or injected fault aborted the whole suite and left EXPERIMENTS.md
+unwritten. The harness here gives every experiment:
+
+* **isolation** — an exception is captured as a structured
+  :class:`ExperimentFailure` row (rendered into EXPERIMENTS.md) instead
+  of propagating;
+* **deterministic retry-with-reseed** — transient/injected failures get
+  up to ``retries`` re-runs against a fresh context whose seed is derived
+  as ``seed + attempt * reseed_stride`` (reproducible, never random);
+* **a wall-clock budget** — an experiment that overruns ``budget_s`` is
+  re-run once at reduced fidelity (``refs_per_iteration / degrade_factor``)
+  and the degradation is recorded in its notes, so the suite completes in
+  bounded time instead of hanging on one pathological configuration.
+
+``strict=True`` restores fail-fast semantics by raising
+:class:`~repro.errors.ExperimentAbortedError` after the retries run out.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ExperimentAbortedError
+
+if TYPE_CHECKING:  # imported lazily at runtime: experiments.runner imports us
+    from repro.experiments.common import ExperimentContext, ExperimentResult
+
+
+@dataclass
+class ExperimentFailure:
+    """A structured record of one experiment that failed every attempt."""
+
+    exp_id: str
+    error_type: str
+    message: str
+    attempts: int
+    elapsed_s: float
+    traceback_tail: str = ""
+    title: str = "FAILED"
+
+    @property
+    def rows(self) -> list[dict]:
+        """Machine-readable shape mirroring ExperimentResult.rows."""
+        return [{
+            "experiment": self.exp_id,
+            "status": "failed",
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+        }]
+
+    def markdown_row(self) -> str:
+        """One-row markdown table for EXPERIMENTS.md."""
+        msg = self.message.replace("|", "\\|").replace("\n", " ")
+        return (
+            "| experiment | status | error | attempts | elapsed |\n"
+            "|---|---|---|---|---|\n"
+            f"| {self.exp_id} | failed | `{self.error_type}: {msg}` "
+            f"| {self.attempts} | {self.elapsed_s:.2f}s |"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"== {self.exp_id}: FAILED ==\n"
+            f"{self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt(s), {self.elapsed_s:.2f}s)"
+        )
+
+
+@dataclass
+class RetryPolicy:
+    """Deterministic retry-with-reseed settings."""
+
+    retries: int = 1
+    reseed_stride: int = 1000
+
+
+@dataclass
+class ExperimentBudget:
+    """Per-experiment wall-clock budget and the degradation applied on overrun."""
+
+    wall_s: float
+    degrade_factor: int = 4
+    min_refs: int = 1000
+
+
+@dataclass
+class HardenedRunner:
+    """Runs one experiment callable with isolation, retries, and a budget."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    budget: ExperimentBudget | None = None
+    strict: bool = False
+
+    def _reseeded(self, ctx: "ExperimentContext", attempt: int,
+                  refs: int | None = None) -> "ExperimentContext":
+        from repro.experiments.common import ExperimentContext
+
+        return ExperimentContext(
+            refs_per_iteration=refs if refs is not None else ctx.refs_per_iteration,
+            scale=ctx.scale,
+            n_iterations=ctx.n_iterations,
+            seed=ctx.seed + attempt * self.retry.reseed_stride,
+            apps=ctx.apps,
+        )
+
+    def run_one(
+        self,
+        exp_id: str,
+        fn: Callable[[ExperimentContext], ExperimentResult],
+        ctx: ExperimentContext,
+    ) -> ExperimentResult | ExperimentFailure:
+        started = time.monotonic()
+        last_exc: BaseException | None = None
+        attempts = 0
+        for attempt in range(self.retry.retries + 1):
+            # Attempt 0 shares the suite context (and its cached app runs);
+            # retries get a fresh, deterministically reseeded context.
+            actx = ctx if attempt == 0 else self._reseeded(ctx, attempt)
+            attempts += 1
+            t0 = time.monotonic()
+            try:
+                result = fn(actx)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                last_exc = exc
+                continue
+            elapsed = time.monotonic() - t0
+            if self.budget is not None and elapsed > self.budget.wall_s:
+                return self._degrade(exp_id, fn, ctx, attempt, result, elapsed)
+            return result
+
+        elapsed = time.monotonic() - started
+        assert last_exc is not None
+        if self.strict:
+            raise ExperimentAbortedError(
+                f"experiment {exp_id!r} failed {attempts} attempt(s): {last_exc}"
+            ) from last_exc
+        tb = "".join(traceback.format_exception(last_exc)).strip().splitlines()
+        return ExperimentFailure(
+            exp_id=exp_id,
+            error_type=type(last_exc).__name__,
+            message=str(last_exc),
+            attempts=attempts,
+            elapsed_s=elapsed,
+            traceback_tail="\n".join(tb[-3:]),
+        )
+
+    def _degrade(
+        self,
+        exp_id: str,
+        fn: Callable[[ExperimentContext], ExperimentResult],
+        ctx: ExperimentContext,
+        attempt: int,
+        over_budget_result: ExperimentResult,
+        elapsed: float,
+    ) -> ExperimentResult:
+        """Re-run once at reduced fidelity after a budget overrun."""
+        assert self.budget is not None
+        refs = max(self.budget.min_refs,
+                   ctx.refs_per_iteration // self.budget.degrade_factor)
+        note = (
+            f"budget: exceeded {self.budget.wall_s:.2f}s wall-clock budget "
+            f"({elapsed:.2f}s); degraded to refs_per_iteration={refs}"
+        )
+        if refs >= ctx.refs_per_iteration:
+            over_budget_result.notes.append(note + " — already at floor, kept result")
+            return over_budget_result
+        try:
+            degraded = fn(self._reseeded(ctx, attempt, refs=refs))
+        except Exception:  # noqa: BLE001 — keep the slow-but-good result
+            over_budget_result.notes.append(note + " — degraded rerun failed, kept result")
+            return over_budget_result
+        degraded.notes.append(note)
+        return degraded

@@ -16,7 +16,7 @@ import os
 from dataclasses import dataclass
 
 from repro.instrument.api import Probe
-from repro.memory.object import MemoryObject, ObjectKind
+from repro.memory.object import MemoryObject
 from repro.scavenger.buckets import SortedRangeIndex
 from repro.scavenger.object_stats import ObjectStatsTable
 from repro.trace.io import TraceReader, TraceWriter

@@ -4,12 +4,22 @@ The paper notes (§III-D) that storing raw traces does not scale — NV-
 SCAVENGER computes statistics on-the-fly — but the power simulator is
 trace-driven, so filtered (post-cache) traces still need a durable form.
 Files are ``.npz`` archives holding one group of arrays per batch.
+
+Durability (format v2):
+
+* every batch carries a CRC32 checksum over its payload arrays; a
+  flipped byte anywhere in a batch is detected on read and reported as a
+  :class:`~repro.errors.TraceError` carrying ``batch_index``;
+* writes are crash-consistent: the archive is written to ``<path>.tmp``
+  and atomically renamed with :func:`os.replace`, so an interrupted run
+  never leaves a truncated archive at the final path;
+* v1 files (pre-checksum) still load — they simply skip verification.
 """
 
 from __future__ import annotations
 
-import io
 import os
+import zlib
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -17,11 +27,30 @@ import numpy as np
 from repro.errors import TraceError
 from repro.trace.record import RefBatch
 
-_MAGIC = "nvscavenger-trace-v1"
+_MAGIC_V1 = "nvscavenger-trace-v1"
+_MAGIC_V2 = "nvscavenger-trace-v2"
+
+
+def _batch_crc(addr: np.ndarray, is_write: np.ndarray, size: np.ndarray,
+               oid: np.ndarray, iteration: int) -> int:
+    """CRC32 over a batch's payload, independent of archive encoding."""
+    crc = zlib.crc32(np.ascontiguousarray(addr).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(is_write).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(size).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(oid).tobytes(), crc)
+    return zlib.crc32(int(iteration).to_bytes(8, "little", signed=True), crc)
+
+
+def _npz_path(path: str) -> str:
+    return path if path.endswith(".npz") else path + ".npz"
 
 
 class TraceWriter:
-    """Accumulates batches and writes one compressed archive on close."""
+    """Accumulates batches and writes one compressed archive on close.
+
+    The close is atomic: data goes to a temporary sibling file first and
+    only an :func:`os.replace` publishes it under the final name.
+    """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
@@ -38,7 +67,7 @@ class TraceWriter:
         if self._closed:
             return
         arrays: dict[str, np.ndarray] = {
-            "magic": np.array([_MAGIC]),
+            "magic": np.array([_MAGIC_V2]),
             "n_batches": np.array([len(self._batches)], dtype=np.int64),
         }
         for i, b in enumerate(self._batches):
@@ -47,7 +76,22 @@ class TraceWriter:
             arrays[f"b{i}_sz"] = b.size
             arrays[f"b{i}_oid"] = b.oid
             arrays[f"b{i}_it"] = np.array([b.iteration], dtype=np.int64)
-        np.savez_compressed(self._path, **arrays)
+            arrays[f"b{i}_crc"] = np.array(
+                [_batch_crc(b.addr, b.is_write, b.size, b.oid, b.iteration)],
+                dtype=np.uint32,
+            )
+        final = _npz_path(self._path)
+        tmp = final + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
         self._closed = True
 
     def __enter__(self) -> "TraceWriter":
@@ -58,25 +102,63 @@ class TraceWriter:
 
 
 class TraceReader:
-    """Iterates the batches of a trace file."""
+    """Iterates the batches of a trace file, verifying v2 checksums."""
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
-        self._npz = np.load(self._path if self._path.endswith(".npz") else self._path + ".npz")
-        magic = self._npz.get("magic")
-        if magic is None or str(magic[0]) != _MAGIC:
-            raise TraceError(f"{self._path}: not an NV-SCAVENGER trace file")
-        self.n_batches = int(self._npz["n_batches"][0])
+        try:
+            self._npz = np.load(_npz_path(self._path))
+        except (OSError, ValueError) as exc:
+            raise TraceError(f"{self._path}: cannot open trace file: {exc}") from exc
+        try:
+            magic = self._npz.get("magic")
+            arr = None if magic is None else np.asarray(magic).reshape(-1)
+            magic_s = str(arr[0]) if arr is not None and arr.size else ""
+            if magic_s not in (_MAGIC_V1, _MAGIC_V2):
+                raise TraceError(f"{self._path}: not an NV-SCAVENGER trace file")
+            self.version = 1 if magic_s == _MAGIC_V1 else 2
+            try:
+                self.n_batches = int(np.asarray(self._npz["n_batches"]).reshape(-1)[0])
+            except Exception as exc:
+                raise TraceError(f"{self._path}: corrupt trace header: {exc}") from exc
+        except BaseException:
+            self._npz.close()
+            raise
+
+    def _read_batch(self, i: int) -> RefBatch:
+        try:
+            addr = self._npz[f"b{i}_addr"]
+            is_write = self._npz[f"b{i}_w"]
+            size = self._npz[f"b{i}_sz"]
+            oid = self._npz[f"b{i}_oid"]
+            iteration = int(self._npz[f"b{i}_it"][0])
+        except TraceError:
+            raise
+        except Exception as exc:  # zlib/zipfile/KeyError → undecodable batch
+            raise TraceError(
+                f"{self._path}: batch {i} is unreadable: {exc}", batch_index=i
+            ) from exc
+        if self.version >= 2:
+            stored = int(self._npz[f"b{i}_crc"][0])
+            actual = _batch_crc(addr, is_write, size, oid, iteration)
+            if stored != actual:
+                raise TraceError(
+                    f"{self._path}: batch {i} failed checksum verification "
+                    f"(stored {stored:#010x}, computed {actual:#010x})",
+                    batch_index=i,
+                )
+        return RefBatch(addr=addr, is_write=is_write, size=size, oid=oid,
+                        iteration=iteration)
 
     def __iter__(self) -> Iterator[RefBatch]:
         for i in range(self.n_batches):
-            yield RefBatch(
-                addr=self._npz[f"b{i}_addr"],
-                is_write=self._npz[f"b{i}_w"],
-                size=self._npz[f"b{i}_sz"],
-                oid=self._npz[f"b{i}_oid"],
-                iteration=int(self._npz[f"b{i}_it"][0]),
-            )
+            yield self._read_batch(i)
+
+    def verify(self) -> int:
+        """Checksum every batch; return the count, raise on the first bad one."""
+        for i in range(self.n_batches):
+            self._read_batch(i)
+        return self.n_batches
 
     def close(self) -> None:
         self._npz.close()

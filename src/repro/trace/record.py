@@ -9,7 +9,7 @@ collected in, because every analysis in the paper is per-timestep.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 KiB: int = 1024
 MiB: int = 1024 * KiB
 GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
 
 #: Time units, expressed in nanoseconds.
 NS: float = 1.0

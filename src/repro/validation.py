@@ -81,7 +81,6 @@ def validate(ctx: ExperimentContext | None = None) -> list[Criterion]:
         res = run_experiment("fig3-6", ctx)
         by_app: dict[str, list] = {}
         # rows do not carry the app; recompute via context runs
-        import numpy as np
 
         details = []
         ok = True

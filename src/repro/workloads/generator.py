@@ -9,13 +9,13 @@ ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.instrument.runtime import InstrumentedRuntime, SimArray
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import spawn_rngs
 from repro.workloads import synthetic
 
 

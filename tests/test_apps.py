@@ -8,7 +8,7 @@ numbers.
 import numpy as np
 import pytest
 
-from repro.apps import APPLICATIONS, CAM, GTC, S3D, Nek5000, create_app
+from repro.apps import APPLICATIONS, CAM, GTC, Nek5000, create_app
 from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
 from repro.errors import ConfigurationError
 from repro.scavenger.metrics import high_rw_bytes, read_only_bytes

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
-from repro.instrument.api import FanoutProbe, Probe
-from repro.instrument.runtime import InstrumentedRuntime
 from repro.scavenger import NVScavenger
 
 

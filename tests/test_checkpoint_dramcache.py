@@ -15,7 +15,7 @@ from repro.hybrid.checkpoint import (
 from repro.hybrid.dramcache import DRAMCacheModel, HorizontalModel
 from repro.hybrid.pagemap import MemoryPool, PageMap
 from repro.nvram.technology import PCRAM, STTRAM
-from repro.trace.record import AccessType, RefBatch
+from repro.trace.record import RefBatch
 from repro.util.rng import make_rng
 from repro.util.units import GiB, MiB
 

@@ -1,0 +1,71 @@
+"""Edge cases of the analytic checkpoint model (hybrid/checkpoint.py)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hybrid.checkpoint import (
+    NVRAM_LOCAL,
+    PFS_DISK,
+    CheckpointTarget,
+    compare_targets,
+    nvram_capacity_for_checkpointing,
+    plan_checkpoints,
+)
+from repro.util.units import GiB, MiB, TiB
+
+
+class TestTinyMTBF:
+    @pytest.mark.parametrize("mtbf", [1e-3, 1.0, 60.0])
+    def test_efficiency_clamped_and_positive(self, mtbf):
+        for target in (PFS_DISK, NVRAM_LOCAL):
+            plan = plan_checkpoints(1 * GiB, mtbf, target)
+            assert 0.0 < plan.efficiency <= 1.0
+            assert plan.optimal_interval_s > 0
+            assert plan.checkpoints_per_hour > 0
+
+
+class TestHugeFootprints:
+    @pytest.mark.parametrize("footprint", [1 * TiB, 64 * TiB])
+    def test_model_stays_finite(self, footprint):
+        for target in (PFS_DISK, NVRAM_LOCAL):
+            plan = plan_checkpoints(footprint, 6 * 3600.0, target)
+            assert 0.0 < plan.efficiency <= 1.0
+            assert plan.checkpoint_s == pytest.approx(
+                target.latency_s + footprint / (target.bandwidth_gbs * 1e9))
+
+    def test_capacity_scales_with_buffers(self):
+        assert nvram_capacity_for_checkpointing(64 * TiB) == 128 * TiB
+        assert nvram_capacity_for_checkpointing(1 * GiB, n_buffers=3) == 3 * GiB
+
+
+class TestOrderingInvariant:
+    @pytest.mark.parametrize("footprint", [8 * MiB, 512 * MiB, 16 * GiB, 1 * TiB])
+    @pytest.mark.parametrize("mtbf", [600.0, 6 * 3600.0, 7 * 24 * 3600.0])
+    def test_nvram_never_worse_than_disk(self, footprint, mtbf):
+        plans = compare_targets(footprint, mtbf)
+        assert plans["NVRAM"].efficiency >= plans["PFS-disk"].efficiency
+        assert plans["NVRAM"].checkpoint_s < plans["PFS-disk"].checkpoint_s
+
+
+class TestValidation:
+    def test_plan_rejects_nonpositive_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(0, 3600.0, PFS_DISK)
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(-1, 3600.0, PFS_DISK)
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(1 * GiB, 0.0, PFS_DISK)
+
+    def test_capacity_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            nvram_capacity_for_checkpointing(0)
+        with pytest.raises(ConfigurationError):
+            nvram_capacity_for_checkpointing(-5)
+        with pytest.raises(ConfigurationError):
+            nvram_capacity_for_checkpointing(1 * GiB, n_buffers=0)
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointTarget(name="bad", bandwidth_gbs=0.0, latency_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointTarget(name="bad", bandwidth_gbs=1.0, latency_s=-1.0)

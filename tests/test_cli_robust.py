@@ -1,0 +1,70 @@
+"""CLI hardening: argument validation and the trace --verify path."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.trace.io import write_trace
+from repro.trace.record import AccessType, RefBatch
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize("command", ["analyze", "power", "perf"])
+    @pytest.mark.parametrize("flag,value", [
+        ("--refs", "-5"),
+        ("--refs", "0"),
+        ("--iterations", "0"),
+        ("--iterations", "-2"),
+        ("--scale", "0"),
+        ("--scale", "-0.5"),
+    ])
+    def test_nonpositive_knobs_exit_2(self, capsys, command, flag, value):
+        rc = main([command, "gtc", flag, value])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err
+        assert flag in err and "positive" in err
+
+    def test_valid_args_still_run(self, capsys):
+        rc = main(["analyze", "gtc", "--refs", "2000", "--scale", "0.004",
+                   "--iterations", "3"])
+        assert rc == 0
+        assert "references" in capsys.readouterr().out
+
+
+class TestTraceVerify:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.npz")
+        batches = [
+            RefBatch.from_access(np.arange(16, dtype=np.uint64) * 8,
+                                 AccessType.READ, iteration=i)
+            for i in range(2)
+        ]
+        write_trace(path, batches)
+        return path
+
+    def test_inspect(self, capsys, trace_path):
+        assert main(["trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "v2" in out and "2 batches" in out
+
+    def test_verify_ok(self, capsys, trace_path):
+        assert main(["trace", trace_path, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all checksums verified" in out
+        assert "32 references" in out
+
+    def test_verify_detects_corruption(self, capsys, trace_path):
+        data = dict(np.load(trace_path))
+        arr = data["b1_addr"].copy()
+        arr.view(np.uint8)[5] ^= 0x01
+        data["b1_addr"] = arr
+        np.savez_compressed(trace_path, **data)
+        assert main(["trace", trace_path, "--verify"]) == 1
+        err = capsys.readouterr().err
+        assert "corrupt trace (batch 1)" in err
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.npz"), "--verify"]) == 1
+        assert "corrupt trace" in capsys.readouterr().err

@@ -5,20 +5,18 @@ instrumented program -> cache filter -> trace file -> power simulator
 instrumented program -> cache filter -> counts -> performance model
 """
 
-import numpy as np
 import pytest
 
-from repro.cachesim import MemoryTraceProbe
 from repro.hybrid.pagemap import MemoryPool, PageMap
 from repro.hybrid.migration import DynamicMigrator
 from repro.hybrid.placement import StaticPlacer
 from repro.instrument import InstrumentedRuntime, SamplingProbe
 from repro.instrument.api import FanoutProbe, Probe
-from repro.nvram import DRAM_DDR3, PCRAM, STTRAM
+from repro.nvram import PCRAM, STTRAM
 from repro.perfsim import PerformanceSimulator
 from repro.powersim import simulate_power
 from repro.scavenger import NVScavenger
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import write_trace
 from tests.conftest import make_app
 
 

@@ -5,8 +5,6 @@ import pytest
 
 from repro.cachesim import MemoryTraceProbe
 from repro.errors import ConfigurationError
-from repro.instrument import InstrumentedRuntime
-from repro.instrument.api import FanoutProbe
 from repro.perfsim import PerformanceSimulator, estimate_prefetch_coverage
 from repro.scavenger import NVScavenger
 from repro.scavenger.locality import LocalityAnalyzer

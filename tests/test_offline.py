@@ -1,7 +1,6 @@
 """Offline trace processing: equivalence with the online analyzers."""
 
 import numpy as np
-import pytest
 
 from repro.instrument.api import FanoutProbe
 from repro.instrument.runtime import InstrumentedRuntime

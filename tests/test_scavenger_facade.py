@@ -1,6 +1,5 @@
 """NVScavenger facade: end-to-end analysis with ground truth, plus reports."""
 
-import numpy as np
 import pytest
 
 from repro.scavenger import NVScavenger

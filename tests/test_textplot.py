@@ -1,7 +1,5 @@
 """Text plotting renderers."""
 
-import numpy as np
-import pytest
 
 from repro.util.textplot import bar_chart, line_chart, scatter
 

@@ -1,0 +1,135 @@
+"""Durable trace files: checksums, atomic writes, v1 compatibility."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import (
+    _MAGIC_V1,
+    TraceReader,
+    TraceWriter,
+    read_trace,
+    write_trace,
+)
+from repro.trace.record import AccessType, RefBatch
+
+
+def make_batch(n, iteration=0):
+    return RefBatch.from_access(
+        np.arange(n, dtype=np.uint64) * 8, AccessType.READ, iteration=iteration)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = str(tmp_path / "trace.npz")
+    write_trace(path, [make_batch(16, i) for i in range(3)])
+    return path
+
+
+def _corrupt_batch_payload(path, batch, byte_offset=3):
+    """Flip one byte of one batch's stored addresses, keeping the stale CRC."""
+    data = dict(np.load(path))
+    arr = data[f"b{batch}_addr"].copy()
+    arr.view(np.uint8)[byte_offset] ^= 0x40
+    data[f"b{batch}_addr"] = arr
+    np.savez_compressed(path, **data)
+
+
+class TestChecksums:
+    def test_roundtrip_is_v2_and_verifies(self, trace_path):
+        with TraceReader(trace_path) as reader:
+            assert reader.version == 2
+            assert reader.verify() == 3
+
+    def test_flipped_byte_detected_with_batch_index(self, trace_path):
+        _corrupt_batch_payload(trace_path, batch=1)
+        with pytest.raises(TraceError) as exc:
+            read_trace(trace_path)
+        assert exc.value.batch_index == 1
+        assert "checksum" in str(exc.value)
+
+    def test_batches_before_corruption_still_stream(self, trace_path):
+        _corrupt_batch_payload(trace_path, batch=2)
+        got = []
+        with TraceReader(trace_path) as reader:
+            with pytest.raises(TraceError):
+                for batch in reader:
+                    got.append(batch)
+        assert len(got) == 2
+
+    def test_verify_method_raises_on_corruption(self, trace_path):
+        _corrupt_batch_payload(trace_path, batch=0)
+        with TraceReader(trace_path) as reader:
+            with pytest.raises(TraceError) as exc:
+                reader.verify()
+        assert exc.value.batch_index == 0
+
+
+class TestBackwardCompatibility:
+    def test_v1_file_without_checksums_loads(self, tmp_path):
+        batch = make_batch(8)
+        path = str(tmp_path / "v1.npz")
+        np.savez_compressed(
+            path,
+            magic=np.array([_MAGIC_V1]),
+            n_batches=np.array([1], dtype=np.int64),
+            b0_addr=batch.addr,
+            b0_w=batch.is_write,
+            b0_sz=batch.size,
+            b0_oid=batch.oid,
+            b0_it=np.array([0], dtype=np.int64),
+        )
+        with TraceReader(path) as reader:
+            assert reader.version == 1
+            assert reader.verify() == 1
+        (loaded,) = read_trace(path)
+        assert loaded.addr.tolist() == batch.addr.tolist()
+
+
+class TestCrashSafety:
+    def test_close_leaves_no_tmp_file(self, tmp_path):
+        path = str(tmp_path / "t.npz")
+        with TraceWriter(path) as writer:
+            writer.append(make_batch(4))
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_failed_close_never_touches_final_path(self, tmp_path):
+        # First write a good archive, then make a close() fail mid-write:
+        # the original file must survive intact and no .tmp may remain.
+        path = str(tmp_path / "t.npz")
+        write_trace(path, [make_batch(4)])
+        before = open(path, "rb").read()
+
+        writer = TraceWriter(path)
+        writer.append(make_batch(9))
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        os.replace = exploding_replace
+        try:
+            with pytest.raises(OSError):
+                writer.close()
+        finally:
+            os.replace = real_replace
+        assert open(path, "rb").read() == before
+        assert not os.path.exists(path + ".tmp")
+        (loaded,) = read_trace(path)
+        assert len(loaded) == 4
+
+    def test_not_a_trace_file_closes_handle(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez_compressed(path, magic=np.array(["something-else"]))
+        with pytest.raises(TraceError, match="not an NV-SCAVENGER"):
+            TraceReader(path)
+        # the handle was closed, so the file is deletable even on platforms
+        # with mandatory locking, and no ResourceWarning leaks
+        os.unlink(path)
+
+    def test_missing_file_is_trace_error(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot open"):
+            TraceReader(str(tmp_path / "missing.npz"))
