@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint bench experiments validate examples all clean
+.PHONY: install test lint bench bench-report experiments validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -17,6 +17,9 @@ lint:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-report:
+	$(PY) benchmarks/throughput_report.py BENCH_throughput.json
 
 experiments:
 	$(PY) -m repro.experiments all --write

@@ -8,7 +8,8 @@ controller loop, and the vectorized analyzers.
 import numpy as np
 import pytest
 
-from repro.cachesim import CacheHierarchy, TABLE2_CONFIG
+from repro.cachesim import CacheHierarchy, ReferenceCacheHierarchy, TABLE2_CONFIG
+from repro.engine import PipelineEngine, RunSpec
 from repro.nvram import DRAM_DDR3
 from repro.powersim import MemorySystem
 from repro.scavenger import NVScavenger
@@ -52,6 +53,48 @@ def test_cache_hierarchy_throughput(benchmark, random_batch):
 
     h = benchmark.pedantic(run, rounds=2, iterations=1)
     assert h.stats().refs == N
+
+
+def test_cache_hierarchy_reference_throughput(benchmark, random_batch):
+    """Scalar per-reference LRU simulation — the vectorized path's baseline."""
+    def run():
+        h = ReferenceCacheHierarchy(TABLE2_CONFIG)
+        h.process_batch(random_batch)
+        return h
+
+    h = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert h.stats().refs == N
+
+
+def test_engine_record_throughput(benchmark, tmp_path):
+    """Live instrumented execution into the artifact cache (refs/sec)."""
+    counter = iter(range(1_000_000))
+
+    def run():
+        eng = PipelineEngine(root=tmp_path / f"rec{next(counter)}")
+        spec = RunSpec(app="gtc", refs_per_iteration=10_000,
+                       scale=1.0 / 256.0, n_iterations=5, seed=2)
+        return eng.record(spec)
+
+    art = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert art.meta["refs"] > 0
+
+
+def test_engine_replay_throughput(benchmark, tmp_path):
+    """Replaying a committed artifact into a probe set (refs/sec)."""
+    from repro.cachesim import MemoryTraceProbe
+
+    eng = PipelineEngine(root=tmp_path / "cache")
+    spec = RunSpec(app="gtc", refs_per_iteration=10_000,
+                   scale=1.0 / 256.0, n_iterations=5, seed=2)
+    eng.record(spec)
+
+    def run():
+        probe = MemoryTraceProbe()
+        return eng.replay(spec, probe)
+
+    art = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert art.meta["refs"] > 0
 
 
 def test_power_controller_throughput(benchmark, random_batch):

@@ -9,7 +9,8 @@ model.
 
 from repro.cachesim.config import CacheLevelConfig, CacheHierarchyConfig, TABLE2_CONFIG
 from repro.cachesim.cache import SetAssociativeCache, AccessResult
-from repro.cachesim.hierarchy import CacheHierarchy, HierarchyStats
+from repro.cachesim.hierarchy import ArraySetCache, CacheHierarchy, HierarchyStats
+from repro.cachesim.reference import ReferenceCacheHierarchy, reference_impl
 from repro.cachesim.filtered import MemoryTraceProbe
 from repro.cachesim.sampled import SetSampledHierarchy, SampledStats
 
@@ -19,8 +20,11 @@ __all__ = [
     "TABLE2_CONFIG",
     "SetAssociativeCache",
     "AccessResult",
+    "ArraySetCache",
     "CacheHierarchy",
     "HierarchyStats",
+    "ReferenceCacheHierarchy",
+    "reference_impl",
     "MemoryTraceProbe",
     "SetSampledHierarchy",
     "SampledStats",

@@ -48,13 +48,19 @@ class LevelStats:
 
 
 class SetAssociativeCache:
-    """LRU set-associative cache over *line numbers* (not byte addresses)."""
+    """LRU set-associative cache over *line numbers* (not byte addresses).
+
+    Each resident line carries a dirty flag and the *owning oid* — the
+    memory-object id of the access that last dirtied it — so end-of-run
+    writebacks can be attributed like steady-state ones.
+    """
 
     __slots__ = ("config", "_sets", "_set_mask", "_set_bits", "stats")
 
     def __init__(self, config: CacheLevelConfig) -> None:
         self.config = config
-        self._sets: list[OrderedDict[int, bool]] = [
+        #: per set: tag -> (dirty, owner oid) in LRU order
+        self._sets: list[OrderedDict[int, tuple[bool, int]]] = [
             OrderedDict() for _ in range(config.n_sets)
         ]
         self._set_mask = config.n_sets - 1
@@ -71,32 +77,45 @@ class SetAssociativeCache:
         next level; ``MISS_BYPASSED`` implies the caller must forward the
         *store* down without filling.
         """
+        res, victim, _ = self.access_owned(line, is_write)
+        return res, victim
+
+    def access_owned(
+        self, line: int, is_write: bool, oid: int = -1
+    ) -> tuple[AccessResult, int, int]:
+        """Like :meth:`access`, also returning the evicted victim's owner oid
+        (``-1`` when there is no dirty victim). *oid* becomes the line's
+        owner whenever this access dirties it.
+        """
         od = self._sets[line & self._set_mask]
         tag = line >> self._set_bits
         stats = self.stats
-        if tag in od:
+        entry = od.get(tag)
+        if entry is not None:
             od.move_to_end(tag)
             if is_write:
-                od[tag] = True
+                od[tag] = (True, oid)
                 stats.write_hits += 1
             else:
                 stats.read_hits += 1
-            return AccessResult.HIT, -1
+            return AccessResult.HIT, -1, -1
         # miss
         if is_write:
             stats.write_misses += 1
             if not self.config.write_allocate:
-                return AccessResult.MISS_BYPASSED, -1
+                return AccessResult.MISS_BYPASSED, -1, -1
         else:
             stats.read_misses += 1
         victim = -1
+        victim_oid = -1
         if len(od) >= self.config.associativity:
-            vtag, vdirty = od.popitem(last=False)
+            vtag, (vdirty, void) = od.popitem(last=False)
             if vdirty:
                 stats.writebacks += 1
                 victim = (vtag << self._set_bits) | (line & self._set_mask)
-        od[tag] = is_write
-        return AccessResult.MISS_ALLOCATED, victim
+                victim_oid = void
+        od[tag] = (is_write, oid if is_write else -1)
+        return AccessResult.MISS_ALLOCATED, victim, victim_oid
 
     # ------------------------------------------------------------------
     def contains(self, line: int) -> bool:
@@ -108,11 +127,16 @@ class SetAssociativeCache:
 
     def flush(self) -> list[int]:
         """Evict everything; returns the dirty line numbers written back."""
+        return [line for line, _ in self.flush_owned()]
+
+    def flush_owned(self) -> list[tuple[int, int]]:
+        """Evict everything; returns ``(dirty line, owner oid)`` pairs in
+        (set index, LRU-to-MRU) order."""
         dirty = []
         for set_idx, od in enumerate(self._sets):
-            for tag, d in od.items():
+            for tag, (d, owner) in od.items():
                 if d:
-                    dirty.append((tag << self._set_bits) | set_idx)
+                    dirty.append(((tag << self._set_bits) | set_idx, owner))
             od.clear()
         self.stats.writebacks += len(dirty)
         return dirty

@@ -8,6 +8,10 @@ Subcommands:
 * ``perf <app>`` — Figure 12-style latency sweep for one app;
 * ``trace <path> [--verify]`` — inspect a trace file; ``--verify`` checks
   every batch's CRC32 and reports the first corrupt batch;
+* ``engine stats <app>`` — record one run spec through the pipeline
+  engine, replay it, and print the per-stage wall-time / refs-per-second
+  table (``--cache-dir`` reuses artifacts across invocations);
+* ``engine ls`` — list the committed artifacts under a cache root;
 * ``experiments <id>|all`` — regenerate paper tables/figures;
 * ``validate`` — run the reproduction gate (DESIGN.md §5 criteria).
 
@@ -111,6 +115,52 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import ArtifactCache, PipelineEngine, RunSpec
+
+    if args.action == "ls":
+        import json
+        import os
+
+        cache = ArtifactCache(args.cache_dir)
+        found = 0
+        for dirpath, _dirnames, filenames in sorted(os.walk(cache.root)):
+            if "meta.json" not in filenames:
+                continue
+            with open(os.path.join(dirpath, "meta.json")) as fh:
+                meta = json.load(fh)
+            spec = meta.get("spec", {})
+            print(f"{os.path.basename(dirpath)[:12]}  "
+                  f"{spec.get('app', '?'):18s} "
+                  f"refs={meta.get('refs', 0):>8d}  "
+                  f"batches={meta.get('n_batches', 0):>4d}  "
+                  f"seed={spec.get('seed', '?')}")
+            found += 1
+        if not found:
+            print(f"no committed artifacts under {cache.root}")
+        return 0
+
+    # action == "stats": record one spec, replay it, print the stage table.
+    _check_app_args(args)
+    engine = PipelineEngine(root=args.cache_dir)
+    spec = RunSpec(
+        app=args.app,
+        refs_per_iteration=args.refs,
+        scale=args.scale,
+        n_iterations=args.iterations,
+        seed=args.seed,
+    )
+    from repro.instrument.api import Probe
+
+    art = engine.replay(spec, Probe())
+    print(f"{args.app}: artifact {spec.key[:12]} — {art.meta['refs']} refs, "
+          f"{art.meta['n_batches']} batches, footprint "
+          f"{fmt_bytes(art.meta['footprint_bytes'])}")
+    print()
+    print(engine.stats.table())
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace.io import TraceReader
 
@@ -149,6 +199,17 @@ def main(argv: list[str] | None = None) -> int:
     p_tr.add_argument("path")
     p_tr.add_argument("--verify", action="store_true",
                       help="checksum every batch; exit 1 on corruption")
+    p_en = sub.add_parser("engine",
+                          help="pipeline-engine stats and artifact listing")
+    en_sub = p_en.add_subparsers(dest="action", required=True)
+    p_es = en_sub.add_parser("stats",
+                             help="record+replay one spec; print stage table")
+    _add_app_args(p_es)
+    p_es.add_argument("--cache-dir", default=None,
+                      help="persistent artifact-cache root (default: temp dir)")
+    p_el = en_sub.add_parser("ls", help="list committed artifacts in a cache")
+    p_el.add_argument("--cache-dir", required=True,
+                      help="artifact-cache root to list")
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")
@@ -164,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_power(args)
         if args.command == "perf":
             return cmd_perf(args)
+        if args.command == "engine":
+            return cmd_engine(args)
     except ConfigurationError as exc:
         print(f"nvscavenger: error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,33 @@
+"""Trace-once / replay-many pipeline engine (shared artifact cache).
+
+The paper's methodology — and the record-once-analyze-many pipelines it
+builds on — separates *executing* an instrumented application from
+*consuming* its event stream. This package makes that split explicit:
+
+* :class:`RunSpec` — the identity of one execution (app, knobs, seed),
+  hashed into a content address;
+* :class:`ArtifactCache` — durable storage of recorded runs (crash-safe
+  v2 traces + event log + atomic meta.json commit marker);
+* :class:`PipelineEngine` — records each distinct spec at most once and
+  replays artifacts into arbitrary probe sets, with per-stage wall-time
+  and refs/sec accounting.
+"""
+
+from repro.engine.spec import RunSpec, VARIANT_PREFIX
+from repro.engine.artifacts import Artifact, ArtifactCache, PendingArtifact
+from repro.engine.events import EventLogProbe, ReplayStackView, replay_events
+from repro.engine.engine import EngineStats, PipelineEngine, StageStats
+
+__all__ = [
+    "RunSpec",
+    "VARIANT_PREFIX",
+    "Artifact",
+    "ArtifactCache",
+    "PendingArtifact",
+    "EventLogProbe",
+    "ReplayStackView",
+    "replay_events",
+    "EngineStats",
+    "PipelineEngine",
+    "StageStats",
+]

@@ -1,0 +1,144 @@
+"""Content-addressed artifact cache for recorded runs.
+
+Layout: ``<root>/<key[:2]>/<key>/`` holding three files —
+
+* ``refs.npz`` — the reference batches in the crash-safe v2 trace format
+  (per-batch CRC32, atomic publish);
+* ``events.json`` — the discrete event stream interleaved with batch
+  placeholders (see :mod:`repro.engine.events`);
+* ``meta.json`` — the canonical spec plus run-level facts (footprint,
+  instruction count, reference totals). Written **last** with an atomic
+  rename, so its presence is the commit marker: an artifact missing
+  meta.json (interrupted recording) is treated as absent and re-recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, List
+
+from repro.errors import TraceError
+from repro.trace.io import TraceReader, TraceWriter
+from repro.trace.record import RefBatch
+
+from repro.engine.spec import RunSpec
+
+
+def _atomic_json(path: str, payload) -> None:
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class Artifact:
+    """Handle to one committed recording."""
+
+    def __init__(self, key: str, directory: str) -> None:
+        self.key = key
+        self.directory = directory
+        self._meta: dict | None = None
+
+    @property
+    def refs_path(self) -> str:
+        return os.path.join(self.directory, "refs.npz")
+
+    @property
+    def events_path(self) -> str:
+        return os.path.join(self.directory, "events.json")
+
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.directory, "meta.json")
+
+    @property
+    def meta(self) -> dict:
+        if self._meta is None:
+            with open(self.meta_path) as fh:
+                self._meta = json.load(fh)
+        return self._meta
+
+    def events(self) -> List[list]:
+        with open(self.events_path) as fh:
+            return json.load(fh)
+
+    def batches(self) -> Iterator[RefBatch]:
+        """Stream the recorded reference batches (checksums verified)."""
+        with TraceReader(self.refs_path) as reader:
+            yield from reader
+
+
+class PendingArtifact:
+    """An in-progress recording; :meth:`commit` publishes it atomically."""
+
+    def __init__(self, key: str, directory: str) -> None:
+        self.key = key
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        # clear any partial files left by an interrupted recording
+        for name in ("refs.npz", "events.json", "meta.json"):
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                os.unlink(path)
+        self.writer = TraceWriter(os.path.join(directory, "refs.npz"))
+
+    def commit(self, events: list, meta: dict) -> Artifact:
+        self.writer.close()
+        _atomic_json(os.path.join(self.directory, "events.json"), events)
+        # meta.json last: the commit marker
+        _atomic_json(os.path.join(self.directory, "meta.json"), meta)
+        return Artifact(self.key, self.directory)
+
+    def abort(self) -> None:
+        """Best-effort cleanup; never leaves a committed-looking artifact."""
+        for name in ("meta.json", "events.json", "refs.npz", "refs.npz.tmp"):
+            path = os.path.join(self.directory, name)
+            try:
+                if os.path.exists(path):
+                    os.unlink(path)
+            except OSError:
+                pass
+
+
+class ArtifactCache:
+    """Content-addressed store of recorded runs under one root directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def dir_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key)
+
+    def get(self, spec: RunSpec) -> Artifact | None:
+        """The committed artifact for *spec*, or None if absent/partial."""
+        key = spec.key
+        directory = self.dir_for(key)
+        art = Artifact(key, directory)
+        if not os.path.exists(art.meta_path):
+            return None
+        # meta.json is the commit marker, but guard against manual deletion
+        # of the payload files too
+        if not (os.path.exists(art.refs_path) and os.path.exists(art.events_path)):
+            return None
+        return art
+
+    def begin(self, spec: RunSpec) -> PendingArtifact:
+        key = spec.key
+        return PendingArtifact(key, self.dir_for(key))
+
+    def verify(self, spec: RunSpec) -> int:
+        """Checksum every batch of *spec*'s artifact; returns the count."""
+        art = self.get(spec)
+        if art is None:
+            raise TraceError(f"no committed artifact for {spec}")
+        with TraceReader(art.refs_path) as reader:
+            return reader.verify()

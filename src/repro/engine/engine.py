@@ -1,0 +1,183 @@
+"""The trace-once / replay-many pipeline engine.
+
+``record(spec)`` executes the application *at most once per distinct
+spec*: the first request instruments the app, streams its reference
+batches into the crash-safe v2 trace format under the content-addressed
+artifact cache, and logs the discrete event stream; later requests (and
+later processes pointed at the same cache root) return the committed
+artifact without executing anything. ``replay(spec, probes)`` re-delivers
+a recorded run into any probe set — the NV-SCAVENGER analyzers, the cache
+simulator, a locality analyzer — so one execution feeds arbitrarily many
+consumers.
+
+Every stage is instrumented: per-stage wall time, reference counts and
+derived refs/sec live in :attr:`PipelineEngine.stats`, alongside the
+``app_runs`` / ``cache_hits`` / ``replays`` counters the suite-level
+"each spec executes once" guarantee is tested against.
+
+By default each engine gets a **fresh temporary cache root** (per
+process), so repeated invocations never read stale artifacts from earlier
+code versions. Persistence across processes is opt-in: pass ``root=`` (or
+an :class:`~repro.engine.artifacts.ArtifactCache`), or set the
+``NVSCAVENGER_CACHE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.engine.artifacts import Artifact, ArtifactCache
+from repro.engine.events import EventLogProbe, ReplayStackView, replay_events
+from repro.engine.spec import RunSpec
+from repro.instrument.api import FanoutProbe, Probe
+from repro.instrument.runtime import InstrumentedRuntime
+
+#: Matches NVScavenger's live default, so recorded batch boundaries (and
+#: therefore every extent-dependent statistic) are identical to a live run.
+RECORD_BUFFER_CAPACITY = 1 << 16
+
+#: Environment variable opting into a persistent cache root.
+CACHE_ENV = "NVSCAVENGER_CACHE"
+
+
+@dataclass
+class StageStats:
+    """Wall time and throughput accounting for one pipeline stage."""
+
+    calls: int = 0
+    wall_s: float = 0.0
+    refs: int = 0
+
+    @property
+    def refs_per_s(self) -> float:
+        return self.refs / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class EngineStats:
+    """Counters and per-stage timings for one engine instance."""
+
+    app_runs: int = 0
+    cache_hits: int = 0
+    replays: int = 0
+    stages: dict[str, StageStats] = field(
+        default_factory=lambda: {"record": StageStats(), "replay": StageStats()}
+    )
+
+    def snapshot(self) -> dict:
+        """Flat machine-readable view (used for per-experiment deltas)."""
+        out = {
+            "app_runs": self.app_runs,
+            "cache_hits": self.cache_hits,
+            "replays": self.replays,
+        }
+        for name, st in self.stages.items():
+            out[f"{name}_s"] = st.wall_s
+            out[f"{name}_refs"] = st.refs
+            out[f"{name}_calls"] = st.calls
+        return out
+
+    def delta(self, before: dict) -> dict:
+        """Difference between the current snapshot and an earlier one."""
+        now = self.snapshot()
+        return {k: round(now[k] - before.get(k, 0), 6) for k in now}
+
+    def table(self) -> str:
+        """Human-readable stage table for reports and the CLI view."""
+        lines = [
+            f"app runs: {self.app_runs}   cache hits: {self.cache_hits}   "
+            f"replays: {self.replays}",
+            f"{'stage':8s} {'calls':>6s} {'wall (s)':>9s} {'refs':>12s} {'refs/sec':>12s}",
+        ]
+        for name, st in self.stages.items():
+            lines.append(
+                f"{name:8s} {st.calls:6d} {st.wall_s:9.3f} {st.refs:12d} "
+                f"{st.refs_per_s:12.0f}"
+            )
+        return "\n".join(lines)
+
+
+def _default_root() -> str:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return env
+    return tempfile.mkdtemp(prefix="nvscavenger-cache-")
+
+
+class PipelineEngine:
+    """Executes run specs once and replays their artifacts many times."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        root: str | os.PathLike | None = None,
+        buffer_capacity: int = RECORD_BUFFER_CAPACITY,
+    ) -> None:
+        if cache is None:
+            cache = ArtifactCache(root if root is not None else _default_root())
+        self.cache = cache
+        self.stats = EngineStats()
+        self._buffer_capacity = buffer_capacity
+
+    # ------------------------------------------------------------------
+    def record(self, spec: RunSpec) -> Artifact:
+        """Return the committed artifact for *spec*, executing the app only
+        if no committed artifact exists yet."""
+        art = self.cache.get(spec)
+        if art is not None:
+            self.stats.cache_hits += 1
+            return art
+        t0 = time.perf_counter()
+        pending = self.cache.begin(spec)
+        recorder = EventLogProbe(pending.writer.append)
+        rt = InstrumentedRuntime(recorder, buffer_capacity=self._buffer_capacity)
+        recorder.attach_stack(rt.space.stack)
+        app = spec.instantiate()
+        try:
+            app(rt)
+            rt.finish()
+            meta = {
+                "spec": spec.canonical(),
+                "key": spec.key,
+                "refs": recorder.refs,
+                "n_batches": recorder.n_batches,
+                "n_events": len(recorder.events),
+                "footprint_bytes": rt.space.footprint_bytes(),
+                "instructions": rt.instruction_count,
+                "dependent_refs": rt.dependent_refs,
+                "created_at": time.time(),
+            }
+            art = pending.commit(recorder.events, meta)
+        except BaseException:
+            pending.abort()
+            raise
+        stage = self.stats.stages["record"]
+        stage.calls += 1
+        stage.wall_s += time.perf_counter() - t0
+        stage.refs += recorder.refs
+        self.stats.app_runs += 1
+        return art
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        spec: RunSpec,
+        probes: Probe | Iterable[Probe],
+        stack: ReplayStackView | None = None,
+    ) -> Artifact:
+        """Replay *spec*'s recorded run into *probes* (recording first if
+        needed); returns the artifact so callers can read ``meta``."""
+        art = self.record(spec)
+        probe = probes if isinstance(probes, Probe) else FanoutProbe(list(probes))
+        t0 = time.perf_counter()
+        replay_events(art.events(), art.batches(), probe, stack=stack)
+        stage = self.stats.stages["replay"]
+        stage.calls += 1
+        stage.wall_s += time.perf_counter() - t0
+        stage.refs += art.meta["refs"]
+        self.stats.replays += 1
+        return art

@@ -1,0 +1,190 @@
+"""Recording and replaying the full instrumentation event stream.
+
+A live run delivers two kinds of information to probes: reference batches
+and *discrete events* (allocations, frees, global registrations, call/ret,
+iteration boundaries). The analyzers also read one piece of ambient state —
+the stack's maximum extent — at batch-delivery time. To replay a run with
+full fidelity, :class:`EventLogProbe` records the interleaved event stream
+(batches go to a trace writer; everything else, plus the per-batch stack
+extent, into a JSON-serializable event list), and :func:`replay_events`
+re-delivers it to any probe set in the original order.
+
+Replay preserves the runtime's object-identity semantics: a resurrected
+heap object (same signature re-allocated) is the *same*
+:class:`~repro.memory.object.MemoryObject` instance with its ``alive``
+flag flipped back on, and a routine's frame object is reused across calls
+with its base/size refreshed — exactly what
+:class:`~repro.memory.address_space.AddressSpace` does live.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.instrument.api import Probe
+from repro.memory.layout import Segment
+from repro.memory.object import MemoryObject, ObjectKind
+from repro.memory.stack import StackFrame, StackManager
+from repro.trace.record import RefBatch
+
+
+def _obj_dict(obj: MemoryObject) -> dict:
+    return {
+        "oid": obj.oid,
+        "kind": int(obj.kind),
+        "name": obj.name,
+        "base": obj.base,
+        "size": obj.size,
+        "birth": obj.birth_iteration,
+        "tags": sorted(obj.tags),
+    }
+
+
+def _obj_from_dict(d: dict) -> MemoryObject:
+    return MemoryObject(
+        oid=d["oid"],
+        kind=ObjectKind(d["kind"]),
+        name=d["name"],
+        base=d["base"],
+        size=d["size"],
+        birth_iteration=d["birth"],
+        tags=frozenset(d["tags"]),
+    )
+
+
+class EventLogProbe(Probe):
+    """Records the ordered event stream of one instrumented run.
+
+    Reference batches are forwarded to *sink* (typically a
+    :class:`~repro.trace.io.TraceWriter`'s ``append``) and logged as
+    ``["batch", max_extent]`` placeholders; replay consumes the trace file
+    positionally. All other probe events are serialized inline.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[RefBatch], None],
+        stack: StackManager | None = None,
+    ) -> None:
+        self._sink = sink
+        self._stack = stack
+        self.events: list[list] = []
+        self.refs = 0
+        self.n_batches = 0
+
+    def attach_stack(self, stack: StackManager) -> None:
+        """Bind the runtime's stack so batch events capture its extent."""
+        self._stack = stack
+
+    # ------------------------------------------------------------------
+    def on_batch(self, batch: RefBatch) -> None:
+        ext = self._stack.max_extent if self._stack is not None else 0
+        self.events.append(["batch", int(ext)])
+        self.refs += len(batch)
+        self.n_batches += 1
+        self._sink(batch)
+
+    def on_alloc(self, obj: MemoryObject) -> None:
+        self.events.append(["alloc", _obj_dict(obj)])
+
+    def on_free(self, obj: MemoryObject) -> None:
+        self.events.append(["free", obj.oid])
+
+    def on_global(self, obj: MemoryObject) -> None:
+        self.events.append(["global", _obj_dict(obj)])
+
+    def on_call(self, frame: StackFrame, frame_obj: MemoryObject) -> None:
+        self.events.append(
+            [
+                "call",
+                {
+                    "routine": frame.routine,
+                    "base": frame.base,
+                    "size": frame.size,
+                    "depth": frame.depth,
+                },
+                _obj_dict(frame_obj),
+            ]
+        )
+
+    def on_ret(self, frame: StackFrame) -> None:
+        self.events.append(["ret"])
+
+    def on_iteration(self, iteration: int) -> None:
+        self.events.append(["iter", int(iteration)])
+
+    def on_finish(self) -> None:
+        self.events.append(["finish"])
+
+
+class ReplayStackView:
+    """Duck-types the two :class:`StackManager` attributes the stack
+    analyzers read (``segment`` and ``max_extent``); replay restores the
+    recorded extent before each batch is delivered."""
+
+    def __init__(self, segment: Segment) -> None:
+        self.segment = segment
+        self.max_extent = segment.limit
+
+
+def replay_events(
+    events: Iterable[list],
+    batches: Iterator[RefBatch],
+    probe: Probe,
+    stack: ReplayStackView | None = None,
+) -> None:
+    """Re-deliver a recorded event stream to *probe* in original order.
+
+    *batches* supplies the reference batches positionally (one per
+    ``batch`` event). When *stack* is given, its ``max_extent`` is restored
+    to the recorded value before each batch so extent-dependent consumers
+    (the fast stack analyzer) observe exactly the live state.
+    """
+    objects: dict[int, MemoryObject] = {}
+    frames: list[StackFrame] = []
+    for ev in events:
+        tag = ev[0]
+        if tag == "batch":
+            if stack is not None:
+                stack.max_extent = ev[1]
+            probe.on_batch(next(batches))
+        elif tag == "alloc":
+            d = ev[1]
+            obj = objects.get(d["oid"])
+            if obj is None:
+                obj = _obj_from_dict(d)
+                objects[obj.oid] = obj
+            else:  # resurrection: same instance, refreshed, revived
+                obj.base = d["base"]
+                obj.size = d["size"]
+                obj.alive = True
+            probe.on_alloc(obj)
+        elif tag == "free":
+            obj = objects[ev[1]]
+            obj.alive = False
+            probe.on_free(obj)
+        elif tag == "global":
+            obj = _obj_from_dict(ev[1])
+            objects[obj.oid] = obj
+            probe.on_global(obj)
+        elif tag == "call":
+            d, od = ev[1], ev[2]
+            frame = StackFrame(
+                routine=d["routine"], base=d["base"], size=d["size"], depth=d["depth"]
+            )
+            fobj = objects.get(od["oid"])
+            if fobj is None:
+                fobj = _obj_from_dict(od)
+                objects[fobj.oid] = fobj
+            else:  # recorded dict already carries the live min/max update
+                fobj.base = od["base"]
+                fobj.size = od["size"]
+            frames.append(frame)
+            probe.on_call(frame, fobj)
+        elif tag == "ret":
+            if frames:
+                probe.on_ret(frames.pop())
+        elif tag == "iter":
+            probe.on_iteration(ev[1])
+        elif tag == "finish":
+            probe.on_finish()

@@ -1,0 +1,81 @@
+"""Run specifications: the identity of one instrumented execution.
+
+A :class:`RunSpec` names everything that determines an application's
+reference stream — the app (or input variant), fidelity knobs, and seed.
+Its :attr:`~RunSpec.key` is a content hash over the canonical form, which
+the artifact cache uses as the storage address: two requests with the same
+spec resolve to the same recorded trace, so each distinct execution
+happens at most once ("trace once, replay many").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Prefix selecting an application's alternative-input variant
+#: (``variant:cam`` records :class:`~repro.apps.variants.CAMHighResolution`).
+VARIANT_PREFIX = "variant:"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one instrumented run's event stream."""
+
+    app: str
+    refs_per_iteration: int = 30_000
+    scale: float = 1.0 / 64.0
+    n_iterations: int = 10
+    seed: int = 0
+
+    def canonical(self) -> dict:
+        """JSON-stable form; the hash input and the meta.json record."""
+        return {
+            "app": self.app,
+            "refs_per_iteration": int(self.refs_per_iteration),
+            "scale": float(self.scale),
+            "n_iterations": int(self.n_iterations),
+            "seed": int(self.seed),
+        }
+
+    @property
+    def key(self) -> str:
+        """Content address: sha256 over the canonical JSON form."""
+        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def instantiate(self):
+        """Build the (not yet executed) model application for this spec."""
+        from repro.apps import VARIANT_OF, create_app
+
+        if self.app.startswith(VARIANT_PREFIX):
+            base = self.app[len(VARIANT_PREFIX):]
+            cls = VARIANT_OF.get(base)
+            if cls is None:
+                raise ConfigurationError(
+                    f"no input variant for application {base!r}; "
+                    f"know {sorted(VARIANT_OF)}"
+                )
+            return cls(
+                scale=self.scale,
+                refs_per_iteration=self.refs_per_iteration,
+                n_iterations=self.n_iterations,
+                seed=self.seed,
+            )
+        return create_app(
+            self.app,
+            scale=self.scale,
+            refs_per_iteration=self.refs_per_iteration,
+            n_iterations=self.n_iterations,
+            seed=self.seed,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.app}(refs={self.refs_per_iteration}, scale={self.scale:.5f}, "
+            f"iters={self.n_iterations}, seed={self.seed})"
+        )

@@ -34,6 +34,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--iterations", type=int, default=10,
                         help="main-loop iterations (default 10, as in the paper)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent artifact-cache root (default: fresh temp dir, or "
+             "$NVSCAVENGER_CACHE); recorded traces there are reused across "
+             "invocations",
+    )
     args = parser.parse_args(argv)
 
     ctx = ExperimentContext(
@@ -41,12 +47,14 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         n_iterations=args.iterations,
         seed=args.seed,
+        cache_dir=args.cache_dir,
     )
     if args.experiment == "all":
         results = run_all(ctx)
         for res in results:
             print(res)
             print()
+        print(ctx.engine.stats.table())
         if args.write:
             with open("EXPERIMENTS.md", "w") as fh:
                 fh.write(experiments_markdown(results, ctx))

@@ -20,6 +20,9 @@ from repro.scavenger.report import format_table
 
 RANK_SWEEP = (4, 8, 16, 32, 64)
 
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = ("cam",)
+
 
 def run(ctx: ExperimentContext) -> ExperimentResult:
     trace = ctx.run("cam").memory_trace

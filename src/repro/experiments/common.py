@@ -1,8 +1,11 @@
 """Shared experiment infrastructure.
 
-The context instruments each application once (NV-SCAVENGER analyzers and
-the cache-filtering probe run side by side, as in the paper's tool) and
-caches results; individual experiments then post-process. Fidelity knobs
+Each application is *executed* at most once per distinct run spec: the
+context asks the :class:`~repro.engine.PipelineEngine` for the recorded
+artifact (recording on first request) and replays it into the NV-SCAVENGER
+analyzers and the cache-filtering probe side by side — behaviorally
+identical to the paper's arrangement of tools sharing one instrumented
+run, but with the execution and the analyses decoupled. Fidelity knobs
 (reference budget, scale) default to values that keep the full suite
 within tens of seconds while preserving every calibrated statistic.
 """
@@ -12,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.apps import create_app
 from repro.apps.base import ModelApp
 from repro.cachesim import MemoryTraceProbe
+from repro.engine import PipelineEngine, RunSpec
 from repro.scavenger import NVScavenger, ScavengerResult
 from repro.trace.record import RefBatch
 
@@ -24,7 +27,11 @@ APP_ORDER: tuple[str, ...] = ("nek5000", "cam", "gtc", "s3d")
 
 @dataclass
 class AppRun:
-    """Everything produced by instrumenting one application once."""
+    """Everything an experiment needs from one application's recorded run.
+
+    ``app`` is an un-executed instance (for its ``info`` and class); the
+    analyses come from replaying the recorded artifact.
+    """
 
     app: ModelApp
     result: ScavengerResult
@@ -44,13 +51,17 @@ class ExperimentResult:
     rows: list[dict] = field(default_factory=list)
     #: paper-vs-measured notes for EXPERIMENTS.md
     notes: list[str] = field(default_factory=list)
+    #: engine stage deltas attributed to this experiment (wall seconds,
+    #: reference counts and run counters; filled by the hardened runner)
+    timings: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         return f"== {self.exp_id}: {self.title} ==\n{self.text}"
 
 
 class ExperimentContext:
-    """Caches one instrumented run per application."""
+    """Requests recorded artifacts through a shared pipeline engine and
+    caches one replayed analysis per application."""
 
     def __init__(
         self,
@@ -59,42 +70,61 @@ class ExperimentContext:
         n_iterations: int = 10,
         seed: int = 0,
         apps: Sequence[str] = APP_ORDER,
+        engine: PipelineEngine | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         self.refs_per_iteration = refs_per_iteration
         self.scale = scale
         self.n_iterations = n_iterations
         self.seed = seed
         self.apps = tuple(apps)
+        self.engine = engine if engine is not None else PipelineEngine(root=cache_dir)
         self._runs: dict[str, AppRun] = {}
 
-    def run(self, app_name: str) -> AppRun:
-        """Instrument *app_name* (cached after the first call)."""
-        cached = self._runs.get(app_name)
-        if cached is not None:
-            return cached
-        app = create_app(
-            app_name,
-            scale=self.scale,
+    # ------------------------------------------------------------------
+    def spec_for(self, app_name: str) -> RunSpec:
+        """The run spec this context's knobs imply for *app_name* (plain
+        app names and ``variant:<app>`` both work)."""
+        return RunSpec(
+            app=app_name,
             refs_per_iteration=self.refs_per_iteration,
+            scale=self.scale,
             n_iterations=self.n_iterations,
             seed=self.seed,
         )
+
+    def prefetch(self, names: Sequence[str] | None = None) -> None:
+        """Record artifacts for *names* (default: this context's apps) so
+        later experiments only replay. Failures are deferred: a spec that
+        cannot record here will raise inside the experiment that needs it,
+        where the harness isolates the failure."""
+        for name in names if names is not None else self.apps:
+            try:
+                self.engine.record(self.spec_for(name))
+            except Exception:  # noqa: BLE001 — surfaced by the experiment
+                pass
+
+    def run(self, app_name: str) -> AppRun:
+        """Replay *app_name*'s recorded artifact into the full analysis
+        set (cached after the first call; recording happens at most once
+        per spec across the whole engine)."""
+        cached = self._runs.get(app_name)
+        if cached is not None:
+            return cached
+        spec = self.spec_for(app_name)
         cache_probe = MemoryTraceProbe()
-        scavenger = NVScavenger(extra_probes=[cache_probe])
-        instructions = 0
-
-        def program(rt):
-            nonlocal instructions
-            app(rt)
-            instructions = rt.instruction_count
-
-        result = scavenger.analyze(program, n_main_iterations=self.n_iterations)
+        session = NVScavenger(extra_probes=[cache_probe]).replay_session()
+        artifact = self.engine.replay(spec, session.probe, stack=session.stack)
+        result = session.result(
+            footprint_bytes=artifact.meta["footprint_bytes"],
+            n_main_iterations=self.n_iterations,
+        )
         run = AppRun(
-            app=app,
+            app=spec.instantiate(),
             result=result,
             memory_trace=cache_probe.memory_trace,
             cache_probe=cache_probe,
-            instructions=instructions,
+            instructions=artifact.meta["instructions"],
         )
         self._runs[app_name] = run
         return run

@@ -10,6 +10,9 @@ from repro.powersim.config import TABLE3_DEVICE
 from repro.scavenger.report import format_table
 from repro.util.units import fmt_bytes
 
+#: static configuration tables only — no recorded artifacts
+ARTIFACTS: tuple[str, ...] = ()
+
 
 def run(ctx: ExperimentContext) -> ExperimentResult:
     lines = []

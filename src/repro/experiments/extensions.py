@@ -13,35 +13,36 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.hybrid.checkpoint import NVRAM_LOCAL, PFS_DISK, compare_targets
 from repro.hybrid.dramcache import DRAMCacheModel, HorizontalModel
 from repro.hybrid.pagemap import PageMap
 from repro.hybrid.placement import StaticPlacer
-from repro.instrument import InstrumentedRuntime
-from repro.instrument.api import FanoutProbe
 from repro.nvram.technology import PCRAM
 from repro.scavenger.locality import LocalityAnalyzer
 from repro.scavenger.report import format_table
 from repro.util.units import MiB
+
+#: artifacts replayed at context fidelity (locality uses a reduced-
+#: iteration spec, recorded on first demand and cached like any other)
+ARTIFACTS = APP_ORDER
 
 
 def run_locality(ctx: ExperimentContext) -> ExperimentResult:
     rows = []
     data = []
     for name in ctx.apps:
-        app = ctx.run(name).app
+        # Locality is scored over a shortened run (3 iterations suffice and
+        # keep the analyzer cheap); the engine caches that spec too.
+        spec = dataclasses.replace(
+            ctx.spec_for(name), n_iterations=min(3, ctx.n_iterations)
+        )
         loc = LocalityAnalyzer()
-        rt = InstrumentedRuntime(FanoutProbe([loc]))
-        type(app)(
-            scale=ctx.scale,
-            refs_per_iteration=ctx.refs_per_iteration,
-            n_iterations=min(3, ctx.n_iterations),
-            seed=ctx.seed,
-        )(rt)
-        rt.finish()
+        ctx.engine.replay(spec, loc)
         s = loc.scores()
         rows.append({"application": name, "temporal": s.temporal, "spatial": s.spatial})
         data.append((name, f"{s.temporal:.3f}", f"{s.spatial:.3f}"))

@@ -7,7 +7,7 @@ headline pairs) through the interval core model at the Table IV latencies.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
 from repro.perfsim import PerformanceSimulator
 from repro.scavenger.report import format_table
@@ -21,6 +21,9 @@ PAPER_BOUNDS = {
     "STTRAM": (0.0, 0.05),  # "less than 5%"
     "PCRAM": (0.05, 0.30),  # "can be as high as 25%"
 }
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -11,13 +11,16 @@ reports how pessimistic the paper's bound was per application and device.
 from __future__ import annotations
 
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
 from repro.perfsim import PerformanceSimulator
 from repro.perfsim.rwmodel import ReadWriteCoreModel, RWWorkloadCounts
 from repro.scavenger.report import format_table
 
 TECHS = (MRAM, STTRAM, PCRAM)
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

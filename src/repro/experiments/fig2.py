@@ -15,6 +15,9 @@ PAPER = {
     "refs_share_rw_gt50": 0.089,
 }
 
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = ("cam",)
+
 
 def run(ctx: ExperimentContext) -> ExperimentResult:
     res = ctx.run("cam").result

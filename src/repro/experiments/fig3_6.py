@@ -4,7 +4,7 @@ applications, plus §VII-B's derived read-only / high-r/w masses."""
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.scavenger.metrics import high_rw_bytes, read_only_bytes
 from repro.scavenger.report import format_table, objects_table
 from repro.util.units import MiB
@@ -16,6 +16,9 @@ PAPER = {
     "gtc": {"read_only_frac": None, "rw50_mb": None},  # not quoted
     "s3d": {"read_only_frac": None, "rw50_mb": None},
 }
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run_one(ctx: ExperimentContext, app_name: str) -> ExperimentResult:

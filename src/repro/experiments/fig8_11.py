@@ -4,11 +4,14 @@ across the computation iterations, normalized to iteration 1."""
 from __future__ import annotations
 
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.scavenger.report import format_table
 from repro.util.textplot import bar_chart
 
 _FIG_NO = {"nek5000": 8, "cam": 9, "s3d": 10, "gtc": 11}
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -10,11 +10,14 @@ prices the placements with the hybrid energy model.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.hybrid.energy import HybridEnergyModel
 from repro.hybrid.placement import StaticPlacer
 from repro.nvram.technology import PCRAM, STTRAM
 from repro.scavenger.report import format_table
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -9,11 +9,14 @@ paper attaches to its own read-only findings.
 
 from __future__ import annotations
 
-from repro.apps.variants import VARIANT_OF
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.engine import VARIANT_PREFIX
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.scavenger import NVScavenger
 from repro.scavenger.compare import compare_results
 from repro.scavenger.report import format_table
+
+#: each app's default-input run plus its alternative-input variant
+ARTIFACTS = APP_ORDER + tuple(f"{VARIANT_PREFIX}{name}" for name in APP_ORDER)
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:
@@ -21,14 +24,14 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     blocks = []
     for name in ctx.apps:
         base_run = ctx.run(name)
-        variant_cls = VARIANT_OF[name]
-        variant = variant_cls(
-            scale=ctx.scale,
-            refs_per_iteration=ctx.refs_per_iteration,
-            n_iterations=ctx.n_iterations,
-            seed=ctx.seed,
+        var_spec = ctx.spec_for(f"{VARIANT_PREFIX}{name}")
+        variant = var_spec.instantiate()
+        session = NVScavenger().replay_session()
+        artifact = ctx.engine.replay(var_spec, session.probe, stack=session.stack)
+        var_result = session.result(
+            footprint_bytes=artifact.meta["footprint_bytes"],
+            n_main_iterations=ctx.n_iterations,
         )
-        var_result = NVScavenger().analyze(variant, n_main_iterations=ctx.n_iterations)
         report = compare_results(base_run.result, var_result)
         changed = [
             (

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.nvram.technology import PCRAM, STTRAM
 from repro.perfsim import PerformanceSimulator
 from repro.perfsim.prefetch import PrefetchAwareModel, estimate_prefetch_coverage
 from repro.scavenger.report import format_table
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -12,7 +12,7 @@ resiliency claim, demonstrated rather than asserted.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.hybrid.checkpoint import NVRAM_LOCAL, PFS_DISK
 from repro.resilience.engine import CheckpointEngine, SyntheticTimestepApp
 from repro.resilience.faults import FaultInjector, FaultScenario
@@ -24,6 +24,9 @@ _MTBF_S = 2 * 3600.0
 #: Simulated useful machine time per run (~140 expected failures).
 _USEFUL_S = 1_000_000.0
 _TIMESTEP_S = 40.0
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def _measure(footprint: int, target, seed: int):

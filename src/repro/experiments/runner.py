@@ -11,6 +11,7 @@ wall-clock budget degrades fidelity instead of hanging.
 from __future__ import annotations
 
 import io
+import sys
 from typing import Callable
 
 from repro.errors import ConfigurationError
@@ -92,6 +93,27 @@ def run_experiment(name: str, ctx: ExperimentContext | None = None) -> Experimen
     return fn(ctx)
 
 
+def artifact_names(
+    exps: dict[str, Callable[[ExperimentContext], ExperimentResult]],
+    apps: tuple[str, ...],
+) -> list[str]:
+    """Distinct artifact names the given experiments declare, in order.
+
+    Each experiment module may export ``ARTIFACTS``: the app names (or
+    ``variant:<app>`` entries) it replays at context fidelity. Entries
+    whose base application is outside *apps* are skipped.
+    """
+    allowed = set(apps)
+    seen: list[str] = []
+    for fn in exps.values():
+        mod = sys.modules.get(getattr(fn, "__module__", ""), None)
+        for name in getattr(mod, "ARTIFACTS", ()):
+            base = name.split(":", 1)[1] if ":" in name else name
+            if base in allowed and name not in seen:
+                seen.append(name)
+    return seen
+
+
 def run_all(
     ctx: ExperimentContext | None = None,
     *,
@@ -99,8 +121,14 @@ def run_all(
     retries: int = 1,
     budget_s: float | None = None,
     strict: bool = False,
+    prefetch: bool = True,
 ) -> list[ExperimentResult | ExperimentFailure]:
     """Run every experiment against one shared (cached) context.
+
+    ``prefetch`` records every declared artifact up front through the
+    context's engine (the trace-once phase); the experiments then only
+    replay, so each distinct run spec executes at most once per suite
+    invocation even across harness retries.
 
     Each experiment runs isolated: an exception yields a structured
     :class:`ExperimentFailure` in the returned list (rendered as a
@@ -118,6 +146,8 @@ def run_all(
         strict=strict,
     )
     exps = EXPERIMENTS if experiments is None else experiments
+    if prefetch:
+        ctx.prefetch(artifact_names(exps, ctx.apps))
     return [runner.run_one(name, fn, ctx) for name, fn in exps.items()]
 
 
@@ -155,4 +185,25 @@ def experiments_markdown(
             out.write(f"- {note}\n")
         if res.notes:
             out.write("\n")
+    out.write("## engine: trace-once / replay-many accounting\n\n")
+    out.write(
+        "Each distinct run spec is executed once, recorded into the\n"
+        "artifact cache, and replayed into every analysis that needs it.\n\n"
+    )
+    out.write("```\n")
+    out.write(ctx.engine.stats.table())
+    out.write("\n```\n\n")
+    timed = [r for r in results
+             if isinstance(r, ExperimentResult) and r.timings]
+    if timed:
+        out.write("| experiment | wall (s) | app runs | replays | replayed refs |\n")
+        out.write("|---|---|---|---|---|\n")
+        for res in timed:
+            t = res.timings
+            out.write(
+                f"| {res.exp_id} | {t.get('experiment_wall_s', 0.0):.3f} "
+                f"| {int(t.get('app_runs', 0))} | {int(t.get('replays', 0))} "
+                f"| {int(t.get('replay_refs', 0))} |\n"
+            )
+        out.write("\n")
     return out.getvalue()

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.scavenger.report import format_table
 from repro.util.units import MiB
 
 #: Paper's per-task footprints (MB) for the scale-factor note.
 PAPER_FOOTPRINTS = {"nek5000": 824, "cam": 608, "gtc": 218, "s3d": 512}
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.scavenger.report import format_table
 
 #: Paper's Table V: (read/write ratio, first-iteration ratio or None,
@@ -13,6 +13,9 @@ PAPER_TABLE5 = {
     "gtc": (3.48, None, 0.443),
     "s3d": (6.04, None, 0.631),
 }
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -7,7 +7,7 @@ to the DDR3 baseline.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import APP_ORDER, ExperimentContext, ExperimentResult
 from repro.nvram.technology import DRAM_DDR3, MRAM, PCRAM, STTRAM
 from repro.powersim.system import simulate_power
 from repro.scavenger.report import format_table
@@ -22,6 +22,9 @@ PAPER_TABLE6 = {
 }
 
 TECHS = (PCRAM, STTRAM, MRAM)
+
+#: artifacts this experiment replays at context fidelity
+ARTIFACTS = APP_ORDER
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -103,12 +103,16 @@ class HardenedRunner:
                   refs: int | None = None) -> "ExperimentContext":
         from repro.experiments.common import ExperimentContext
 
+        # The reseeded context shares the suite's pipeline engine: a retry
+        # at the same spec replays the cached artifact instead of
+        # re-executing the application.
         return ExperimentContext(
             refs_per_iteration=refs if refs is not None else ctx.refs_per_iteration,
             scale=ctx.scale,
             n_iterations=ctx.n_iterations,
             seed=ctx.seed + attempt * self.retry.reseed_stride,
             apps=ctx.apps,
+            engine=ctx.engine,
         )
 
     def run_one(
@@ -126,6 +130,7 @@ class HardenedRunner:
             actx = ctx if attempt == 0 else self._reseeded(ctx, attempt)
             attempts += 1
             t0 = time.monotonic()
+            before = actx.engine.stats.snapshot()
             try:
                 result = fn(actx)
             except (KeyboardInterrupt, SystemExit):
@@ -134,6 +139,8 @@ class HardenedRunner:
                 last_exc = exc
                 continue
             elapsed = time.monotonic() - t0
+            result.timings = actx.engine.stats.delta(before)
+            result.timings["experiment_wall_s"] = round(elapsed, 6)
             if self.budget is not None and elapsed > self.budget.wall_s:
                 return self._degrade(exp_id, fn, ctx, attempt, result, elapsed)
             return result

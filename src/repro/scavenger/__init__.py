@@ -27,7 +27,11 @@ from repro.scavenger.compare import (
     ObjectDelta,
     normalize_object_name,
 )
-from repro.scavenger.scavenger import NVScavenger, ScavengerResult
+from repro.scavenger.scavenger import (
+    NVScavenger,
+    ScavengerReplaySession,
+    ScavengerResult,
+)
 
 __all__ = [
     "ScavengerConfig",
@@ -50,6 +54,7 @@ __all__ = [
     "NVRAMClass",
     "classify_objects",
     "NVScavenger",
+    "ScavengerReplaySession",
     "ScavengerResult",
     "LocalityAnalyzer",
     "LocalityScores",

@@ -98,16 +98,29 @@ class NVScavenger:
 
         program(rt)
         rt.finish()
-        return self._assemble(rt, fast, slow, heap, glob, n_main_iterations)
+        return self._assemble(
+            fast, slow, heap, glob, rt.space.footprint_bytes(), n_main_iterations
+        )
+
+    def replay_session(self) -> "ScavengerReplaySession":
+        """Build the analyzer pipeline for a *recorded* run.
+
+        Feed a recorded event stream into ``session.probe`` (e.g. via
+        :meth:`repro.engine.PipelineEngine.replay`, passing
+        ``session.stack`` so the recorded stack extents are restored),
+        then call ``session.result(...)`` to assemble the same
+        :class:`ScavengerResult` a live :meth:`analyze` would produce.
+        """
+        return ScavengerReplaySession(self, self._layout)
 
     # ------------------------------------------------------------------
     def _assemble(
         self,
-        rt: InstrumentedRuntime,
         fast: FastStackAnalyzer,
         slow: SlowStackAnalyzer,
         heap: HeapAnalyzer,
         glob: GlobalAnalyzer,
+        footprint_bytes: int,
         n_main_iterations: int,
     ) -> ScavengerResult:
         # combined global + heap stats (oids share one dense space)
@@ -145,7 +158,38 @@ class NVScavenger:
             total_refs=total_refs,
             total_reads=total_reads,
             total_writes=total_writes,
-            footprint_bytes=rt.space.footprint_bytes(),
+            footprint_bytes=footprint_bytes,
             n_main_iterations=n_main_iterations,
             objects=objects,
+        )
+
+
+class ScavengerReplaySession:
+    """The analyzer pipeline wired for replaying a recorded run.
+
+    ``probe`` is the fan-out to feed (all four analyzers plus the
+    scavenger's ``extra_probes``); ``stack`` is the replay stack view whose
+    ``max_extent`` the engine restores before each batch, so the fast stack
+    analyzer observes exactly the live run's ambient state.
+    """
+
+    def __init__(self, scavenger: NVScavenger, layout: AddressLayout) -> None:
+        from repro.engine.events import ReplayStackView
+
+        self._scavenger = scavenger
+        self.stack = ReplayStackView(layout.stack_segment)
+        self._fast = FastStackAnalyzer(self.stack)
+        self._slow = SlowStackAnalyzer(self.stack)
+        self._heap = HeapAnalyzer(layout.heap_segment)
+        self._glob = GlobalAnalyzer(layout.global_segment)
+        self.probe = FanoutProbe(
+            [self._fast, self._slow, self._heap, self._glob, *scavenger._extra]
+        )
+
+    def result(self, footprint_bytes: int, n_main_iterations: int = 10) -> ScavengerResult:
+        """Assemble the replayed run's result (footprint comes from the
+        artifact's recorded metadata — replay has no address space)."""
+        return self._scavenger._assemble(
+            self._fast, self._slow, self._heap, self._glob,
+            footprint_bytes, n_main_iterations,
         )

@@ -132,3 +132,44 @@ def test_property_all_indexes_agree(sizes, probe_offsets):
     b = bucket.lookup_batch(addrs)
     c = srt.lookup_batch(addrs)
     assert a.tolist() == b.tolist() == c.tolist()
+
+
+class TestVectorizedBatchPath:
+    """The sorted-array batch path agrees with the scalar scan exactly."""
+
+    def test_batch_matches_scalar(self, index):
+        for oid, lo, hi in build_disjoint_ranges([64, 128, 32, 256, 8]):
+            index.insert(oid, lo, hi)
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0x1000, 0x1000 + 2048, size=500, dtype=np.uint64)
+        expected = [index.lookup(int(a)) for a in addrs]
+        assert index.lookup_batch(addrs).tolist() == expected
+
+    def test_mutation_invalidates_cached_view(self, index):
+        ranges = build_disjoint_ranges([64, 64, 64])
+        for oid, lo, hi in ranges:
+            index.insert(oid, lo, hi)
+        addrs = np.array([r[1] for r in ranges], dtype=np.uint64)
+        assert index.lookup_batch(addrs).tolist() == [0, 1, 2]
+        index.remove(1)
+        assert index.lookup_batch(addrs).tolist() == [0, MISS, 2]
+        index.insert(9, ranges[1][1], ranges[1][2])
+        assert index.lookup_batch(addrs).tolist() == [0, 9, 2]
+
+    @pytest.mark.parametrize("make", [
+        LinearScanIndex,
+        lambda: BucketIndex(SPAN, n_buckets=8),
+    ])
+    def test_overlap_falls_back_to_first_match(self, make):
+        idx = make()
+        idx.insert(0, 0x2000, 0x2200)
+        idx.insert(1, 0x2100, 0x2400)  # overlaps oid 0
+        addrs = np.array([0x2150, 0x2300, 0x9000], dtype=np.uint64)
+        out = idx.lookup_batch(addrs)
+        # first-match (insertion-order) semantics, same as scalar lookup
+        assert out.tolist() == [idx.lookup(0x2150), idx.lookup(0x2300), MISS]
+        assert out.tolist()[:2] == [0, 1]
+
+    def test_empty_index_batch(self, index):
+        addrs = np.array([0x1000, 0x2000], dtype=np.uint64)
+        assert index.lookup_batch(addrs).tolist() == [MISS, MISS]
