@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint bench bench-report experiments validate examples all clean
+.PHONY: install test lint chaos bench bench-report experiments validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -14,6 +14,13 @@ test:
 
 lint:
 	ruff check src tests
+
+# Fault-injection suite: crash-point sweep, bit-flip detection, fsck/gc.
+# -p no:randomly pins fault points and flip seeds (matches CI's chaos job).
+chaos:
+	$(PY) -m pytest -p no:randomly -q tests/test_engine_chaos.py \
+		tests/test_engine_fsck_gc.py tests/test_resilience.py \
+		tests/test_trace_durability.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

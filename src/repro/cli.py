@@ -10,8 +10,17 @@ Subcommands:
   every batch's CRC32 and reports the first corrupt batch;
 * ``engine stats <app>`` — record one run spec through the pipeline
   engine, replay it, and print the per-stage wall-time / refs-per-second
-  table (``--cache-dir`` reuses artifacts across invocations);
+  table, including the self-healing ``quarantined`` / ``re-recorded``
+  counters (``--cache-dir`` reuses artifacts across invocations);
 * ``engine ls`` — list the committed artifacts under a cache root;
+* ``engine fsck`` — scrub every artifact's CRCs and commit markers;
+  ``--repair`` quarantines corruption and deletes partial leftovers.
+  Exit 0 when the cache is clean (partial leftovers alone are clean:
+  the commit-marker protocol already hides them), 1 when corruption
+  remains in service, 2 on usage errors;
+* ``engine gc`` — enforce a cache size budget (``--max-bytes``, with
+  K/M/G suffixes) by LRU eviction on ``meta.json`` access stamps,
+  never evicting artifacts whose cross-process lock is held;
 * ``experiments <id>|all`` — regenerate paper tables/figures;
 * ``validate`` — run the reproduction gate (DESIGN.md §5 criteria).
 
@@ -115,8 +124,41 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def _parse_bytes(text: str) -> int:
+    """``"500M"``/``"2g"``/``"1048576"`` → a byte count (exit 2 on junk)."""
+    s = text.strip().lower().removesuffix("b").removesuffix("i")
+    factor = 1
+    if s and s[-1] in _BYTE_SUFFIXES:
+        factor = _BYTE_SUFFIXES[s[-1]]
+        s = s[:-1]
+    try:
+        value = float(s)
+    except ValueError:
+        raise ConfigurationError(
+            f"cannot parse byte size {text!r} (want e.g. 1048576, 500M, 2G)"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"byte size must be >= 0, got {text!r}")
+    return int(value * factor)
+
+
 def cmd_engine(args: argparse.Namespace) -> int:
     from repro.engine import ArtifactCache, PipelineEngine, RunSpec
+
+    if args.action == "fsck":
+        cache = ArtifactCache(args.cache_dir)
+        report = cache.fsck(repair=args.repair)
+        print(report.table())
+        return 0 if report.clean else 1
+
+    if args.action == "gc":
+        cache = ArtifactCache(args.cache_dir)
+        report = cache.gc(_parse_bytes(args.max_bytes))
+        print(report.summary())
+        return 0
 
     if args.action == "ls":
         import json
@@ -210,6 +252,18 @@ def main(argv: list[str] | None = None) -> int:
     p_el = en_sub.add_parser("ls", help="list committed artifacts in a cache")
     p_el.add_argument("--cache-dir", required=True,
                       help="artifact-cache root to list")
+    p_ef = en_sub.add_parser(
+        "fsck", help="scrub every artifact's CRCs and commit markers")
+    p_ef.add_argument("--cache-dir", required=True,
+                      help="artifact-cache root to scrub")
+    p_ef.add_argument("--repair", action="store_true",
+                      help="quarantine corrupt artifacts, delete partials")
+    p_eg = en_sub.add_parser(
+        "gc", help="LRU-evict artifacts down to a size budget")
+    p_eg.add_argument("--cache-dir", required=True,
+                      help="artifact-cache root to collect")
+    p_eg.add_argument("--max-bytes", required=True,
+                      help="size budget (supports K/M/G suffixes)")
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")

@@ -11,11 +11,27 @@ builds on — separates *executing* an instrumented application from
 * :class:`PipelineEngine` — records each distinct spec at most once and
   replays artifacts into arbitrary probe sets, with per-stage wall-time
   and refs/sec accounting.
+
+The cache is self-healing and chaos-tested: :mod:`repro.engine.chaos`
+injects deterministic I/O faults (torn writes, ``ENOSPC``/``EIO``, crash
+points, bit flips), :mod:`repro.engine.locks` serializes cross-process
+recorders per key, corrupt artifacts are quarantined and re-recorded,
+and :meth:`ArtifactCache.fsck` / :meth:`ArtifactCache.gc` scrub and
+size-bound a persistent cache root.
 """
 
 from repro.engine.spec import RunSpec, VARIANT_PREFIX
-from repro.engine.artifacts import Artifact, ArtifactCache, PendingArtifact
+from repro.engine.artifacts import (
+    Artifact,
+    ArtifactCache,
+    FsckEntry,
+    FsckReport,
+    GcReport,
+    PendingArtifact,
+)
+from repro.engine.chaos import ChaosFS, IOFault, IOFaultScenario, SimulatedCrash
 from repro.engine.events import EventLogProbe, ReplayStackView, replay_events
+from repro.engine.locks import KeyLock
 from repro.engine.engine import EngineStats, PipelineEngine, StageStats
 
 __all__ = [
@@ -23,7 +39,15 @@ __all__ = [
     "VARIANT_PREFIX",
     "Artifact",
     "ArtifactCache",
+    "ChaosFS",
+    "FsckEntry",
+    "FsckReport",
+    "GcReport",
+    "IOFault",
+    "IOFaultScenario",
+    "KeyLock",
     "PendingArtifact",
+    "SimulatedCrash",
     "EventLogProbe",
     "ReplayStackView",
     "replay_events",

@@ -10,33 +10,80 @@ Layout: ``<root>/<key[:2]>/<key>/`` holding three files —
   instruction count, reference totals). Written **last** with an atomic
   rename, so its presence is the commit marker: an artifact missing
   meta.json (interrupted recording) is treated as absent and re-recorded.
+
+Robustness around that layout:
+
+* all writes go through an injectable filesystem shim
+  (:class:`~repro.trace.io.OsFS` by default,
+  :class:`~repro.engine.chaos.ChaosFS` under fault injection), and
+  ``commit()`` fsyncs the artifact directory so the publishing renames
+  are durable across power loss;
+* recorders of the same key are serialized by a per-key ``flock``
+  (:class:`~repro.engine.locks.KeyLock` under ``<root>/.locks/``), so a
+  second process can never clear a first process's in-progress files;
+* a corrupt committed artifact is **quarantined** — renamed to a sibling
+  ``<key>.quarantine[.n]/`` directory with a structured log event — so
+  the key reads as a miss and the engine re-records it;
+* :meth:`ArtifactCache.fsck` scrubs every artifact (commit markers, batch
+  CRCs, meta/event JSON, key consistency) and can repair by quarantining
+  corruption and deleting partial leftovers;
+* :meth:`ArtifactCache.gc` enforces a byte budget by LRU-evicting
+  committed artifacts (ordered by ``meta.json``'s atime, touched on every
+  cache hit), never evicting a key whose lock is currently held.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
 from typing import Iterator, List
 
 from repro.errors import TraceError
-from repro.trace.io import TraceReader, TraceWriter
+from repro.trace.io import OsFS, TraceReader, TraceWriter
 from repro.trace.record import RefBatch
 
+from repro.engine.locks import KeyLock
 from repro.engine.spec import RunSpec
 
+_log = logging.getLogger("repro.engine.cache")
 
-def _atomic_json(path: str, payload) -> None:
+#: The three files of a committed artifact, in write order.
+ARTIFACT_FILES = ("refs.npz", "events.json", "meta.json")
+#: Temporary siblings a crashed recording may leave behind.
+TMP_FILES = tuple(name + ".tmp" for name in ARTIFACT_FILES)
+#: Sibling-directory suffix quarantined artifacts are renamed under.
+QUARANTINE_SUFFIX = ".quarantine"
+
+
+def _atomic_bytes(path: str, blob: bytes, fs: OsFS) -> None:
     tmp = path + ".tmp"
     try:
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh, separators=(",", ":"))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        with fs.open(tmp, "wb") as fh:
+            fh.write(blob)
+            fs.fsync(fh)
+        fs.replace(tmp, path)
     except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+        try:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        except OSError:
+            pass
         raise
+
+
+def _atomic_json(path: str, payload, fs: OsFS) -> None:
+    _atomic_bytes(path, json.dumps(payload, separators=(",", ":")).encode(), fs)
+
+
+def _meta_self_crc(meta: dict) -> int:
+    """CRC32 over meta.json's canonical form, excluding the crc field."""
+    payload = {k: v for k, v in meta.items() if k != "self_crc32"}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return zlib.crc32(blob)
 
 
 class Artifact:
@@ -59,86 +106,539 @@ class Artifact:
     def meta_path(self) -> str:
         return os.path.join(self.directory, "meta.json")
 
+    def _load_json(self, path: str, what: str):
+        """Read one JSON file, mapping every failure mode — vanished
+        directory, torn file, flipped bytes — to a TraceError that names
+        the artifact."""
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except FileNotFoundError as exc:
+            raise TraceError(
+                f"artifact {self.key[:12]}: {what} missing (deleted or "
+                f"never committed): {path}", key=self.key, path=path,
+            ) from exc
+        except OSError as exc:
+            raise TraceError(
+                f"artifact {self.key[:12]}: cannot read {what}: {exc}",
+                key=self.key, path=path,
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            raise TraceError(
+                f"artifact {self.key[:12]}: corrupt {what}: {exc}",
+                key=self.key, path=path,
+            ) from exc
+
     @property
     def meta(self) -> dict:
         if self._meta is None:
-            with open(self.meta_path) as fh:
-                self._meta = json.load(fh)
+            self._meta = self._load_json(self.meta_path, "meta.json")
         return self._meta
 
     def events(self) -> List[list]:
-        with open(self.events_path) as fh:
-            return json.load(fh)
+        return self._load_json(self.events_path, "events.json")
 
     def batches(self) -> Iterator[RefBatch]:
         """Stream the recorded reference batches (checksums verified)."""
         with TraceReader(self.refs_path) as reader:
             yield from reader
 
+    def size_bytes(self) -> int:
+        """Total on-disk size of the artifact's files."""
+        total = 0
+        for name in ARTIFACT_FILES + TMP_FILES:
+            try:
+                total += os.path.getsize(os.path.join(self.directory, name))
+            except OSError:
+                pass
+        return total
+
+    def verify(self) -> int:
+        """Scrub the whole artifact; returns the batch count.
+
+        Checks the meta.json commit marker parses and names this key,
+        events.json parses, and every trace batch passes its CRC32 —
+        raising :class:`~repro.errors.TraceError` on the first problem.
+        """
+        meta = self.meta
+        stored_key = meta.get("key")
+        if stored_key is not None and stored_key != self.key:
+            raise TraceError(
+                f"artifact {self.key[:12]}: meta.json names key "
+                f"{str(stored_key)[:12]} (cache entry misfiled)",
+                key=self.key, path=self.meta_path,
+            )
+        # mandatory, not optional: a flip inside the key name
+        # "self_crc32" itself would otherwise silently disable the check
+        declared_self = meta.get("self_crc32")
+        if declared_self is None:
+            raise TraceError(
+                f"artifact {self.key[:12]}: meta.json carries no "
+                f"self_crc32 (pre-checksum format or mangled marker)",
+                key=self.key, path=self.meta_path,
+            )
+        actual_self = _meta_self_crc(meta)
+        if actual_self != int(declared_self):
+            raise TraceError(
+                f"artifact {self.key[:12]}: meta.json failed its own "
+                f"checksum (stored {int(declared_self):#010x}, "
+                f"computed {actual_self:#010x})",
+                key=self.key, path=self.meta_path,
+            )
+        declared_crc = meta.get("events_crc32")
+        if declared_crc is not None:
+            try:
+                with open(self.events_path, "rb") as fh:
+                    actual_crc = zlib.crc32(fh.read())
+            except OSError as exc:
+                raise TraceError(
+                    f"artifact {self.key[:12]}: cannot read events.json: "
+                    f"{exc}", key=self.key, path=self.events_path,
+                ) from exc
+            if actual_crc != int(declared_crc):
+                raise TraceError(
+                    f"artifact {self.key[:12]}: events.json failed checksum "
+                    f"verification (stored {int(declared_crc):#010x}, "
+                    f"computed {actual_crc:#010x})",
+                    key=self.key, path=self.events_path,
+                )
+        self.events()
+        try:
+            with TraceReader(self.refs_path) as reader:
+                n = reader.verify()
+        except TraceError as exc:
+            if exc.key is None:
+                exc.key = self.key
+            raise
+        declared = meta.get("n_batches")
+        if declared is not None and int(declared) != n:
+            raise TraceError(
+                f"artifact {self.key[:12]}: refs.npz holds {n} batches but "
+                f"meta.json declares {declared} (truncated trace)",
+                key=self.key, path=self.refs_path,
+            )
+        return n
+
 
 class PendingArtifact:
-    """An in-progress recording; :meth:`commit` publishes it atomically."""
+    """An in-progress recording; :meth:`commit` publishes it atomically.
 
-    def __init__(self, key: str, directory: str) -> None:
+    Constructed while holding the key's cross-process lock (passed in by
+    :meth:`ArtifactCache.begin`); the lock is released by ``commit`` and
+    ``abort``.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        directory: str,
+        fs: OsFS | None = None,
+        lock: KeyLock | None = None,
+    ) -> None:
         self.key = key
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
-        # clear any partial files left by an interrupted recording
-        for name in ("refs.npz", "events.json", "meta.json"):
+        self._fs = fs if fs is not None else OsFS()
+        self._lock = lock
+        self._done = False
+        self._fs.makedirs(directory)
+        # clear any partial files left by an interrupted recording (safe:
+        # the key lock guarantees no live recorder owns them)
+        for name in ARTIFACT_FILES + TMP_FILES:
             path = os.path.join(directory, name)
-            if os.path.exists(path):
-                os.unlink(path)
-        self.writer = TraceWriter(os.path.join(directory, "refs.npz"))
+            if self._fs.exists(path):
+                self._fs.unlink(path)
+        self.writer = TraceWriter(os.path.join(directory, "refs.npz"),
+                                  fs=self._fs)
+
+    def _finish(self) -> None:
+        self._done = True
+        if self._lock is not None:
+            self._lock.release()
 
     def commit(self, events: list, meta: dict) -> Artifact:
+        fs = self._fs
         self.writer.close()
-        _atomic_json(os.path.join(self.directory, "events.json"), events)
+        events_blob = json.dumps(events, separators=(",", ":")).encode()
+        _atomic_bytes(os.path.join(self.directory, "events.json"),
+                      events_blob, fs)
+        # events.json has no per-record CRCs like the trace does, so the
+        # commit marker carries a whole-file checksum of the exact bytes
+        # written — a silent bit flip in an event value is then as
+        # detectable as one in a trace batch
+        meta = dict(meta, events_crc32=zlib.crc32(events_blob))
+        # the marker also checksums itself (over its canonical form minus
+        # this field), so a flip in any free-form meta value — not just
+        # the fields verify() cross-checks — is detectable
+        meta["self_crc32"] = _meta_self_crc(meta)
         # meta.json last: the commit marker
-        _atomic_json(os.path.join(self.directory, "meta.json"), meta)
+        _atomic_json(os.path.join(self.directory, "meta.json"), meta, fs)
+        # make the renames durable: fsync the directory holding them
+        fs.fsync_dir(self.directory)
+        self._finish()
         return Artifact(self.key, self.directory)
 
     def abort(self) -> None:
         """Best-effort cleanup; never leaves a committed-looking artifact."""
-        for name in ("meta.json", "events.json", "refs.npz", "refs.npz.tmp"):
+        try:
+            # drop buffered batches and mark the writer closed *first*:
+            # a stray later close() must not resurrect the recording, and
+            # no handle may be open when we unlink (Windows refuses to
+            # delete open files).
+            self.writer.discard()
+        except Exception:
+            pass
+        for name in ("meta.json", "events.json", "refs.npz") + TMP_FILES:
             path = os.path.join(self.directory, name)
             try:
-                if os.path.exists(path):
-                    os.unlink(path)
+                if self._fs.exists(path):
+                    self._fs.unlink(path)
             except OSError:
                 pass
+        self._finish()
+
+
+@dataclass
+class FsckEntry:
+    """One artifact directory's scrub outcome."""
+
+    key: str
+    directory: str
+    status: str  # "ok" | "partial" | "corrupt"
+    detail: str = ""
+    action: str = ""  # what --repair did ("quarantined", "removed", ...)
+
+
+@dataclass
+class FsckReport:
+    """Everything ``engine fsck`` found (and repaired) in one cache."""
+
+    root: str
+    entries: list[FsckEntry] = field(default_factory=list)
+    quarantined_dirs: int = 0
+
+    def _with(self, status: str) -> list[FsckEntry]:
+        return [e for e in self.entries if e.status == status]
+
+    @property
+    def ok(self) -> list[FsckEntry]:
+        return self._with("ok")
+
+    @property
+    def partial(self) -> list[FsckEntry]:
+        return self._with("partial")
+
+    @property
+    def corrupt(self) -> list[FsckEntry]:
+        return self._with("corrupt")
+
+    @property
+    def clean(self) -> bool:
+        """No corruption left in service (partial leftovers don't count:
+        the commit-marker protocol already makes them invisible)."""
+        return not any(not e.action for e in self.corrupt)
+
+    def table(self) -> str:
+        lines = [
+            f"fsck {self.root}: {len(self.ok)} ok, "
+            f"{len(self.partial)} partial, {len(self.corrupt)} corrupt, "
+            f"{self.quarantined_dirs} already quarantined"
+        ]
+        for e in self.entries:
+            if e.status == "ok" and not e.action:
+                continue
+            acted = f" [{e.action}]" if e.action else ""
+            lines.append(f"  {e.key[:12]}  {e.status:7s} {e.detail}{acted}")
+        return "\n".join(lines)
+
+
+@dataclass
+class GcReport:
+    """Outcome of one ``engine gc`` pass."""
+
+    root: str
+    budget_bytes: int
+    before_bytes: int
+    after_bytes: int
+    evicted: list[str] = field(default_factory=list)
+    evicted_quarantine: list[str] = field(default_factory=list)
+    skipped_in_use: list[str] = field(default_factory=list)
+    removed_partial: int = 0
+
+    @property
+    def freed_bytes(self) -> int:
+        return self.before_bytes - self.after_bytes
+
+    @property
+    def over_budget(self) -> bool:
+        return self.after_bytes > self.budget_bytes
+
+    def summary(self) -> str:
+        s = (
+            f"gc {self.root}: {self.before_bytes} -> {self.after_bytes} bytes "
+            f"(budget {self.budget_bytes}); evicted {len(self.evicted)} "
+            f"artifact(s) + {len(self.evicted_quarantine)} quarantine dir(s), "
+            f"removed {self.removed_partial} partial dir(s)"
+        )
+        if self.skipped_in_use:
+            s += f"; kept {len(self.skipped_in_use)} in-use artifact(s)"
+        if self.over_budget:
+            s += "; still over budget (remaining artifacts are in use)"
+        return s
 
 
 class ArtifactCache:
     """Content-addressed store of recorded runs under one root directory."""
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        fs: OsFS | None = None,
+        lock_timeout: float | None = 60.0,
+    ) -> None:
         self.root = os.fspath(root)
+        self.fs = fs if fs is not None else OsFS()
+        self.lock_timeout = lock_timeout
         os.makedirs(self.root, exist_ok=True)
 
     def dir_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key)
+
+    def lock_for(self, key: str) -> KeyLock:
+        """The cross-process lock guarding *key*'s artifact directory."""
+        return KeyLock(os.path.join(self.root, ".locks", key + ".lock"))
 
     def get(self, spec: RunSpec) -> Artifact | None:
         """The committed artifact for *spec*, or None if absent/partial."""
         key = spec.key
         directory = self.dir_for(key)
         art = Artifact(key, directory)
-        if not os.path.exists(art.meta_path):
-            return None
-        # meta.json is the commit marker, but guard against manual deletion
-        # of the payload files too
-        if not (os.path.exists(art.refs_path) and os.path.exists(art.events_path)):
+        try:
+            if not os.path.exists(art.meta_path):
+                return None
+            # meta.json is the commit marker, but guard against manual
+            # deletion of the payload files too
+            if not (os.path.exists(art.refs_path)
+                    and os.path.exists(art.events_path)):
+                return None
+            # stamp last-use for LRU eviction (gc orders by meta atime)
+            os.utime(art.meta_path)
+        except OSError:
+            # the directory vanished between checks (concurrent gc or rm)
             return None
         return art
 
-    def begin(self, spec: RunSpec) -> PendingArtifact:
+    def begin(self, spec: RunSpec) -> PendingArtifact | Artifact:
+        """Start recording *spec* under its cross-process lock.
+
+        If another process committed the artifact while we waited on the
+        lock, the committed :class:`Artifact` is returned instead of a
+        :class:`PendingArtifact` — callers must check which they got.
+        Raises :class:`~repro.errors.CacheLockError` when the lock cannot
+        be acquired within ``lock_timeout``.
+        """
         key = spec.key
-        return PendingArtifact(key, self.dir_for(key))
+        lock = self.lock_for(key)
+        lock.acquire(timeout=self.lock_timeout)
+        try:
+            art = self.get(spec)
+            if art is not None:
+                lock.release()
+                return art
+            return PendingArtifact(key, self.dir_for(key), fs=self.fs,
+                                   lock=lock)
+        except BaseException:
+            if lock.held:
+                lock.release()
+            raise
 
     def verify(self, spec: RunSpec) -> int:
-        """Checksum every batch of *spec*'s artifact; returns the count."""
+        """Scrub *spec*'s artifact end to end; returns the batch count."""
         art = self.get(spec)
         if art is None:
-            raise TraceError(f"no committed artifact for {spec}")
-        with TraceReader(art.refs_path) as reader:
-            return reader.verify()
+            raise TraceError(f"no committed artifact for {spec}",
+                             key=spec.key)
+        return art.verify()
+
+    # -- quarantine -----------------------------------------------------
+    def quarantine(self, key: str, reason: str = "") -> str | None:
+        """Move *key*'s directory aside as ``<key>.quarantine[.n]`` so the
+        key reads as a cache miss; returns the destination (None if the
+        directory is already gone)."""
+        src = self.dir_for(key)
+        if not os.path.isdir(src):
+            return None
+        dest = src + QUARANTINE_SUFFIX
+        n = 0
+        while os.path.exists(dest):
+            n += 1
+            dest = f"{src}{QUARANTINE_SUFFIX}.{n}"
+        self.fs.rename(src, dest)
+        _log.warning(
+            "artifact quarantined: %s",
+            json.dumps({
+                "event": "artifact.quarantined",
+                "key": key,
+                "dest": dest,
+                "reason": reason,
+            }),
+        )
+        return dest
+
+    # -- directory walking ----------------------------------------------
+    def _artifact_dirs(self) -> Iterator[tuple[str, str, bool]]:
+        """Yields ``(key_or_name, path, is_quarantine)`` for every entry
+        under the two-level fan-out."""
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for shard in shards:
+            if shard == ".locks" or len(shard) != 2:
+                continue
+            shard_path = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                path = os.path.join(shard_path, name)
+                if not os.path.isdir(path):
+                    continue
+                yield name, path, QUARANTINE_SUFFIX in name
+
+    # -- fsck -----------------------------------------------------------
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Scrub every artifact; optionally repair what can be repaired.
+
+        Repair means: corrupt artifacts are quarantined (taken out of
+        service, kept for forensics), partial recordings and stray
+        ``*.tmp`` files are deleted. An artifact whose repair itself
+        fails stays ``corrupt`` with no action — :func:`fsck` callers
+        treat that as unrepairable.
+        """
+        report = FsckReport(root=self.root)
+        for name, path, is_quarantine in self._artifact_dirs():
+            if is_quarantine:
+                report.quarantined_dirs += 1
+                continue
+            art = Artifact(name, path)
+            if not os.path.exists(art.meta_path):
+                entry = FsckEntry(name, path, "partial",
+                                  "no meta.json commit marker")
+                if repair:
+                    try:
+                        shutil.rmtree(path)
+                        entry.action = "removed"
+                    except OSError as exc:
+                        entry.detail += f"; removal failed: {exc}"
+                report.entries.append(entry)
+                continue
+            try:
+                n = art.verify()
+            except TraceError as exc:
+                entry = FsckEntry(name, path, "corrupt", str(exc))
+                if repair:
+                    try:
+                        if self.quarantine(name, reason=str(exc)) is not None:
+                            entry.action = "quarantined"
+                    except OSError as exc2:
+                        entry.detail += f"; quarantine failed: {exc2}"
+                report.entries.append(entry)
+                continue
+            entry = FsckEntry(name, path, "ok", f"{n} batches verified")
+            stray = [t for t in TMP_FILES
+                     if os.path.exists(os.path.join(path, t))]
+            if stray:
+                entry.detail += f"; stray tmp files: {', '.join(stray)}"
+                if repair:
+                    for t in stray:
+                        try:
+                            os.unlink(os.path.join(path, t))
+                        except OSError:
+                            pass
+                    entry.action = "removed stray tmp files"
+            report.entries.append(entry)
+        return report
+
+    # -- gc -------------------------------------------------------------
+    def gc(self, max_bytes: int, protect: tuple[str, ...] = ()) -> GcReport:
+        """Shrink the cache under *max_bytes* by LRU eviction.
+
+        Partial directories (no commit marker) whose key lock is free are
+        garbage and removed first. If still over budget, quarantined
+        forensic copies go next (oldest first), then committed artifacts
+        oldest-``meta.json``-atime-first. A key in *protect*, or whose
+        cross-process lock is currently held (a recorder or scrubber is
+        using it), is never evicted — the report flags when that leaves
+        the cache over budget.
+        """
+        protected = set(protect)
+        candidates: list[tuple[float, str, str, int]] = []
+        q_candidates: list[tuple[float, str, str, int]] = []
+        before = 0
+        removed_partial = 0
+        skipped: list[str] = []
+        for name, path, is_quarantine in self._artifact_dirs():
+            size = sum(
+                os.path.getsize(os.path.join(dp, f))
+                for dp, _dn, fns in os.walk(path) for f in fns
+            )
+            if is_quarantine:
+                before += size
+                try:
+                    mtime = os.stat(path).st_mtime
+                except OSError:
+                    mtime = 0.0
+                q_candidates.append((mtime, name, path, size))
+                continue
+            in_use = False
+            lock = self.lock_for(name)
+            if lock.try_acquire():
+                lock.release()
+            else:
+                in_use = True
+            meta_path = os.path.join(path, "meta.json")
+            if not os.path.exists(meta_path):
+                if in_use:
+                    before += size
+                    skipped.append(name)
+                    continue
+                try:
+                    shutil.rmtree(path)
+                    removed_partial += 1
+                except OSError:
+                    before += size
+                continue
+            before += size
+            if name in protected or in_use:
+                skipped.append(name)
+                continue
+            try:
+                atime = os.stat(meta_path).st_atime
+            except OSError:
+                atime = 0.0
+            candidates.append((atime, name, path, size))
+
+        total = before
+        evicted: list[str] = []
+        evicted_q: list[str] = []
+        q_candidates.sort()  # quarantine forensics go first, oldest first
+        candidates.sort()  # then committed artifacts, oldest last-use first
+        for sink, pool in ((evicted_q, q_candidates), (evicted, candidates)):
+            for _ts, name, path, size in pool:
+                if total <= max_bytes:
+                    break
+                try:
+                    shutil.rmtree(path)
+                except OSError:
+                    continue
+                total -= size
+                sink.append(name)
+        return GcReport(
+            root=self.root,
+            budget_bytes=max_bytes,
+            before_bytes=before,
+            after_bytes=total,
+            evicted=evicted,
+            evicted_quarantine=evicted_q,
+            skipped_in_use=sorted(set(skipped)),
+            removed_partial=removed_partial,
+        )

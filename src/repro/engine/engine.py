@@ -15,6 +15,15 @@ derived refs/sec live in :attr:`PipelineEngine.stats`, alongside the
 ``app_runs`` / ``cache_hits`` / ``replays`` counters the suite-level
 "each spec executes once" guarantee is tested against.
 
+Replay is **self-healing**: before an artifact's first replay through an
+engine instance, every batch CRC and both JSON files are scrubbed. A
+corrupt artifact is quarantined (renamed aside, structured log event)
+and transparently re-recorded with bounded, exponentially backed-off
+retries; the ``quarantined`` / ``rerecorded`` counters surface how often
+that happened. Recording is also safe across processes: the cache's
+per-key ``flock`` serializes concurrent recorders, and losing the race
+simply returns the winner's committed artifact as a cache hit.
+
 By default each engine gets a **fresh temporary cache root** (per
 process), so repeated invocations never read stale artifacts from earlier
 code versions. Persistence across processes is opt-in: pass ``root=`` (or
@@ -33,6 +42,7 @@ from typing import Iterable
 from repro.engine.artifacts import Artifact, ArtifactCache
 from repro.engine.events import EventLogProbe, ReplayStackView, replay_events
 from repro.engine.spec import RunSpec
+from repro.errors import TraceError
 from repro.instrument.api import FanoutProbe, Probe
 from repro.instrument.runtime import InstrumentedRuntime
 
@@ -64,6 +74,8 @@ class EngineStats:
     app_runs: int = 0
     cache_hits: int = 0
     replays: int = 0
+    quarantined: int = 0
+    rerecorded: int = 0
     stages: dict[str, StageStats] = field(
         default_factory=lambda: {"record": StageStats(), "replay": StageStats()}
     )
@@ -74,6 +86,8 @@ class EngineStats:
             "app_runs": self.app_runs,
             "cache_hits": self.cache_hits,
             "replays": self.replays,
+            "quarantined": self.quarantined,
+            "rerecorded": self.rerecorded,
         }
         for name, st in self.stages.items():
             out[f"{name}_s"] = st.wall_s
@@ -90,7 +104,8 @@ class EngineStats:
         """Human-readable stage table for reports and the CLI view."""
         lines = [
             f"app runs: {self.app_runs}   cache hits: {self.cache_hits}   "
-            f"replays: {self.replays}",
+            f"replays: {self.replays}   quarantined: {self.quarantined}   "
+            f"re-recorded: {self.rerecorded}",
             f"{'stage':8s} {'calls':>6s} {'wall (s)':>9s} {'refs':>12s} {'refs/sec':>12s}",
         ]
         for name, st in self.stages.items():
@@ -116,12 +131,20 @@ class PipelineEngine:
         cache: ArtifactCache | None = None,
         root: str | os.PathLike | None = None,
         buffer_capacity: int = RECORD_BUFFER_CAPACITY,
+        self_heal: bool = True,
+        max_rerecord_attempts: int = 3,
+        rerecord_backoff_s: float = 0.05,
     ) -> None:
         if cache is None:
             cache = ArtifactCache(root if root is not None else _default_root())
         self.cache = cache
         self.stats = EngineStats()
         self._buffer_capacity = buffer_capacity
+        self.self_heal = self_heal
+        self.max_rerecord_attempts = max_rerecord_attempts
+        self.rerecord_backoff_s = rerecord_backoff_s
+        #: keys whose committed artifact this engine already scrubbed
+        self._verified: set[str] = set()
 
     # ------------------------------------------------------------------
     def record(self, spec: RunSpec) -> Artifact:
@@ -133,11 +156,16 @@ class PipelineEngine:
             return art
         t0 = time.perf_counter()
         pending = self.cache.begin(spec)
-        recorder = EventLogProbe(pending.writer.append)
-        rt = InstrumentedRuntime(recorder, buffer_capacity=self._buffer_capacity)
-        recorder.attach_stack(rt.space.stack)
-        app = spec.instantiate()
+        if isinstance(pending, Artifact):
+            # another process committed while we waited on the key lock
+            self.stats.cache_hits += 1
+            return pending
         try:
+            recorder = EventLogProbe(pending.writer.append)
+            rt = InstrumentedRuntime(
+                recorder, buffer_capacity=self._buffer_capacity)
+            recorder.attach_stack(rt.space.stack)
+            app = spec.instantiate()
             app(rt)
             rt.finish()
             meta = {
@@ -163,6 +191,44 @@ class PipelineEngine:
         return art
 
     # ------------------------------------------------------------------
+    def verified_artifact(self, spec: RunSpec) -> Artifact:
+        """Record-if-needed, then scrub the artifact before first use.
+
+        A scrub failure (flipped bit, torn file, truncated trace)
+        quarantines the artifact and falls back to a live re-record, with
+        up to ``max_rerecord_attempts`` retries under exponential backoff
+        (transient ``OSError`` during the re-record is retried too).
+        Each committed key is scrubbed once per engine instance, so the
+        steady-state replay path pays no extra read."""
+        art = self.record(spec)
+        if not self.self_heal or art.key in self._verified:
+            return art
+        last_exc: Exception | None = None
+        for attempt in range(self.max_rerecord_attempts + 1):
+            if attempt:
+                time.sleep(self.rerecord_backoff_s * (2 ** (attempt - 1)))
+                try:
+                    art = self.record(spec)
+                except (TraceError, OSError) as exc:
+                    last_exc = exc
+                    continue
+                self.stats.rerecorded += 1
+            try:
+                art.verify()
+            except TraceError as exc:
+                last_exc = exc
+                self.cache.quarantine(art.key, reason=str(exc))
+                self.stats.quarantined += 1
+                continue
+            self._verified.add(art.key)
+            return art
+        raise TraceError(
+            f"artifact for {spec} still unusable after "
+            f"{self.max_rerecord_attempts} re-record attempt(s): {last_exc}",
+            key=spec.key,
+        )
+
+    # ------------------------------------------------------------------
     def replay(
         self,
         spec: RunSpec,
@@ -170,8 +236,11 @@ class PipelineEngine:
         stack: ReplayStackView | None = None,
     ) -> Artifact:
         """Replay *spec*'s recorded run into *probes* (recording first if
-        needed); returns the artifact so callers can read ``meta``."""
-        art = self.record(spec)
+        needed). The artifact is integrity-scrubbed before its first
+        replay through this engine — see :meth:`verified_artifact` — so
+        corruption can never half-deliver a stream into stateful probes.
+        Returns the artifact so callers can read ``meta``."""
+        art = self.verified_artifact(spec)
         probe = probes if isinstance(probes, Probe) else FanoutProbe(list(probes))
         t0 = time.perf_counter()
         replay_events(art.events(), art.batches(), probe, stack=stack)

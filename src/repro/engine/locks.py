@@ -1,0 +1,108 @@
+"""Cross-process artifact locks.
+
+Two recorders pointed at the same cache root and the same
+:class:`~repro.engine.spec.RunSpec` must never interleave inside one
+artifact directory: ``PendingArtifact`` starts by clearing partial files,
+so an unsynchronized second writer would delete the first writer's
+half-written trace out from under it. :class:`KeyLock` serializes them
+with one ``flock``-ed lock file per content key, kept under
+``<root>/.locks/`` so artifact directories stay exactly three files.
+
+``flock`` locks are advisory, per open-file-description (so two handles
+in one process conflict just like two processes do), and — crucially for
+crash robustness — released automatically by the kernel when the holder
+dies, so a crashed recorder can never wedge the cache.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op:
+single-process use stays correct, and the cache's commit-marker protocol
+still bounds the damage of a true multi-writer race to a wasted
+re-record.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import CacheLockError
+
+#: Poll interval while waiting on a contended lock with a timeout.
+_POLL_S = 0.01
+
+
+class KeyLock:
+    """An exclusive ``flock`` on one lock file (one artifact key)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def _open(self) -> int:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        return os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+
+    def acquire(self, timeout: float | None = None) -> "KeyLock":
+        """Take the lock, waiting at most *timeout* seconds (forever when
+        ``None``); raises :class:`~repro.errors.CacheLockError` on
+        timeout."""
+        if self._fd is not None:
+            return self
+        fd = self._open()
+        try:
+            if fcntl is None:
+                self._fd = fd
+                return self
+            if timeout is None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                self._fd = fd
+                return self
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return self
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise CacheLockError(
+                            f"timed out after {timeout:.3f}s waiting for "
+                            f"artifact lock {self.path}"
+                        ) from None
+                    time.sleep(_POLL_S)
+        except BaseException:
+            if self._fd is None:
+                os.close(fd)
+            raise
+
+    def try_acquire(self) -> bool:
+        """Non-blocking attempt; True iff the lock is now held."""
+        try:
+            self.acquire(timeout=0.0)
+            return True
+        except CacheLockError:
+            return False
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "KeyLock":
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()

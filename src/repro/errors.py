@@ -36,11 +36,21 @@ class TraceError(ReproError):
 
     ``batch_index`` identifies the corrupt batch when the error came from a
     checksum mismatch while reading a trace file (``None`` otherwise).
+    ``key`` and ``path`` identify the artifact-cache entry and file the
+    failure came from when the error was raised by the artifact layer.
     """
 
-    def __init__(self, message: str, batch_index: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        batch_index: int | None = None,
+        key: str | None = None,
+        path: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.batch_index = batch_index
+        self.key = key
+        self.path = path
 
 
 class InstrumentationError(ReproError):
@@ -65,6 +75,10 @@ class FaultInjectionError(ReproError):
 
 class CheckpointError(ReproError):
     """The checkpoint/restart engine cannot make forward progress."""
+
+
+class CacheLockError(ReproError):
+    """A cross-process artifact lock could not be acquired in time."""
 
 
 class ExperimentAbortedError(ReproError):

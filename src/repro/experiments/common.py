@@ -72,13 +72,18 @@ class ExperimentContext:
         apps: Sequence[str] = APP_ORDER,
         engine: PipelineEngine | None = None,
         cache_dir: str | None = None,
+        self_heal: bool = True,
     ) -> None:
         self.refs_per_iteration = refs_per_iteration
         self.scale = scale
         self.n_iterations = n_iterations
         self.seed = seed
         self.apps = tuple(apps)
-        self.engine = engine if engine is not None else PipelineEngine(root=cache_dir)
+        # self_heal: scrub each artifact before its first replay and
+        # quarantine + re-record on corruption (matters for persistent
+        # cache_dir roots that outlive the process writing them)
+        self.engine = (engine if engine is not None
+                       else PipelineEngine(root=cache_dir, self_heal=self_heal))
         self._runs: dict[str, AppRun] = {}
 
     # ------------------------------------------------------------------

@@ -188,7 +188,11 @@ def experiments_markdown(
     out.write("## engine: trace-once / replay-many accounting\n\n")
     out.write(
         "Each distinct run spec is executed once, recorded into the\n"
-        "artifact cache, and replayed into every analysis that needs it.\n\n"
+        "artifact cache, and replayed into every analysis that needs it.\n"
+        "Artifacts are integrity-scrubbed before first replay; a corrupt\n"
+        "one is quarantined and transparently re-recorded (the\n"
+        "`quarantined` / `re-recorded` counters below stay at zero on a\n"
+        "healthy cache).\n\n"
     )
     out.write("```\n")
     out.write(ctx.engine.stats.table())
@@ -196,14 +200,16 @@ def experiments_markdown(
     timed = [r for r in results
              if isinstance(r, ExperimentResult) and r.timings]
     if timed:
-        out.write("| experiment | wall (s) | app runs | replays | replayed refs |\n")
-        out.write("|---|---|---|---|---|\n")
+        out.write("| experiment | wall (s) | app runs | replays "
+                  "| replayed refs | re-records |\n")
+        out.write("|---|---|---|---|---|---|\n")
         for res in timed:
             t = res.timings
             out.write(
                 f"| {res.exp_id} | {t.get('experiment_wall_s', 0.0):.3f} "
                 f"| {int(t.get('app_runs', 0))} | {int(t.get('replays', 0))} "
-                f"| {int(t.get('replay_refs', 0))} |\n"
+                f"| {int(t.get('replay_refs', 0))} "
+                f"| {int(t.get('rerecorded', 0))} |\n"
             )
         out.write("\n")
     return out.getvalue()

@@ -8,7 +8,11 @@ generates those failures — reproducibly, from a seed — so the
 checkpoint/restart engine and the hardened experiment runner can be
 exercised against them instead of only against the analytic model.
 
-Three fault classes are modeled:
+Four fault classes are modeled (the fourth lives in
+:mod:`repro.engine.chaos`, which registers its named I/O scenarios —
+torn writes, ``ENOSPC``/``EIO``, crash points, committed-file bit flips —
+into this module's :data:`SCENARIOS` registry and draws its randomness
+from the same seeded :class:`FaultInjector`):
 
 * **node crashes** — a Poisson process with exponential inter-arrival
   times at a configured MTBF (the same MTBF the Young/Daly planner in
@@ -137,6 +141,15 @@ class FaultInjector:
             return False
         p = 1.0 - math.exp(-rate * nbytes / GiB)
         return bool(self._rng.random() < p)
+
+    def random_offset(self, n: int) -> int:
+        """Uniform draw in ``[0, n)`` from the injector's seeded stream.
+
+        The I/O chaos layer uses this to pick which stored byte (and
+        which bit of it) a media fault hits."""
+        if n <= 0:
+            raise FaultInjectionError("offset range must be positive")
+        return int(self._rng.integers(n))
 
     def flip_random_byte(self, buffer: np.ndarray) -> int:
         """Flip one random bit of one random byte of *buffer*, in place.

@@ -141,6 +141,16 @@ class HardenedRunner:
             elapsed = time.monotonic() - t0
             result.timings = actx.engine.stats.delta(before)
             result.timings["experiment_wall_s"] = round(elapsed, 6)
+            rerecorded = int(result.timings.get("rerecorded", 0))
+            if rerecorded:
+                # surface cache self-healing in the experiment's notes so
+                # EXPERIMENTS.md records that this row survived corruption
+                result.notes.append(
+                    f"resilience: {rerecorded} artifact re-record(s) after "
+                    f"cache quarantine "
+                    f"({int(result.timings.get('quarantined', 0))} "
+                    f"quarantined)"
+                )
             if self.budget is not None and elapsed > self.budget.wall_s:
                 return self._degrade(exp_id, fn, ctx, attempt, result, elapsed)
             return result

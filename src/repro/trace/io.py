@@ -31,6 +31,54 @@ _MAGIC_V1 = "nvscavenger-trace-v1"
 _MAGIC_V2 = "nvscavenger-trace-v2"
 
 
+class OsFS:
+    """Direct passthrough to the host filesystem.
+
+    The writer-side durability code (here and in the artifact cache) calls
+    the filesystem through this small surface so a fault-injecting shim
+    (:class:`repro.engine.chaos.ChaosFS`) can be substituted in tests.
+    ``os`` functions are resolved at call time, so monkeypatching e.g.
+    ``os.replace`` still works.
+    """
+
+    def open(self, path: str, mode: str = "wb"):
+        return open(path, mode)
+
+    def fsync(self, fh) -> None:
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        os.rename(src, dst)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def fsync_dir(self, path: str) -> None:
+        """fsync a directory so a rename into it survives power loss.
+
+        Platforms that cannot open directories (Windows) silently skip —
+        the rename itself is still atomic there.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
 def _batch_crc(addr: np.ndarray, is_write: np.ndarray, size: np.ndarray,
                oid: np.ndarray, iteration: int) -> int:
     """CRC32 over a batch's payload, independent of archive encoding."""
@@ -52,8 +100,9 @@ class TraceWriter:
     only an :func:`os.replace` publishes it under the final name.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, fs: OsFS | None = None) -> None:
         self._path = os.fspath(path)
+        self._fs = fs if fs is not None else OsFS()
         self._batches: list[RefBatch] = []
         self._closed = False
 
@@ -62,6 +111,15 @@ class TraceWriter:
             raise TraceError("append to a closed TraceWriter")
         if len(batch):
             self._batches.append(batch)
+
+    def discard(self) -> None:
+        """Drop all buffered batches and mark the writer closed without
+        publishing anything. Used by ``PendingArtifact.abort`` so a
+        later stray ``close()`` cannot resurrect an aborted recording
+        (and so no handle is held when the caller unlinks files, which
+        matters on Windows)."""
+        self._batches.clear()
+        self._closed = True
 
     def close(self) -> None:
         if self._closed:
@@ -82,15 +140,18 @@ class TraceWriter:
             )
         final = _npz_path(self._path)
         tmp = final + ".tmp"
+        fs = self._fs
         try:
-            with open(tmp, "wb") as fh:
+            with fs.open(tmp, "wb") as fh:
                 np.savez_compressed(fh, **arrays)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
+                fs.fsync(fh)
+            fs.replace(tmp, final)
         except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            try:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            except OSError:
+                pass
             raise
         self._closed = True
 
@@ -108,12 +169,20 @@ class TraceReader:
         self._path = os.fspath(path)
         try:
             self._npz = np.load(_npz_path(self._path))
-        except (OSError, ValueError) as exc:
+        except Exception as exc:
+            # OSError, ValueError, zipfile.BadZipFile (truncated archive), …
             raise TraceError(f"{self._path}: cannot open trace file: {exc}") from exc
         try:
-            magic = self._npz.get("magic")
-            arr = None if magic is None else np.asarray(magic).reshape(-1)
-            magic_s = str(arr[0]) if arr is not None and arr.size else ""
+            try:
+                magic = self._npz.get("magic")
+                arr = None if magic is None else np.asarray(magic).reshape(-1)
+                magic_s = str(arr[0]) if arr is not None and arr.size else ""
+            except TraceError:
+                raise
+            except Exception as exc:  # zlib/zipfile → corrupt header member
+                raise TraceError(
+                    f"{self._path}: corrupt trace header: {exc}"
+                ) from exc
             if magic_s not in (_MAGIC_V1, _MAGIC_V2):
                 raise TraceError(f"{self._path}: not an NV-SCAVENGER trace file")
             self.version = 1 if magic_s == _MAGIC_V1 else 2
@@ -132,14 +201,15 @@ class TraceReader:
             size = self._npz[f"b{i}_sz"]
             oid = self._npz[f"b{i}_oid"]
             iteration = int(self._npz[f"b{i}_it"][0])
+            stored = (int(self._npz[f"b{i}_crc"][0])
+                      if self.version >= 2 else None)
         except TraceError:
             raise
         except Exception as exc:  # zlib/zipfile/KeyError → undecodable batch
             raise TraceError(
                 f"{self._path}: batch {i} is unreadable: {exc}", batch_index=i
             ) from exc
-        if self.version >= 2:
-            stored = int(self._npz[f"b{i}_crc"][0])
+        if stored is not None:
             actual = _batch_crc(addr, is_write, size, oid, iteration)
             if stored != actual:
                 raise TraceError(

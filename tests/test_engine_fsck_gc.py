@@ -1,0 +1,300 @@
+"""``engine fsck`` / ``engine gc``: cache scrubbing and budget eviction."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro import cli
+from repro.engine import ArtifactCache, PipelineEngine, RunSpec
+from repro.engine.chaos import flip_file_bit
+from repro.errors import ConfigurationError
+
+SPEC = dict(refs_per_iteration=800, scale=1.0 / 256.0, n_iterations=2)
+
+
+def make_spec(app="gtc", seed=0):
+    return RunSpec(app=app, seed=seed, **SPEC)
+
+
+def populate(root, n=3):
+    """Commit *n* distinct artifacts; returns (cache, specs)."""
+    cache = ArtifactCache(root)
+    eng = PipelineEngine(cache=cache)
+    specs = [make_spec(seed=s) for s in range(n)]
+    for spec in specs:
+        eng.record(spec)
+    return cache, specs
+
+
+# ----------------------------------------------------------------------
+class TestFsck:
+    def test_clean_cache_is_clean(self, tmp_path):
+        cache, specs = populate(tmp_path)
+        report = cache.fsck()
+        assert report.clean
+        assert len(report.ok) == len(specs)
+        assert not report.partial and not report.corrupt
+        assert "3 ok" in report.table()
+
+    def test_detects_every_injected_bitflip(self, tmp_path):
+        """100% detection: a flip in any committed file, over many seeds,
+        always surfaces as a corrupt entry."""
+        cache, specs = populate(tmp_path, n=1)
+        spec = specs[0]
+        pristine = tmp_path / "pristine"
+        shutil.copytree(cache.dir_for(spec.key), pristine)
+        detected = 0
+        trials = 0
+        for target in ("refs.npz", "events.json", "meta.json"):
+            for seed in range(8):
+                shutil.rmtree(cache.dir_for(spec.key))
+                shutil.copytree(pristine, cache.dir_for(spec.key))
+                flip_file_bit(os.path.join(cache.dir_for(spec.key), target),
+                              seed=seed)
+                trials += 1
+                report = cache.fsck()
+                if not report.clean:
+                    detected += 1
+        assert detected == trials, f"missed {trials - detected}/{trials} flips"
+
+    def test_partial_does_not_make_cache_unclean(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        pending = cache.begin(make_spec(seed=99))
+        pending.writer.close()  # refs.npz exists, no commit marker
+        pending._finish()
+        report = cache.fsck()
+        assert report.clean  # the commit protocol already hides partials
+        assert len(report.partial) == 1
+        assert "no meta.json" in report.partial[0].detail
+
+    def test_repair_quarantines_corrupt_and_removes_partial(self, tmp_path):
+        cache, specs = populate(tmp_path, n=2)
+        bad = specs[0]
+        flip_file_bit(cache.get(bad).refs_path, seed=1)
+        pending = cache.begin(make_spec(seed=99))
+        pending.writer.close()
+        pending._finish()
+        report = cache.fsck(repair=True)
+        assert report.clean  # everything found was repaired this pass
+        assert report.corrupt[0].action == "quarantined"
+        assert report.partial[0].action == "removed"
+        assert cache.get(bad) is None  # out of service
+        # the forensic copy exists next to where the artifact lived
+        shard = os.path.dirname(cache.dir_for(bad.key))
+        assert any(".quarantine" in d for d in os.listdir(shard))
+        # a second pass sees a healthy cache (+1 quarantine dir)
+        again = cache.fsck()
+        assert again.clean
+        assert again.quarantined_dirs == 1
+        assert not again.partial
+
+    def test_unrepaired_corruption_is_unclean(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        flip_file_bit(cache.get(specs[0]).refs_path, seed=2)
+        report = cache.fsck(repair=False)
+        assert not report.clean
+        assert report.corrupt and not report.corrupt[0].action
+
+    def test_stray_tmp_files_reported_and_removed(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        art = cache.get(specs[0])
+        stray = os.path.join(art.directory, "meta.json.tmp")
+        with open(stray, "w") as fh:
+            fh.write("{}")
+        report = cache.fsck()
+        assert report.clean  # stray tmp alongside a valid commit is benign
+        assert "stray tmp" in report.ok[0].detail
+        cache.fsck(repair=True)
+        assert not os.path.exists(stray)
+
+    def test_misfiled_artifact_is_corrupt(self, tmp_path):
+        """meta.json naming a different key (copied/moved by hand)."""
+        cache, specs = populate(tmp_path, n=1)
+        src = cache.dir_for(specs[0].key)
+        fake_key = "ab" + "0" * 62
+        dest = cache.dir_for(fake_key)
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        shutil.copytree(src, dest)
+        report = cache.fsck()
+        assert not report.clean
+        assert any(e.key == fake_key and "misfiled" in e.detail
+                   for e in report.corrupt)
+
+
+# ----------------------------------------------------------------------
+class TestGc:
+    def test_under_budget_evicts_nothing(self, tmp_path):
+        cache, specs = populate(tmp_path)
+        report = cache.gc(max_bytes=1 << 30)
+        assert not report.evicted and not report.over_budget
+        assert report.before_bytes == report.after_bytes
+        for spec in specs:
+            assert cache.get(spec) is not None
+
+    def test_lru_order_by_meta_atime(self, tmp_path):
+        cache, specs = populate(tmp_path)
+        sizes = {s.key: cache.get(s).size_bytes() for s in specs}
+        # pin explicit last-use stamps: specs[1] oldest, specs[0] newest
+        for rank, spec in zip((2, 0, 1), specs):
+            t = 1_000_000_000 + rank * 1_000
+            os.utime(cache.get(spec).meta_path, (t, t))
+        budget = sum(sizes.values()) - 1  # must evict exactly the oldest
+        report = cache.gc(budget)
+        assert report.evicted == [specs[1].key]
+        assert cache.get(specs[1]) is None
+        assert cache.get(specs[0]) is not None
+        assert cache.get(specs[2]) is not None
+        assert not report.over_budget
+
+    def test_get_refreshes_lru_stamp(self, tmp_path):
+        cache, specs = populate(tmp_path)
+        old = 1_000_000_000
+        for spec in specs:
+            os.utime(cache.get(spec).meta_path, (old, old))
+        # a hit on specs[0] must move it to the back of the eviction queue
+        cache.get(specs[0])
+        total = sum(cache.get(s).size_bytes() for s in specs)
+        report = cache.gc(total - 1)
+        assert specs[0].key not in report.evicted
+        assert len(report.evicted) >= 1
+
+    def test_in_use_artifact_never_evicted(self, tmp_path):
+        cache, specs = populate(tmp_path, n=2)
+        lock = cache.lock_for(specs[0].key)
+        lock.acquire(timeout=1.0)
+        try:
+            report = cache.gc(max_bytes=0)
+            assert specs[0].key in report.skipped_in_use
+            assert specs[0].key not in report.evicted
+            assert cache.get(specs[0]) is not None
+            assert report.over_budget
+            assert "still over budget" in report.summary()
+        finally:
+            lock.release()
+        assert cache.get(specs[1]) is None  # the free one was evicted
+
+    def test_protect_keys(self, tmp_path):
+        cache, specs = populate(tmp_path, n=2)
+        report = cache.gc(max_bytes=0, protect=(specs[1].key,))
+        assert cache.get(specs[1]) is not None
+        assert specs[1].key in report.skipped_in_use
+        assert cache.get(specs[0]) is None
+
+    def test_partials_are_removed_first(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        pending = cache.begin(make_spec(seed=99))
+        pending.writer.close()
+        pending._finish()
+        report = cache.gc(max_bytes=1 << 30)
+        assert report.removed_partial == 1
+        assert not report.evicted  # the committed artifact survived
+        assert cache.get(specs[0]) is not None
+
+    def test_quarantine_dirs_evicted_before_artifacts(self, tmp_path):
+        cache, specs = populate(tmp_path, n=2)
+        flip_file_bit(cache.get(specs[0]).refs_path, seed=3)
+        cache.fsck(repair=True)  # specs[0] -> quarantine dir
+        live = cache.get(specs[1])
+        budget = live.size_bytes()  # room for exactly the live artifact
+        report = cache.gc(budget)
+        assert len(report.evicted_quarantine) == 1
+        assert not report.evicted
+        assert cache.get(specs[1]) is not None
+
+
+# ----------------------------------------------------------------------
+class TestCliFsckGc:
+    def test_fsck_exit_0_on_clean(self, tmp_path, capsys):
+        populate(tmp_path, n=1)
+        rc = cli.main(["engine", "fsck", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_fsck_exit_1_on_corruption(self, tmp_path, capsys):
+        cache, specs = populate(tmp_path, n=1)
+        flip_file_bit(cache.get(specs[0]).refs_path, seed=4)
+        rc = cli.main(["engine", "fsck", "--cache-dir", str(tmp_path)])
+        assert rc == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_fsck_repair_then_clean(self, tmp_path, capsys):
+        cache, specs = populate(tmp_path, n=1)
+        flip_file_bit(cache.get(specs[0]).refs_path, seed=4)
+        rc = cli.main(["engine", "fsck", "--cache-dir", str(tmp_path),
+                       "--repair"])
+        assert rc == 0  # repaired this very pass: nothing left in service
+        assert "quarantined" in capsys.readouterr().out
+        assert cli.main(["engine", "fsck", "--cache-dir",
+                         str(tmp_path)]) == 0
+
+    def test_gc_exit_0_and_reports(self, tmp_path, capsys):
+        populate(tmp_path, n=2)
+        rc = cli.main(["engine", "gc", "--cache-dir", str(tmp_path),
+                       "--max-bytes", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evicted 2 artifact(s)" in out
+
+    def test_gc_bad_budget_is_usage_error(self, tmp_path, capsys):
+        rc = cli.main(["engine", "gc", "--cache-dir", str(tmp_path),
+                       "--max-bytes", "lots"])
+        assert rc == 2
+        assert "cannot parse byte size" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("text,expect", [
+        ("1048576", 1 << 20),
+        ("500K", 500 << 10),
+        ("2g", 2 << 30),
+        ("1.5M", int(1.5 * (1 << 20))),
+        ("10MiB", 10 << 20),
+        ("0", 0),
+    ])
+    def test_parse_bytes(self, text, expect):
+        assert cli._parse_bytes(text) == expect
+
+    @pytest.mark.parametrize("text", ["", "-1", "4x", "M"])
+    def test_parse_bytes_rejects_junk(self, text):
+        with pytest.raises(ConfigurationError):
+            cli._parse_bytes(text)
+
+    def test_gc_respects_suffix_budget(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        rc = cli.main(["engine", "gc", "--cache-dir", str(tmp_path),
+                       "--max-bytes", "1G"])
+        assert rc == 0
+        assert cache.get(specs[0]) is not None
+
+    def test_engine_stats_prints_healing_counters(self, tmp_path, capsys):
+        rc = cli.main(["engine", "stats", "gtc", "--refs", "500",
+                       "--iterations", "2", "--scale", str(1.0 / 256.0),
+                       "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quarantined: 0" in out and "re-recorded: 0" in out
+
+    def test_fsck_survives_junk_files_in_cache_root(self, tmp_path, capsys):
+        cache, _specs = populate(tmp_path, n=1)
+        # files (not dirs) and odd names must not crash the walk
+        with open(tmp_path / "README", "w") as fh:
+            fh.write("not an artifact\n")
+        os.makedirs(tmp_path / "zz" / "not-a-key-either", exist_ok=True)
+        with open(tmp_path / "zz" / "stray-file", "w") as fh:
+            fh.write("x")
+        rc = cli.main(["engine", "fsck", "--cache-dir", str(tmp_path)])
+        # the stray dir has no commit marker: a partial, still clean
+        assert rc == 0
+
+    def test_quarantine_meta_readable_for_forensics(self, tmp_path):
+        """The quarantined copy keeps its files for post-mortem."""
+        cache, specs = populate(tmp_path, n=1)
+        art = cache.get(specs[0])
+        flip_file_bit(art.refs_path, seed=5)
+        cache.fsck(repair=True)
+        shard = os.path.dirname(cache.dir_for(specs[0].key))
+        qdir = next(os.path.join(shard, d) for d in os.listdir(shard)
+                    if ".quarantine" in d)
+        with open(os.path.join(qdir, "meta.json")) as fh:
+            meta = json.load(fh)
+        assert meta["key"] == specs[0].key
