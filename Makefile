@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint chaos bench bench-report experiments validate examples all clean
+.PHONY: install test lint chaos bench bench-report experiments sched-smoke validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -30,6 +30,12 @@ bench-report:
 
 experiments:
 	$(PY) -m repro.experiments all --write
+
+# Scheduler smoke: the parallel suite on a shared cache at test fidelity.
+sched-smoke:
+	$(PY) -m repro.experiments all --jobs 2 \
+		--refs 4000 --scale 0.00390625 --iterations 4 > /dev/null
+	@echo "sched smoke OK (jobs=2)"
 
 validate:
 	$(PY) -m repro.validation

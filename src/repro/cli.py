@@ -19,9 +19,13 @@ Subcommands:
   the commit-marker protocol already hides them), 1 when corruption
   remains in service, 2 on usage errors;
 * ``engine gc`` — enforce a cache size budget (``--max-bytes``, with
-  K/M/G suffixes) by LRU eviction on ``meta.json`` access stamps,
-  never evicting artifacts whose cross-process lock is held;
+  K/M/G suffixes) by LRU eviction on each artifact's ``last_access``
+  stamp (written on every cache hit; ``meta.json`` mtime is the
+  fallback for pre-stamp caches), never evicting artifacts whose
+  cross-process lock is held;
 * ``experiments <id>|all`` — regenerate paper tables/figures;
+  ``--jobs N`` runs the suite on N worker processes sharing one
+  artifact cache (0 = one per CPU; results identical to ``--jobs 1``);
 * ``validate`` — run the reproduction gate (DESIGN.md §5 criteria).
 
 Invalid configurations (non-positive ``--refs``/``--iterations``/

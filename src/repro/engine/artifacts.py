@@ -28,8 +28,11 @@ Robustness around that layout:
   CRCs, meta/event JSON, key consistency) and can repair by quarantining
   corruption and deleting partial leftovers;
 * :meth:`ArtifactCache.gc` enforces a byte budget by LRU-evicting
-  committed artifacts (ordered by ``meta.json``'s atime, touched on every
-  cache hit), never evicting a key whose lock is currently held.
+  committed artifacts, ordered by an explicit zero-byte ``last_access``
+  stamp refreshed on every cache hit (``meta.json``'s mtime is the
+  fallback for pre-stamp caches; atime is never consulted because
+  ``noatime``/``relatime`` mounts freeze it), never evicting a key whose
+  lock is currently held.
 """
 
 from __future__ import annotations
@@ -57,6 +60,12 @@ ARTIFACT_FILES = ("refs.npz", "events.json", "meta.json")
 TMP_FILES = tuple(name + ".tmp" for name in ARTIFACT_FILES)
 #: Sibling-directory suffix quarantined artifacts are renamed under.
 QUARANTINE_SUFFIX = ".quarantine"
+#: Zero-byte sidecar whose mtime is the artifact's last-use stamp.
+#: gc's LRU ordering reads this instead of meta.json's atime, which is
+#: frozen on ``noatime`` mounts and only sporadically updated under
+#: ``relatime``; meta.json's *mtime* is the fallback for caches written
+#: before the stamp existed.
+LAST_ACCESS_FILE = "last_access"
 
 
 def _atomic_bytes(path: str, blob: bytes, fs: OsFS) -> None:
@@ -105,6 +114,10 @@ class Artifact:
     @property
     def meta_path(self) -> str:
         return os.path.join(self.directory, "meta.json")
+
+    @property
+    def last_access_path(self) -> str:
+        return os.path.join(self.directory, LAST_ACCESS_FILE)
 
     def _load_json(self, path: str, what: str):
         """Read one JSON file, mapping every failure mode — vanished
@@ -160,6 +173,16 @@ class Artifact:
         events.json parses, and every trace batch passes its CRC32 —
         raising :class:`~repro.errors.TraceError` on the first problem.
         """
+        return len(self.verify_load()[1])
+
+    def verify_load(self) -> tuple[list, List[RefBatch]]:
+        """Scrub the whole artifact and return its decoded payload.
+
+        Performs exactly the checks :meth:`verify` does, but hands back
+        ``(events, batches)`` so a caller about to replay does not decode
+        the event JSON and the npz batches a second time — the scrub *is*
+        the decode.
+        """
         meta = self.meta
         stored_key = meta.get("key")
         if stored_key is not None and stored_key != self.key:
@@ -202,14 +225,16 @@ class Artifact:
                     f"computed {actual_crc:#010x})",
                     key=self.key, path=self.events_path,
                 )
-        self.events()
+        events = self.events()
         try:
+            # iterating the reader checksums every batch (v2 CRC path)
             with TraceReader(self.refs_path) as reader:
-                n = reader.verify()
+                batches = list(reader)
         except TraceError as exc:
             if exc.key is None:
                 exc.key = self.key
             raise
+        n = len(batches)
         declared = meta.get("n_batches")
         if declared is not None and int(declared) != n:
             raise TraceError(
@@ -217,7 +242,7 @@ class Artifact:
                 f"meta.json declares {declared} (truncated trace)",
                 key=self.key, path=self.refs_path,
             )
-        return n
+        return events, batches
 
 
 class PendingArtifact:
@@ -243,7 +268,7 @@ class PendingArtifact:
         self._fs.makedirs(directory)
         # clear any partial files left by an interrupted recording (safe:
         # the key lock guarantees no live recorder owns them)
-        for name in ARTIFACT_FILES + TMP_FILES:
+        for name in ARTIFACT_FILES + TMP_FILES + (LAST_ACCESS_FILE,):
             path = os.path.join(directory, name)
             if self._fs.exists(path):
                 self._fs.unlink(path)
@@ -287,7 +312,8 @@ class PendingArtifact:
             self.writer.discard()
         except Exception:
             pass
-        for name in ("meta.json", "events.json", "refs.npz") + TMP_FILES:
+        for name in (("meta.json", "events.json", "refs.npz")
+                     + TMP_FILES + (LAST_ACCESS_FILE,)):
             path = os.path.join(self.directory, name)
             try:
                 if self._fs.exists(path):
@@ -420,12 +446,26 @@ class ArtifactCache:
             if not (os.path.exists(art.refs_path)
                     and os.path.exists(art.events_path)):
                 return None
-            # stamp last-use for LRU eviction (gc orders by meta atime)
-            os.utime(art.meta_path)
         except OSError:
             # the directory vanished between checks (concurrent gc or rm)
             return None
+        self._touch_last_access(art)
         return art
+
+    def _touch_last_access(self, art: Artifact) -> None:
+        """Stamp *art* as just-used for gc's LRU ordering.
+
+        An explicit sidecar file is updated (created on first hit) rather
+        than relying on meta.json's atime: ``noatime``/``relatime`` mounts
+        freeze or throttle atime, which made eviction order effectively
+        creation order there. Failure is non-fatal — a read-only cache
+        still serves hits, it just cannot refresh its LRU stamps."""
+        try:
+            with open(art.last_access_path, "a"):
+                pass
+            os.utime(art.last_access_path)
+        except OSError:
+            pass
 
     def begin(self, spec: RunSpec) -> PendingArtifact | Artifact:
         """Start recording *spec* under its cross-process lock.
@@ -565,10 +605,14 @@ class ArtifactCache:
         Partial directories (no commit marker) whose key lock is free are
         garbage and removed first. If still over budget, quarantined
         forensic copies go next (oldest first), then committed artifacts
-        oldest-``meta.json``-atime-first. A key in *protect*, or whose
-        cross-process lock is currently held (a recorder or scrubber is
-        using it), is never evicted — the report flags when that leaves
-        the cache over budget.
+        least-recently-used first: ordered by the explicit ``last_access``
+        stamp :meth:`get` refreshes on every cache hit, falling back to
+        ``meta.json``'s mtime for artifacts written before the stamp
+        existed (atime is deliberately not consulted — it is frozen on
+        ``noatime`` mounts). A key in *protect*, or whose cross-process
+        lock is currently held (a recorder or scrubber is using it), is
+        never evicted — the report flags when that leaves the cache over
+        budget.
         """
         protected = set(protect)
         candidates: list[tuple[float, str, str, int]] = []
@@ -612,10 +656,13 @@ class ArtifactCache:
                 skipped.append(name)
                 continue
             try:
-                atime = os.stat(meta_path).st_atime
+                stamp = os.stat(os.path.join(path, LAST_ACCESS_FILE)).st_mtime
             except OSError:
-                atime = 0.0
-            candidates.append((atime, name, path, size))
+                try:
+                    stamp = os.stat(meta_path).st_mtime
+                except OSError:
+                    stamp = 0.0
+            candidates.append((stamp, name, path, size))
 
         total = before
         evicted: list[str] = []

@@ -36,8 +36,11 @@ from __future__ import annotations
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from repro.trace.record import RefBatch
 
 from repro.engine.artifacts import Artifact, ArtifactCache
 from repro.engine.events import EventLogProbe, ReplayStackView, replay_events
@@ -100,6 +103,21 @@ class EngineStats:
         now = self.snapshot()
         return {k: round(now[k] - before.get(k, 0), 6) for k in now}
 
+    def merge(self, delta: dict) -> None:
+        """Fold a snapshot-delta (typically from a scheduler worker's
+        engine) into this instance. Counters and reference totals add up
+        exactly; stage wall times add as *CPU-seconds across workers*, so
+        the merged wall can exceed the suite's elapsed wall clock."""
+        self.app_runs += int(delta.get("app_runs", 0))
+        self.cache_hits += int(delta.get("cache_hits", 0))
+        self.replays += int(delta.get("replays", 0))
+        self.quarantined += int(delta.get("quarantined", 0))
+        self.rerecorded += int(delta.get("rerecorded", 0))
+        for name, st in self.stages.items():
+            st.wall_s += float(delta.get(f"{name}_s", 0.0))
+            st.refs += int(delta.get(f"{name}_refs", 0))
+            st.calls += int(delta.get(f"{name}_calls", 0))
+
     def table(self) -> str:
         """Human-readable stage table for reports and the CLI view."""
         lines = [
@@ -123,6 +141,26 @@ def _default_root() -> str:
     return tempfile.mkdtemp(prefix="nvscavenger-cache-")
 
 
+#: Default in-memory budget for decoded runs kept by one engine instance.
+DECODE_CACHE_BYTES = 256 << 20
+
+
+@dataclass
+class _DecodedRun:
+    """One artifact's payload decoded into memory (events + batches)."""
+
+    events: list
+    batches: list[RefBatch]
+    nbytes: int
+
+
+def _batches_nbytes(batches: list[RefBatch]) -> int:
+    return sum(
+        b.addr.nbytes + b.is_write.nbytes + b.size.nbytes + b.oid.nbytes
+        for b in batches
+    )
+
+
 class PipelineEngine:
     """Executes run specs once and replays their artifacts many times."""
 
@@ -134,6 +172,7 @@ class PipelineEngine:
         self_heal: bool = True,
         max_rerecord_attempts: int = 3,
         rerecord_backoff_s: float = 0.05,
+        decode_cache_bytes: int = DECODE_CACHE_BYTES,
     ) -> None:
         if cache is None:
             cache = ArtifactCache(root if root is not None else _default_root())
@@ -145,6 +184,13 @@ class PipelineEngine:
         self.rerecord_backoff_s = rerecord_backoff_s
         #: keys whose committed artifact this engine already scrubbed
         self._verified: set[str] = set()
+        # decoded-run memo: replaying the same artifact many times (the
+        # suite's normal shape) must not re-open the npz archive and
+        # re-parse the event JSON every time — the decode dominated
+        # replay wall time before this cache existed. 0 disables it.
+        self.decode_cache_bytes = decode_cache_bytes
+        self._decoded: OrderedDict[str, _DecodedRun] = OrderedDict()
+        self._decoded_bytes = 0
 
     # ------------------------------------------------------------------
     def record(self, spec: RunSpec) -> Artifact:
@@ -191,6 +237,32 @@ class PipelineEngine:
         return art
 
     # ------------------------------------------------------------------
+    def _remember(self, key: str, events: list,
+                  batches: list[RefBatch]) -> None:
+        """Memoize a decoded run, LRU-bounded by ``decode_cache_bytes``."""
+        if self.decode_cache_bytes <= 0:
+            return
+        for b in batches:
+            # a probe mutating a memoized batch would silently poison
+            # every later replay; freeze the arrays so it raises instead
+            for arr in (b.addr, b.is_write, b.size, b.oid):
+                arr.setflags(write=False)
+        nbytes = _batches_nbytes(batches)
+        if nbytes > self.decode_cache_bytes:
+            return
+        self._forget(key)
+        self._decoded[key] = _DecodedRun(events, batches, nbytes)
+        self._decoded_bytes += nbytes
+        while self._decoded_bytes > self.decode_cache_bytes and self._decoded:
+            _, old = self._decoded.popitem(last=False)
+            self._decoded_bytes -= old.nbytes
+
+    def _forget(self, key: str) -> None:
+        old = self._decoded.pop(key, None)
+        if old is not None:
+            self._decoded_bytes -= old.nbytes
+
+    # ------------------------------------------------------------------
     def verified_artifact(self, spec: RunSpec) -> Artifact:
         """Record-if-needed, then scrub the artifact before first use.
 
@@ -198,8 +270,10 @@ class PipelineEngine:
         quarantines the artifact and falls back to a live re-record, with
         up to ``max_rerecord_attempts`` retries under exponential backoff
         (transient ``OSError`` during the re-record is retried too).
-        Each committed key is scrubbed once per engine instance, so the
-        steady-state replay path pays no extra read."""
+        Each committed key is scrubbed once per engine instance, and the
+        scrub doubles as the decode: the verified events and batches are
+        memoized so the first replay does not re-read what the scrub
+        already decoded."""
         art = self.record(spec)
         if not self.self_heal or art.key in self._verified:
             return art
@@ -214,19 +288,35 @@ class PipelineEngine:
                     continue
                 self.stats.rerecorded += 1
             try:
-                art.verify()
+                events, batches = art.verify_load()
             except TraceError as exc:
                 last_exc = exc
+                self._forget(art.key)
                 self.cache.quarantine(art.key, reason=str(exc))
                 self.stats.quarantined += 1
                 continue
             self._verified.add(art.key)
+            self._remember(art.key, events, batches)
             return art
         raise TraceError(
             f"artifact for {spec} still unusable after "
             f"{self.max_rerecord_attempts} re-record attempt(s): {last_exc}",
             key=spec.key,
         )
+
+    # ------------------------------------------------------------------
+    def _decoded_run(self, spec: RunSpec) -> tuple[Artifact, list, list[RefBatch]]:
+        """The verified artifact plus its decoded payload, via the memo
+        when the run is already in memory."""
+        art = self.verified_artifact(spec)
+        run = self._decoded.get(art.key)
+        if run is not None:
+            self._decoded.move_to_end(art.key)
+            return art, run.events, run.batches
+        events = art.events()
+        batches = list(art.batches())
+        self._remember(art.key, events, batches)
+        return art, events, batches
 
     # ------------------------------------------------------------------
     def replay(
@@ -239,11 +329,13 @@ class PipelineEngine:
         needed). The artifact is integrity-scrubbed before its first
         replay through this engine — see :meth:`verified_artifact` — so
         corruption can never half-deliver a stream into stateful probes.
+        Decoded runs are memoized (LRU, ``decode_cache_bytes``), so
+        replay-many costs one decode, not one per replay.
         Returns the artifact so callers can read ``meta``."""
-        art = self.verified_artifact(spec)
+        art, events, batches = self._decoded_run(spec)
         probe = probes if isinstance(probes, Probe) else FanoutProbe(list(probes))
         t0 = time.perf_counter()
-        replay_events(art.events(), art.batches(), probe, stack=stack)
+        replay_events(events, iter(batches), probe, stack=stack)
         stage = self.stats.stages["replay"]
         stage.calls += 1
         stage.wall_s += time.perf_counter() - t0

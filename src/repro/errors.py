@@ -83,3 +83,7 @@ class CacheLockError(ReproError):
 
 class ExperimentAbortedError(ReproError):
     """An experiment failed every retry under the hardened runner."""
+
+
+class SchedulerError(ReproError):
+    """Invalid task graph or scheduler misconfiguration (repro.sched)."""

@@ -1,10 +1,11 @@
-"""CLI: ``python -m repro.experiments <id>|all [--write] [--fast]``."""
+"""CLI: ``python -m repro.experiments <id>|all [--write] [--jobs N]``."""
 
 from __future__ import annotations
 
 import argparse
 import sys
 
+from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentContext
 from repro.experiments.runner import (
     EXPERIMENTS,
@@ -40,27 +41,46 @@ def main(argv: list[str] | None = None) -> int:
              "$NVSCAVENGER_CACHE); recorded traces there are reused across "
              "invocations",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="with 'all': worker processes for the suite (default 1 = "
+             "sequential in-process; 0 = one per CPU). Workers share the "
+             "artifact cache, so each distinct run spec is still executed "
+             "exactly once and results are identical to --jobs 1",
+    )
     args = parser.parse_args(argv)
 
-    ctx = ExperimentContext(
-        refs_per_iteration=args.refs,
-        scale=args.scale,
-        n_iterations=args.iterations,
-        seed=args.seed,
-        cache_dir=args.cache_dir,
-    )
-    if args.experiment == "all":
-        results = run_all(ctx)
-        for res in results:
-            print(res)
-            print()
-        print(ctx.engine.stats.table())
-        if args.write:
-            with open("EXPERIMENTS.md", "w") as fh:
-                fh.write(experiments_markdown(results, ctx))
-            print("wrote EXPERIMENTS.md")
-    else:
-        print(run_experiment(args.experiment, ctx))
+    try:
+        from repro.sched.suite import resolve_jobs
+
+        jobs = resolve_jobs(args.jobs)
+        ctx = ExperimentContext(
+            refs_per_iteration=args.refs,
+            scale=args.scale,
+            n_iterations=args.iterations,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+        )
+        if args.experiment == "all":
+            on_event = None
+            if jobs > 1:
+                def on_event(ev):  # live progress on stderr, results on stdout
+                    print(f"sched: {ev}", file=sys.stderr)
+            results = run_all(ctx, jobs=jobs, on_sched_event=on_event)
+            for res in results:
+                print(res)
+                print()
+            print(ctx.engine.stats.table())
+            if args.write:
+                with open("EXPERIMENTS.md", "w") as fh:
+                    fh.write(experiments_markdown(results, ctx))
+                print("wrote EXPERIMENTS.md")
+        else:
+            print(run_experiment(args.experiment, ctx))
+    except ConfigurationError as exc:
+        print(f"nvscavenger: error: {exc}", file=sys.stderr)
+        parser.print_usage(sys.stderr)
+        return 2
     return 0
 
 

@@ -122,6 +122,8 @@ def run_all(
     budget_s: float | None = None,
     strict: bool = False,
     prefetch: bool = True,
+    jobs: int = 1,
+    on_sched_event: Callable | None = None,
 ) -> list[ExperimentResult | ExperimentFailure]:
     """Run every experiment against one shared (cached) context.
 
@@ -138,14 +140,37 @@ def run_all(
     :class:`~repro.errors.ExperimentAbortedError`. ``budget_s`` bounds
     each experiment's wall-clock time; overruns are re-run once at
     reduced ``refs_per_iteration`` (noted in the result).
+
+    ``jobs > 1`` runs the suite through the :mod:`repro.sched` worker
+    pool instead: record tasks (one per distinct run spec) execute
+    first, experiments run as their dependencies land, and workers
+    coordinate through the shared artifact cache so each spec is still
+    executed exactly once. Results come back in the same canonical
+    order with the same values as ``jobs=1``; ``on_sched_event``
+    receives live :class:`~repro.sched.events.SchedEvent` progress
+    rows. ``prefetch`` is implied (the record tasks *are* the
+    prefetch). The default ``jobs=1`` is the sequential in-process path,
+    byte-for-byte identical to previous behavior.
     """
     ctx = ctx or ExperimentContext()
+    exps = EXPERIMENTS if experiments is None else experiments
+    if jobs != 1:
+        from repro.sched.suite import resolve_jobs, run_suite_parallel
+
+        results, _report = run_suite_parallel(
+            ctx, exps,
+            jobs=resolve_jobs(jobs),
+            retries=retries,
+            budget_s=budget_s,
+            strict=strict,
+            on_event=on_sched_event,
+        )
+        return results
     runner = HardenedRunner(
         retry=RetryPolicy(retries=retries),
         budget=ExperimentBudget(wall_s=budget_s) if budget_s is not None else None,
         strict=strict,
     )
-    exps = EXPERIMENTS if experiments is None else experiments
     if prefetch:
         ctx.prefetch(artifact_names(exps, ctx.apps))
     return [runner.run_one(name, fn, ctx) for name, fn in exps.items()]

@@ -1,0 +1,68 @@
+"""repro.sched — dependency-aware multi-process scheduler for the suite.
+
+The subsystem has four layers:
+
+* :mod:`repro.sched.graph` — expands one suite invocation into a
+  deterministic DAG: one record task per *distinct* run spec
+  (content-addressed dedup), one experiment task per experiment,
+  depending on the records for the artifacts its module declares;
+* :mod:`repro.sched.workers` — spawn-safe worker entry points; workers
+  coordinate through the shared artifact cache's per-key ``flock`` so a
+  spec is executed once cluster-wide no matter how tasks land;
+* :mod:`repro.sched.scheduler` — the bounded worker pool: liveness- and
+  timeout-based crash detection, deterministic retry-with-reseed,
+  structured progress events;
+* :mod:`repro.sched.suite` — the ``run_all(jobs=N)`` entry point:
+  canonical result ordering and parent-side stats merging, so a
+  parallel suite run is bit-identical to a sequential one.
+"""
+
+from repro.sched.events import (
+    TASK_FAILED,
+    TASK_FINISHED,
+    TASK_RETRIED,
+    TASK_STARTED,
+    EventLog,
+    SchedEvent,
+    SchedulerReport,
+)
+from repro.sched.graph import (
+    EXPERIMENT_PREFIX,
+    RECORD_PREFIX,
+    ExperimentTask,
+    RecordTask,
+    TaskGraph,
+)
+from repro.sched.scheduler import Scheduler, SchedulerOutcome, default_start_method
+from repro.sched.suite import (
+    build_suite_graph,
+    declared_artifacts,
+    resolve_jobs,
+    run_suite_parallel,
+)
+from repro.sched.workers import WorkerConfig, run_experiment_task, run_record_task
+
+__all__ = [
+    "TASK_FAILED",
+    "TASK_FINISHED",
+    "TASK_RETRIED",
+    "TASK_STARTED",
+    "EventLog",
+    "SchedEvent",
+    "SchedulerReport",
+    "EXPERIMENT_PREFIX",
+    "RECORD_PREFIX",
+    "ExperimentTask",
+    "RecordTask",
+    "TaskGraph",
+    "Scheduler",
+    "SchedulerOutcome",
+    "default_start_method",
+    "build_suite_graph",
+    "declared_artifacts",
+    "resolve_jobs",
+    "run_suite_parallel",
+    "WorkerConfig",
+    "run_experiment_task",
+    "run_record_task",
+]

@@ -1,0 +1,120 @@
+"""Structured progress events and the end-of-run scheduler report.
+
+Every scheduler transition — a task starting on a worker, finishing,
+being retried after a crash/timeout, or failing for good — is emitted as
+a :class:`SchedEvent`: machine-readable (``to_dict``), timestamped
+relative to scheduler start, and optionally streamed to a callback as it
+happens (the CLI prints them live with ``--jobs N``). The full log plus
+aggregate counters and per-task wall times land in a
+:class:`SchedulerReport` after the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Event kinds, in lifecycle order.
+TASK_STARTED = "task_started"
+TASK_FINISHED = "task_finished"
+TASK_RETRIED = "task_retried"
+TASK_FAILED = "task_failed"
+
+
+@dataclass
+class SchedEvent:
+    """One scheduler transition."""
+
+    kind: str
+    task_id: str
+    #: seconds since the scheduler started (monotonic-relative)
+    t: float
+    attempt: int = 0
+    pid: int | None = None
+    #: task wall seconds (finish/retry/fail events)
+    wall_s: float | None = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "task_id": self.task_id,
+            "t": self.t,
+            "attempt": self.attempt,
+            "pid": self.pid,
+            "wall_s": self.wall_s,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        bits = [f"[{self.t:8.3f}s]", self.kind, self.task_id]
+        if self.attempt:
+            bits.append(f"attempt={self.attempt}")
+        if self.wall_s is not None:
+            bits.append(f"wall={self.wall_s:.3f}s")
+        if self.detail:
+            bits.append(f"({self.detail})")
+        return " ".join(bits)
+
+
+class EventLog:
+    """Collects :class:`SchedEvent` rows; optionally streams them live."""
+
+    def __init__(self,
+                 on_event: Callable[[SchedEvent], None] | None = None) -> None:
+        self.events: list[SchedEvent] = []
+        self._on_event = on_event
+        self._t0 = time.monotonic()
+
+    def emit(self, kind: str, task_id: str, **kwargs) -> SchedEvent:
+        ev = SchedEvent(kind=kind, task_id=task_id,
+                        t=round(time.monotonic() - self._t0, 6), **kwargs)
+        self.events.append(ev)
+        if self._on_event is not None:
+            self._on_event(ev)
+        return ev
+
+    def count(self, kind: str) -> int:
+        return sum(1 for ev in self.events if ev.kind == kind)
+
+
+@dataclass
+class SchedulerReport:
+    """Aggregate outcome of one scheduled suite run."""
+
+    jobs: int
+    wall_s: float
+    n_tasks: int
+    n_records: int
+    n_experiments: int
+    n_retries: int = 0
+    n_failed: int = 0
+    #: per-task wall seconds of the successful attempt
+    task_wall_s: dict[str, float] = field(default_factory=dict)
+    events: list[SchedEvent] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 6),
+            "n_tasks": self.n_tasks,
+            "n_records": self.n_records,
+            "n_experiments": self.n_experiments,
+            "n_retries": self.n_retries,
+            "n_failed": self.n_failed,
+            "task_wall_s": {k: round(v, 6)
+                            for k, v in self.task_wall_s.items()},
+        }
+
+    def summary(self) -> str:
+        s = (
+            f"sched: {self.n_tasks} tasks "
+            f"({self.n_records} record + {self.n_experiments} experiment) "
+            f"on {self.jobs} worker(s) in {self.wall_s:.2f}s"
+        )
+        if self.n_retries:
+            s += f"; {self.n_retries} retried"
+        if self.n_failed:
+            s += f"; {self.n_failed} FAILED"
+        return s

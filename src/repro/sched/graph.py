@@ -1,0 +1,177 @@
+"""The suite's task graph: record tasks, experiment tasks, dependencies.
+
+One suite invocation expands into two task layers:
+
+* **record tasks** — one per *distinct* :class:`~repro.engine.spec.RunSpec`
+  (content-addressed: two experiments declaring the same artifact name,
+  or two names whose specs hash to the same key, share a single task);
+* **experiment tasks** — one per experiment, depending on the record
+  tasks for the artifacts its module declares via ``ARTIFACTS``. An
+  experiment that declares nothing is conservatively ordered after every
+  base-app record task, since it may ``ctx.run()`` any of them.
+
+Dependencies are a *scheduling* optimization, not the correctness
+mechanism: a worker that reaches an unrecorded spec records it on demand
+under the cache's per-key ``flock``, so an incomplete dependency edge
+costs parallelism, never correctness.
+
+The graph is deterministic: tasks carry an insertion index, ``ready()``
+returns runnable tasks in that order, and the same suite always expands
+to the same graph — a prerequisite for the jobs-independent result
+ordering :func:`repro.experiments.runner.run_all` guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.engine.spec import RunSpec
+from repro.errors import SchedulerError
+
+#: Task-id prefixes; ids are human-readable and stable across runs.
+RECORD_PREFIX = "record:"
+EXPERIMENT_PREFIX = "exp:"
+
+
+@dataclass(frozen=True)
+class RecordTask:
+    """Record one run spec into the shared artifact cache."""
+
+    task_id: str
+    name: str  # artifact name ("cam" or "variant:cam")
+    spec: RunSpec
+    deps: tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "record"
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """Run one experiment (replays its recorded dependencies)."""
+
+    task_id: str
+    exp_id: str
+    deps: tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "experiment"
+
+
+Task = RecordTask | ExperimentTask
+
+
+class TaskGraph:
+    """A validated DAG of tasks with deterministic ready-ordering."""
+
+    def __init__(self, tasks: Sequence[Task]) -> None:
+        self.tasks: dict[str, Task] = {}
+        self.order: list[str] = []
+        for task in tasks:
+            if task.task_id in self.tasks:
+                raise SchedulerError(f"duplicate task id {task.task_id!r}")
+            self.tasks[task.task_id] = task
+            self.order.append(task.task_id)
+        for task in tasks:
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise SchedulerError(
+                        f"task {task.task_id!r} depends on unknown task "
+                        f"{dep!r}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm; raises on a dependency cycle."""
+        indeg = {tid: len(self.tasks[tid].deps) for tid in self.order}
+        dependents: dict[str, list[str]] = {tid: [] for tid in self.order}
+        for tid in self.order:
+            for dep in self.tasks[tid].deps:
+                dependents[dep].append(tid)
+        queue = [tid for tid in self.order if indeg[tid] == 0]
+        seen = 0
+        while queue:
+            tid = queue.pop()
+            seen += 1
+            for nxt in dependents[tid]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        if seen != len(self.order):
+            cyclic = sorted(tid for tid, d in indeg.items() if d > 0)
+            raise SchedulerError(f"task graph has a cycle through {cyclic}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.order)
+
+    @property
+    def record_tasks(self) -> list[RecordTask]:
+        return [t for t in (self.tasks[i] for i in self.order)
+                if isinstance(t, RecordTask)]
+
+    @property
+    def experiment_tasks(self) -> list[ExperimentTask]:
+        return [t for t in (self.tasks[i] for i in self.order)
+                if isinstance(t, ExperimentTask)]
+
+    def ready(self, done: Iterable[str], running: Iterable[str]) -> list[str]:
+        """Runnable task ids — every dependency done, not yet started —
+        in deterministic insertion order."""
+        done = set(done)
+        busy = set(running) | done
+        return [
+            tid for tid in self.order
+            if tid not in busy
+            and all(dep in done for dep in self.tasks[tid].deps)
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_suite(
+        cls,
+        exp_artifacts: Mapping[str, tuple[str, ...] | None],
+        spec_for: Callable[[str], RunSpec],
+        apps: Sequence[str],
+    ) -> "TaskGraph":
+        """Expand one suite invocation into a task graph.
+
+        ``exp_artifacts`` maps experiment id to the artifact names its
+        module declares (``None`` for modules with no ``ARTIFACTS``
+        attribute — those depend on every base-app record). ``spec_for``
+        resolves an artifact name to the context's :class:`RunSpec`;
+        record tasks are deduplicated by the spec's content key.
+        """
+        names: list[str] = list(apps)
+        for declared in exp_artifacts.values():
+            for name in declared or ():
+                if name not in names:
+                    names.append(name)
+
+        tasks: list[Task] = []
+        id_by_name: dict[str, str] = {}
+        id_by_key: dict[str, str] = {}
+        for name in names:
+            spec = spec_for(name)
+            existing = id_by_key.get(spec.key)
+            if existing is not None:
+                id_by_name[name] = existing
+                continue
+            tid = RECORD_PREFIX + name
+            id_by_key[spec.key] = tid
+            id_by_name[name] = tid
+            tasks.append(RecordTask(task_id=tid, name=name, spec=spec))
+
+        base_deps = tuple(dict.fromkeys(id_by_name[a] for a in apps))
+        for exp_id, declared in exp_artifacts.items():
+            if declared is None:
+                deps = base_deps
+            else:
+                deps = tuple(dict.fromkeys(
+                    id_by_name[n] for n in declared if n in id_by_name))
+            tasks.append(ExperimentTask(
+                task_id=EXPERIMENT_PREFIX + exp_id, exp_id=exp_id, deps=deps))
+        return cls(tasks)

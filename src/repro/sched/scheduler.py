@@ -1,0 +1,282 @@
+"""Dependency-aware multi-process scheduler for the experiment suite.
+
+The scheduler walks a :class:`~repro.sched.graph.TaskGraph` with up to
+``jobs`` worker processes, one process per task (cheap under the POSIX
+``fork`` start method, and spawn-safe everywhere else). Results come
+back over a single multiprocessing queue; worker *death* — a crash, an
+OOM kill, an operator ``kill -9`` — is detected through process
+liveness, and the victim's task is re-scheduled on a fresh worker with
+the same deterministic reseed :class:`~repro.resilience.harness.
+HardenedRunner` uses in-process (``seed + attempt * reseed_stride``),
+bounded by ``max_task_retries``. A task that exceeds its wall-clock
+allowance is killed and handled the same way, so one hung worker can
+never wedge the suite.
+
+Correctness does not depend on the scheduler's bookkeeping: workers
+coordinate through the shared artifact cache's per-key ``flock``, so
+even a mis-scheduled or retried record task executes its application at
+most once cluster-wide — losers of the race replay the winner's
+artifact as a cache hit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import SchedulerError
+from repro.sched.events import (
+    TASK_FAILED,
+    TASK_FINISHED,
+    TASK_RETRIED,
+    TASK_STARTED,
+    EventLog,
+    SchedEvent,
+    SchedulerReport,
+)
+from repro.sched.graph import RecordTask, TaskGraph
+from repro.sched.workers import WorkerConfig, task_process_main
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_SCHED_START"
+#: How long to keep draining the result queue after a worker exits —
+#: covers the window where the message is written but not yet readable.
+_EXIT_DRAIN_S = 0.5
+#: Main-loop poll interval while waiting on results.
+_POLL_S = 0.05
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast, pickles nothing at spawn time),
+    else the platform default; override with ``REPRO_SCHED_START``."""
+    env = os.environ.get(START_METHOD_ENV)
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+@dataclass
+class _Running:
+    proc: multiprocessing.Process
+    attempt: int
+    t0: float
+
+
+@dataclass
+class SchedulerOutcome:
+    """Everything one scheduled run produced."""
+
+    #: task_id -> worker payload of the successful attempt
+    payloads: dict[str, dict] = field(default_factory=dict)
+    #: task_id -> structured failure info (every retry exhausted)
+    failures: dict[str, dict] = field(default_factory=dict)
+    report: SchedulerReport | None = None
+
+    @property
+    def events(self) -> list[SchedEvent]:
+        return self.report.events if self.report is not None else []
+
+
+class Scheduler:
+    """Runs one task graph to completion on a bounded worker pool."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        cfg: WorkerConfig,
+        *,
+        jobs: int,
+        exp_fns: Mapping[str, Callable | None] | None = None,
+        max_task_retries: int = 1,
+        reseed_stride: int = 1000,
+        task_timeout_s: float | None = None,
+        start_method: str | None = None,
+        on_event: Callable[[SchedEvent], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise SchedulerError(f"jobs must be >= 1, got {jobs}")
+        self.graph = graph
+        self.cfg = cfg
+        self.jobs = jobs
+        #: experiment id -> callable, or None to resolve from the
+        #: registry inside the worker (the spawn-safe path)
+        self.exp_fns = dict(exp_fns or {})
+        self.max_task_retries = max_task_retries
+        self.reseed_stride = reseed_stride
+        self.task_timeout_s = task_timeout_s
+        self.start_method = start_method or default_start_method()
+        self.on_event = on_event
+
+    # ------------------------------------------------------------------
+    def run(self) -> SchedulerOutcome:
+        mp_ctx = multiprocessing.get_context(self.start_method)
+        result_q = mp_ctx.Queue()
+        log = EventLog(self.on_event)
+        outcome = SchedulerOutcome()
+        running: dict[str, _Running] = {}
+        attempts: dict[str, int] = {}
+        done: set[str] = set()
+        t_start = time.monotonic()
+        try:
+            while len(done) < len(self.graph):
+                self._launch(mp_ctx, result_q, running, attempts, done, log)
+                if not running:
+                    pending = [t for t in self.graph.order if t not in done]
+                    raise SchedulerError(
+                        f"scheduler stalled with pending tasks {pending}")
+                self._drain(result_q, running, attempts, done, outcome, log,
+                            timeout=_POLL_S)
+                self._reap(result_q, running, attempts, done, outcome, log)
+        finally:
+            for st in running.values():
+                if st.proc.is_alive():
+                    st.proc.terminate()
+            for st in running.values():
+                st.proc.join(timeout=2.0)
+                if st.proc.is_alive():
+                    st.proc.kill()
+                    st.proc.join(timeout=2.0)
+            result_q.close()
+            result_q.cancel_join_thread()
+        outcome.report = SchedulerReport(
+            jobs=self.jobs,
+            wall_s=time.monotonic() - t_start,
+            n_tasks=len(self.graph),
+            n_records=len(self.graph.record_tasks),
+            n_experiments=len(self.graph.experiment_tasks),
+            n_retries=log.count(TASK_RETRIED),
+            n_failed=len(outcome.failures),
+            task_wall_s={
+                tid: float(p.get("wall_s", 0.0))
+                for tid, p in outcome.payloads.items()
+            },
+            events=log.events,
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _launch(self, mp_ctx, result_q, running, attempts, done, log) -> None:
+        for tid in self.graph.ready(done, running):
+            if len(running) >= self.jobs:
+                break
+            task = self.graph.tasks[tid]
+            attempt = attempts.get(tid, 0)
+            if isinstance(task, RecordTask):
+                # a record task never reseeds: the spec *is* the cache
+                # key, and the cache makes re-recording it idempotent
+                kind, args, seed_offset = "record", (task.spec,), 0
+            else:
+                kind = "experiment"
+                args = (task.exp_id, self.exp_fns.get(task.exp_id))
+                seed_offset = attempt * self.reseed_stride
+            proc = mp_ctx.Process(
+                target=task_process_main,
+                args=(tid, kind, args, seed_offset, self.cfg, result_q,
+                      attempt),
+                daemon=True,
+            )
+            proc.start()
+            running[tid] = _Running(proc, attempt, time.monotonic())
+            log.emit(TASK_STARTED, tid, attempt=attempt, pid=proc.pid)
+
+    # ------------------------------------------------------------------
+    def _drain(self, result_q, running, attempts, done, outcome, log,
+               timeout: float = 0.0) -> int:
+        """Consume every available result message; returns how many."""
+        handled = 0
+        block = timeout
+        while True:
+            try:
+                msg = result_q.get(timeout=block) if block else \
+                    result_q.get_nowait()
+            except queue_mod.Empty:
+                return handled
+            block = 0.0  # only the first get blocks
+            handled += self._handle_message(msg, running, attempts, done,
+                                            outcome, log)
+
+    def _handle_message(self, msg, running, attempts, done, outcome,
+                        log) -> int:
+        task_id, attempt, status, payload = msg
+        st = running.get(task_id)
+        if st is None or st.attempt != attempt:
+            return 0  # stale: a terminated attempt's message arrived late
+        running.pop(task_id)
+        st.proc.join(timeout=_EXIT_DRAIN_S)
+        wall = time.monotonic() - st.t0
+        if status == "ok":
+            done.add(task_id)
+            outcome.payloads[task_id] = payload
+            log.emit(TASK_FINISHED, task_id, attempt=attempt,
+                     pid=st.proc.pid,
+                     wall_s=round(float(payload.get("wall_s", wall)), 6),
+                     detail=payload.get("error", ""))
+        else:
+            # the worker survived but task execution itself blew up
+            # (infrastructure failure, not an experiment error — those
+            # come back as ExperimentFailure payloads with status "ok")
+            self._crashed(task_id, st, attempts, done, outcome, log,
+                          reason=f"{payload.get('error_type', 'Error')}: "
+                                 f"{payload.get('message', '')}")
+        return 1
+
+    # ------------------------------------------------------------------
+    def _reap(self, result_q, running, attempts, done, outcome, log) -> None:
+        """Detect dead and overdue workers; retry or fail their tasks."""
+        now = time.monotonic()
+        for tid in list(running):
+            st = running.get(tid)
+            if st is None or tid in done:
+                continue
+            if not st.proc.is_alive():
+                # the result may still be in flight: give the queue one
+                # bounded grace drain before declaring a crash
+                deadline = time.monotonic() + _EXIT_DRAIN_S
+                while tid in running and time.monotonic() < deadline:
+                    if not self._drain(result_q, running, attempts, done,
+                                       outcome, log, timeout=0.05):
+                        break
+                if tid not in running:
+                    continue  # its message arrived after all
+                running.pop(tid)
+                st.proc.join(timeout=1.0)
+                self._crashed(
+                    tid, st, attempts, done, outcome, log,
+                    reason=f"worker died (exitcode {st.proc.exitcode}) "
+                           f"before reporting a result")
+            elif (self.task_timeout_s is not None
+                  and now - st.t0 > self.task_timeout_s):
+                st.proc.terminate()
+                st.proc.join(timeout=2.0)
+                if st.proc.is_alive():
+                    st.proc.kill()
+                    st.proc.join(timeout=2.0)
+                running.pop(tid, None)
+                self._crashed(
+                    tid, st, attempts, done, outcome, log,
+                    reason=f"task exceeded {self.task_timeout_s:.1f}s "
+                           f"wall-clock allowance; worker killed")
+
+    def _crashed(self, task_id, st, attempts, done, outcome, log,
+                 reason: str) -> None:
+        attempts[task_id] = st.attempt + 1
+        if attempts[task_id] <= self.max_task_retries:
+            log.emit(TASK_RETRIED, task_id, attempt=st.attempt,
+                     pid=st.proc.pid,
+                     wall_s=round(time.monotonic() - st.t0, 6),
+                     detail=reason)
+            return  # left pending: _launch re-schedules it (reseeded)
+        done.add(task_id)
+        outcome.failures[task_id] = {
+            "task_id": task_id,
+            "attempts": attempts[task_id],
+            "reason": reason,
+        }
+        log.emit(TASK_FAILED, task_id, attempt=st.attempt,
+                 pid=st.proc.pid,
+                 wall_s=round(time.monotonic() - st.t0, 6), detail=reason)

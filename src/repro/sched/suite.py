@@ -1,0 +1,157 @@
+"""Suite-level entry point: run the experiment suite on a worker pool.
+
+:func:`run_suite_parallel` is what :func:`repro.experiments.runner.
+run_all` delegates to for ``jobs > 1``. It expands the suite into a
+:class:`~repro.sched.graph.TaskGraph` (record tasks feeding experiment
+tasks), runs it on a :class:`~repro.sched.scheduler.Scheduler`, folds
+every worker's engine-stage deltas back into the parent context's
+:class:`~repro.engine.engine.EngineStats` (in deterministic graph
+order), and returns results in the suite's canonical experiment order —
+so the output is bit-identical to a sequential run regardless of
+``jobs`` or scheduling interleavings.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError, ExperimentAbortedError
+from repro.resilience.harness import ExperimentFailure
+from repro.sched.events import SchedEvent, SchedulerReport
+from repro.sched.graph import EXPERIMENT_PREFIX, TaskGraph
+from repro.sched.scheduler import Scheduler
+from repro.sched.workers import WorkerConfig
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means one worker per CPU."""
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ConfigurationError(
+            f"--jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
+    return jobs
+
+
+def declared_artifacts(
+    exps: Mapping[str, Callable],
+    apps: tuple[str, ...],
+) -> dict[str, tuple[str, ...] | None]:
+    """Experiment id -> artifact names its module declares via
+    ``ARTIFACTS`` (filtered to *apps*), or ``None`` when the module
+    declares nothing and must be ordered after every base-app record."""
+    allowed = set(apps)
+    out: dict[str, tuple[str, ...] | None] = {}
+    for exp_id, fn in exps.items():
+        mod = sys.modules.get(getattr(fn, "__module__", ""), None)
+        declared = getattr(mod, "ARTIFACTS", None)
+        if declared is None:
+            out[exp_id] = None
+            continue
+        out[exp_id] = tuple(
+            name for name in declared
+            if (name.split(":", 1)[1] if ":" in name else name) in allowed
+        )
+    return out
+
+
+def build_suite_graph(ctx, exps: Mapping[str, Callable]) -> TaskGraph:
+    """The task graph one ``run_all`` invocation expands into."""
+    return TaskGraph.for_suite(
+        declared_artifacts(exps, ctx.apps), ctx.spec_for, ctx.apps)
+
+
+def _failure_from_task(exp_id: str, info: dict) -> ExperimentFailure:
+    reason = info.get("reason", "worker failed")
+    error_type = ("WorkerTimeout" if "wall-clock allowance" in reason
+                  else "WorkerCrash")
+    return ExperimentFailure(
+        exp_id=exp_id,
+        error_type=error_type,
+        message=reason,
+        attempts=int(info.get("attempts", 1)),
+        elapsed_s=0.0,
+    )
+
+
+def run_suite_parallel(
+    ctx,
+    exps: Mapping[str, Callable],
+    *,
+    jobs: int,
+    retries: int = 1,
+    budget_s: float | None = None,
+    strict: bool = False,
+    on_event: Callable[[SchedEvent], None] | None = None,
+    task_timeout_s: float | None = None,
+    start_method: str | None = None,
+) -> tuple[list, SchedulerReport]:
+    """Run *exps* against *ctx* on ``jobs`` worker processes.
+
+    Returns ``(results, report)``: *results* in the canonical
+    ``exps.items()`` order (each an ``ExperimentResult`` or
+    :class:`ExperimentFailure`), *report* the scheduler's structured
+    account of the run. The parent context's engine stats absorb every
+    worker's stage deltas, so ``ctx.engine.stats.table()`` reads the
+    same as after a sequential run.
+    """
+    from repro.experiments.runner import EXPERIMENTS
+
+    graph = build_suite_graph(ctx, exps)
+    cfg = WorkerConfig(
+        cache_root=ctx.engine.cache.root,
+        refs_per_iteration=ctx.refs_per_iteration,
+        scale=ctx.scale,
+        n_iterations=ctx.n_iterations,
+        seed=ctx.seed,
+        apps=ctx.apps,
+        self_heal=ctx.engine.self_heal,
+        retries=retries,
+        budget_s=budget_s,
+    )
+    # Registry experiments cross the process boundary as ids (spawn-safe);
+    # only non-registry callables are shipped directly (fork handles them).
+    exp_fns = {
+        exp_id: (None if EXPERIMENTS.get(exp_id) is fn else fn)
+        for exp_id, fn in exps.items()
+    }
+    if task_timeout_s is None and budget_s is not None:
+        # the in-worker HardenedRunner gets retries+1 attempts plus one
+        # degraded rerun, each nominally within budget_s; pad for startup
+        task_timeout_s = budget_s * (retries + 2) + 30.0
+    outcome = Scheduler(
+        graph,
+        cfg,
+        jobs=jobs,
+        exp_fns=exp_fns,
+        task_timeout_s=task_timeout_s,
+        start_method=start_method,
+        on_event=on_event,
+    ).run()
+
+    # Fold worker engine deltas into the parent in deterministic graph
+    # order so the suite-level accounting is jobs-independent.
+    for tid in graph.order:
+        payload = outcome.payloads.get(tid)
+        if payload is not None:
+            ctx.engine.stats.merge(payload.get("stats", {}))
+
+    results: list = []
+    for exp_id in exps:
+        tid = EXPERIMENT_PREFIX + exp_id
+        payload = outcome.payloads.get(tid)
+        if payload is not None:
+            results.append(payload["result"])
+        else:
+            results.append(_failure_from_task(
+                exp_id, outcome.failures.get(tid, {})))
+    if strict:
+        for res in results:
+            if isinstance(res, ExperimentFailure):
+                raise ExperimentAbortedError(
+                    f"experiment {res.exp_id!r} failed {res.attempts} "
+                    f"attempt(s): {res.message}")
+    assert outcome.report is not None
+    return results, outcome.report

@@ -1,0 +1,155 @@
+"""Worker-side task execution for the suite scheduler.
+
+Everything here is **spawn-safe**: the entry points are module-level
+functions, and every argument crossing the process boundary is picklable
+(the :class:`WorkerConfig` dataclass, run specs, experiment ids). Under
+the default ``fork`` start method on POSIX nothing needs pickling at
+spawn time, but the same code runs unchanged under ``spawn``
+(macOS/Windows defaults) — experiment callables are resolved from the
+:data:`repro.experiments.runner.EXPERIMENTS` registry by id whenever
+possible so the callable itself never has to cross the boundary.
+
+Workers coordinate exclusively through the shared on-disk
+:class:`~repro.engine.artifacts.ArtifactCache`: each opens its own
+:class:`~repro.engine.PipelineEngine` on ``cache_root``, and the cache's
+per-key ``flock`` guarantees a spec is executed once cluster-wide — a
+worker losing the record race simply replays the winner's artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine import PipelineEngine
+from repro.engine.spec import RunSpec
+from repro.resilience.harness import (
+    ExperimentBudget,
+    HardenedRunner,
+    RetryPolicy,
+)
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild the suite context."""
+
+    cache_root: str
+    refs_per_iteration: int
+    scale: float
+    n_iterations: int
+    seed: int
+    apps: tuple[str, ...]
+    self_heal: bool = True
+    #: in-worker experiment retries (HardenedRunner semantics)
+    retries: int = 1
+    reseed_stride: int = 1000
+    #: per-experiment wall budget inside the worker (None = unbounded)
+    budget_s: float | None = None
+
+
+def _worker_context(cfg: WorkerConfig, seed_offset: int = 0):
+    from repro.experiments.common import ExperimentContext
+
+    return ExperimentContext(
+        refs_per_iteration=cfg.refs_per_iteration,
+        scale=cfg.scale,
+        n_iterations=cfg.n_iterations,
+        seed=cfg.seed + seed_offset,
+        apps=cfg.apps,
+        cache_dir=cfg.cache_root,
+        self_heal=cfg.self_heal,
+    )
+
+
+def run_record_task(spec: RunSpec, cfg: WorkerConfig) -> dict:
+    """Record *spec* into the shared cache (idempotent: a loser of the
+    cross-process race gets the winner's artifact as a cache hit).
+
+    Failures are deferred, exactly like
+    :meth:`~repro.experiments.common.ExperimentContext.prefetch`: the
+    error is reported in the payload, and the experiment that actually
+    needs the artifact will surface it under harness isolation.
+    """
+    engine = PipelineEngine(root=cfg.cache_root, self_heal=cfg.self_heal)
+    before = engine.stats.snapshot()
+    t0 = time.perf_counter()
+    error = ""
+    try:
+        engine.record(spec)
+    except Exception as exc:  # noqa: BLE001 — deferred to the experiment
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "stats": engine.stats.delta(before),
+        "wall_s": round(time.perf_counter() - t0, 6),
+        "error": error,
+    }
+
+
+def run_experiment_task(
+    exp_id: str,
+    fn: Callable | None,
+    cfg: WorkerConfig,
+    seed_offset: int = 0,
+) -> dict:
+    """Run one experiment in a fresh context against the shared cache.
+
+    ``fn=None`` resolves the callable from the experiment registry by id
+    (the spawn-safe path). ``seed_offset`` is non-zero only when the
+    scheduler re-runs the task after a worker crash/timeout — the same
+    deterministic reseed :class:`HardenedRunner` applies to in-process
+    retries, so a re-scheduled experiment is reproducible, never random.
+    """
+    if fn is None:
+        from repro.experiments.runner import EXPERIMENTS
+
+        fn = EXPERIMENTS[exp_id]
+    ctx = _worker_context(cfg, seed_offset)
+    runner = HardenedRunner(
+        retry=RetryPolicy(retries=cfg.retries, reseed_stride=cfg.reseed_stride),
+        budget=(ExperimentBudget(wall_s=cfg.budget_s)
+                if cfg.budget_s is not None else None),
+        strict=False,  # strictness is enforced suite-wide by the parent
+    )
+    before = ctx.engine.stats.snapshot()
+    t0 = time.perf_counter()
+    result = runner.run_one(exp_id, fn, ctx)
+    return {
+        "result": result,
+        "stats": ctx.engine.stats.delta(before),
+        "wall_s": round(time.perf_counter() - t0, 6),
+    }
+
+
+def task_process_main(task_id: str, kind: str, args: tuple,
+                      seed_offset: int, cfg: WorkerConfig, result_q,
+                      attempt: int = 0) -> None:
+    """Entry point of one worker process: run the task, queue the result.
+
+    A normally-exiting worker always enqueues exactly one message —
+    ``(task_id, attempt, "ok", payload)`` or
+    ``(task_id, attempt, "error", info)``; the attempt number lets the
+    parent discard late messages from a superseded attempt. A worker
+    that dies without enqueuing (SIGKILL, segfault, machine check) is
+    detected by the parent through process liveness and handled as a
+    crash.
+    """
+    try:
+        if kind == "record":
+            (spec,) = args
+            payload = run_record_task(spec, cfg)
+        else:
+            exp_id, fn = args
+            payload = run_experiment_task(exp_id, fn, cfg, seed_offset)
+        result_q.put((task_id, attempt, "ok", payload))
+    except BaseException as exc:  # noqa: BLE001 — report, then exit clean
+        tb = traceback.format_exc().strip().splitlines()
+        result_q.put((task_id, attempt, "error", {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback_tail": "\n".join(tb[-3:]),
+            "pid": os.getpid(),
+        }))

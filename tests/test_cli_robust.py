@@ -32,6 +32,34 @@ class TestArgumentValidation:
         assert "references" in capsys.readouterr().out
 
 
+class TestExperimentsJobsFlag:
+    def test_negative_jobs_exit_2(self, capsys):
+        rc = main(["experiments", "all", "--jobs", "-1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err and "--jobs" in err
+        assert "usage:" in err
+
+    def test_garbage_jobs_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["experiments", "all", "--jobs", "lots"])
+        assert exc.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_jobs_zero_resolves_to_cpu_count(self):
+        import os
+
+        from repro.sched import resolve_jobs
+
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+
+    def test_single_experiment_ignores_jobs(self, capsys):
+        rc = main(["experiments", "table5", "--jobs", "2",
+                   "--refs", "2000", "--scale", "0.004", "--iterations", "3"])
+        assert rc == 0
+        assert "table5" in capsys.readouterr().out.lower()
+
+
 class TestTraceVerify:
     @pytest.fixture
     def trace_path(self, tmp_path):

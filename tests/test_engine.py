@@ -239,3 +239,65 @@ class TestSuiteIntegration:
         assert d["app_runs"] == 1 and d["replays"] == 1
         assert d["record_refs"] == d["replay_refs"] > 0
         assert "replay" in eng.stats.table()
+
+
+# ----------------------------------------------------------------------
+class TestDecodeMemo:
+    """The in-memory decoded-run memo behind warm replays."""
+
+    def test_first_replay_seeds_memo_and_warm_replay_hits_it(self, tmp_path):
+        spec = RunSpec(app="gtc", **SPEC)
+        eng = make_engine(tmp_path)
+        eng.replay(spec, MemoryTraceProbe())
+        assert spec.key in eng._decoded  # scrub decoded once, memoized
+        traces = []
+        for _ in range(2):
+            probe = MemoryTraceProbe()
+            eng.replay(spec, probe)
+            traces.append(np.concatenate([b.addr for b in probe.memory_trace]))
+        np.testing.assert_array_equal(traces[0], traces[1])
+        assert eng.stats.replays == 3
+
+    def test_memoized_batches_are_frozen(self, tmp_path):
+        spec = RunSpec(app="gtc", **SPEC)
+        eng = make_engine(tmp_path)
+        eng.replay(spec, MemoryTraceProbe())
+        run = eng._decoded[spec.key]
+        for batch in run.batches:
+            assert not batch.addr.flags.writeable
+            with pytest.raises(ValueError):
+                batch.addr[0] = 0
+
+    def test_zero_budget_disables_memo(self, tmp_path):
+        spec = RunSpec(app="gtc", **SPEC)
+        eng = PipelineEngine(root=tmp_path / "cache", decode_cache_bytes=0)
+        eng.replay(spec, MemoryTraceProbe())
+        assert spec.key not in eng._decoded
+        # cold path still replays correctly
+        probe = MemoryTraceProbe()
+        eng.replay(spec, probe)
+        assert probe.memory_trace
+
+    def test_lru_eviction_under_budget_pressure(self, tmp_path):
+        a = RunSpec(app="gtc", **SPEC)
+        b = RunSpec(app="s3d", **SPEC)
+        eng = make_engine(tmp_path)
+        eng.replay(a, MemoryTraceProbe())
+        size_a = eng._decoded[a.key].nbytes
+        # budget fits one decoded run but not two
+        eng.decode_cache_bytes = int(size_a * 1.5)
+        eng.replay(b, MemoryTraceProbe())
+        assert b.key in eng._decoded
+        assert a.key not in eng._decoded  # evicted, LRU
+        # evicted run replays fine (cold path) and re-enters the memo
+        eng.replay(a, MemoryTraceProbe())
+        assert a.key in eng._decoded
+
+    def test_quarantine_forgets_memoized_run(self, tmp_path):
+        spec = RunSpec(app="gtc", **SPEC)
+        eng = make_engine(tmp_path)
+        eng.replay(spec, MemoryTraceProbe())
+        assert spec.key in eng._decoded
+        eng.cache.quarantine(spec.key, reason="test")
+        eng._forget(spec.key)
+        assert spec.key not in eng._decoded

@@ -133,13 +133,13 @@ class TestGc:
         for spec in specs:
             assert cache.get(spec) is not None
 
-    def test_lru_order_by_meta_atime(self, tmp_path):
+    def test_lru_order_by_last_access_stamp(self, tmp_path):
         cache, specs = populate(tmp_path)
         sizes = {s.key: cache.get(s).size_bytes() for s in specs}
         # pin explicit last-use stamps: specs[1] oldest, specs[0] newest
         for rank, spec in zip((2, 0, 1), specs):
             t = 1_000_000_000 + rank * 1_000
-            os.utime(cache.get(spec).meta_path, (t, t))
+            os.utime(cache.get(spec).last_access_path, (t, t))
         budget = sum(sizes.values()) - 1  # must evict exactly the oldest
         report = cache.gc(budget)
         assert report.evicted == [specs[1].key]
@@ -152,13 +152,32 @@ class TestGc:
         cache, specs = populate(tmp_path)
         old = 1_000_000_000
         for spec in specs:
-            os.utime(cache.get(spec).meta_path, (old, old))
+            os.utime(cache.get(spec).last_access_path, (old, old))
         # a hit on specs[0] must move it to the back of the eviction queue
         cache.get(specs[0])
         total = sum(cache.get(s).size_bytes() for s in specs)
         report = cache.gc(total - 1)
         assert specs[0].key not in report.evicted
         assert len(report.evicted) >= 1
+
+    def test_pre_stamp_cache_falls_back_to_meta_mtime(self, tmp_path):
+        """A cache written before the last_access stamp existed (no
+        sidecar files) must still evict in a sensible order — by
+        meta.json mtime, never atime."""
+        cache, specs = populate(tmp_path)
+        sizes = {}
+        for spec in specs:
+            art = cache.get(spec)
+            sizes[spec.key] = art.size_bytes()
+            os.unlink(art.last_access_path)  # simulate a pre-stamp cache
+        for rank, spec in zip((1, 2, 0), specs):
+            t = 1_000_000_000 + rank * 1_000
+            meta = os.path.join(cache.dir_for(spec.key), "meta.json")
+            # pin mtime but give atime a *contradictory* (newest) value:
+            # ordering must ignore it, as it would on a noatime mount
+            os.utime(meta, (2_000_000_000 - rank, t))
+        report = cache.gc(sum(sizes.values()) - 1)
+        assert report.evicted == [specs[2].key]
 
     def test_in_use_artifact_never_evicted(self, tmp_path):
         cache, specs = populate(tmp_path, n=2)

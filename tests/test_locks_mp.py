@@ -1,0 +1,133 @@
+"""KeyLock under *real* multi-process contention.
+
+The single-process lock tests elsewhere exercise the flock semantics
+through two handles in one process; these tests put actual processes on
+the lock, because that is the deployment story for ``run_all(jobs=N)``:
+
+* N processes racing to record the same spec on one shared cache root
+  must produce exactly one application execution (``app_runs`` sums to
+  1 across the pool) — the losers replay the winner's artifact;
+* a lock holder that dies ungracefully (SIGKILL — no ``finally``, no
+  ``atexit``) must not deadlock anyone: the kernel releases ``flock``
+  on process death.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.engine import PipelineEngine, RunSpec
+from repro.engine.artifacts import ArtifactCache
+from repro.engine.locks import KeyLock
+from repro.errors import CacheLockError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="contention tests need real processes sharing a cache root",
+)
+
+SPEC = dict(app="gtc", refs_per_iteration=2_000, scale=1.0 / 256.0,
+            n_iterations=3, seed=11)
+
+
+def _race_record(root: str, barrier, q) -> None:
+    eng = PipelineEngine(root=root)
+    barrier.wait()  # line everyone up on the same starting gun
+    eng.record(RunSpec(**SPEC))
+    q.put(eng.stats.snapshot())
+
+
+def _hold_lock_until_killed(lock_path: str, ready) -> None:
+    KeyLock(lock_path).acquire()
+    ready.set()
+    time.sleep(3600)  # killed long before this returns
+
+
+def _begin_then_die(root: str, ready) -> None:
+    cache = ArtifactCache(root)
+    pending = cache.begin(RunSpec(**SPEC))
+    # leave something partial so the next writer must clean up after us
+    with open(os.path.join(pending.directory, "events.json"), "wb") as fh:
+        fh.write(b"partial garbage")
+    ready.set()
+    time.sleep(3600)
+
+
+class TestMultiProcessContention:
+    N = 4
+
+    def test_n_racers_one_execution(self, tmp_path):
+        mp = multiprocessing.get_context("fork")
+        barrier = mp.Barrier(self.N)
+        q = mp.Queue()
+        procs = [mp.Process(target=_race_record,
+                            args=(str(tmp_path / "cache"), barrier, q))
+                 for _ in range(self.N)]
+        for p in procs:
+            p.start()
+        stats = [q.get(timeout=120) for _ in range(self.N)]
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        total_runs = sum(s["app_runs"] for s in stats)
+        total_hits = sum(s["cache_hits"] for s in stats)
+        assert total_runs == 1, f"spec executed {total_runs} times"
+        assert total_hits == self.N - 1
+        # the one committed artifact is intact and replayable
+        eng = PipelineEngine(root=str(tmp_path / "cache"))
+        art = eng.cache.get(RunSpec(**SPEC))
+        assert art is not None
+        assert art.verify() > 0
+
+    def test_killed_holder_releases_lock(self, tmp_path):
+        mp = multiprocessing.get_context("fork")
+        lock_path = str(tmp_path / "locks" / "k.lock")
+        ready = mp.Event()
+        holder = mp.Process(target=_hold_lock_until_killed,
+                            args=(lock_path, ready))
+        holder.start()
+        assert ready.wait(timeout=30)
+        # while the holder lives, the lock is genuinely contended
+        assert not KeyLock(lock_path).try_acquire()
+        os.kill(holder.pid, signal.SIGKILL)
+        holder.join(timeout=30)
+        lock = KeyLock(lock_path)
+        lock.acquire(timeout=10.0)  # kernel released it: no deadlock
+        assert lock.held
+        lock.release()
+
+    def test_killed_holder_times_out_others_while_alive(self, tmp_path):
+        mp = multiprocessing.get_context("fork")
+        lock_path = str(tmp_path / "locks" / "k.lock")
+        ready = mp.Event()
+        holder = mp.Process(target=_hold_lock_until_killed,
+                            args=(lock_path, ready))
+        holder.start()
+        try:
+            assert ready.wait(timeout=30)
+            with pytest.raises(CacheLockError):
+                KeyLock(lock_path).acquire(timeout=0.2)
+        finally:
+            os.kill(holder.pid, signal.SIGKILL)
+            holder.join(timeout=30)
+
+    def test_recorder_killed_mid_write_does_not_wedge_cache(self, tmp_path):
+        """A recorder SIGKILLed while holding the key lock with a partial
+        artifact on disk must not block the next recorder."""
+        mp = multiprocessing.get_context("fork")
+        root = str(tmp_path / "cache")
+        ready = mp.Event()
+        victim = mp.Process(target=_begin_then_die, args=(root, ready))
+        victim.start()
+        assert ready.wait(timeout=30)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        eng = PipelineEngine(root=root)
+        art = eng.record(RunSpec(**SPEC))  # cleans up, re-records
+        assert eng.stats.app_runs == 1
+        assert art.verify() > 0
