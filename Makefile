@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint chaos bench bench-report experiments sched-smoke validate examples all clean
+.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -36,6 +36,11 @@ sched-smoke:
 	$(PY) -m repro.experiments all --jobs 2 \
 		--refs 4000 --scale 0.00390625 --iterations 4 > /dev/null
 	@echo "sched smoke OK (jobs=2)"
+
+# Resume smoke: SIGTERM a real jobs=2 suite mid-run, resume the journal,
+# verify no journaled task is re-executed (matches CI's resume job).
+resume-smoke:
+	$(PY) tools/resume_smoke.py
 
 validate:
 	$(PY) -m repro.validation

@@ -22,10 +22,16 @@ Subcommands:
   K/M/G suffixes) by LRU eviction on each artifact's ``last_access``
   stamp (written on every cache hit; ``meta.json`` mtime is the
   fallback for pre-stamp caches), never evicting artifacts whose
-  cross-process lock is held;
+  cross-process lock is held; finished suite-run journals under
+  ``<root>/runs/`` are evicted first, unfinished (resumable) ones never;
 * ``experiments <id>|all`` — regenerate paper tables/figures;
   ``--jobs N`` runs the suite on N worker processes sharing one
-  artifact cache (0 = one per CPU; results identical to ``--jobs 1``);
+  artifact cache (0 = one per CPU; results identical to ``--jobs 1``).
+  Scheduled runs append a crash-consistent journal under
+  ``<cache-dir>/runs/<run-id>/``; ``--resume <run-id>`` re-executes
+  only the tasks that never finished, and SIGINT/SIGTERM drain
+  in-flight workers for ``--grace`` seconds before exiting
+  ``128 + signum`` (130/143) with a resume hint;
 * ``validate`` — run the reproduction gate (DESIGN.md §5 criteria).
 
 Invalid configurations (non-positive ``--refs``/``--iterations``/

@@ -32,7 +32,13 @@ Robustness around that layout:
   stamp refreshed on every cache hit (``meta.json``'s mtime is the
   fallback for pre-stamp caches; atime is never consulted because
   ``noatime``/``relatime`` mounts freeze it), never evicting a key whose
-  lock is currently held.
+  lock is currently held;
+* the root also hosts ``<root>/runs/<run-id>/`` — one write-ahead
+  journal per scheduled suite run (:mod:`repro.sched.journal`). gc
+  counts them against the budget and evicts *finished* runs (their
+  ``DONE`` marker is present) oldest-first before touching any
+  artifact, but never removes an unfinished run directory: that is the
+  resumable state ``experiments --resume`` replays.
 """
 
 from __future__ import annotations
@@ -66,6 +72,15 @@ QUARANTINE_SUFFIX = ".quarantine"
 #: ``relatime``; meta.json's *mtime* is the fallback for caches written
 #: before the stamp existed.
 LAST_ACCESS_FILE = "last_access"
+#: Subdirectory of the cache root holding per-suite-run journals
+#: (written by :mod:`repro.sched.journal`; named here so gc can manage
+#: them without importing the scheduler layer).
+RUNS_DIR = "runs"
+#: Marker dropped in a run directory once its suite run finished —
+#: a finished run's journal is forensics and gc may evict it; a run
+#: directory *without* the marker is resumable state and is never
+#: evicted.
+RUN_DONE_MARKER = "DONE"
 
 
 def _atomic_bytes(path: str, blob: bytes, fs: OsFS) -> None:
@@ -387,7 +402,11 @@ class GcReport:
     after_bytes: int
     evicted: list[str] = field(default_factory=list)
     evicted_quarantine: list[str] = field(default_factory=list)
+    #: finished suite-run journal dirs removed (resumable ones are kept)
+    evicted_runs: list[str] = field(default_factory=list)
     skipped_in_use: list[str] = field(default_factory=list)
+    #: unfinished (resumable) run dirs that were counted but never evicted
+    kept_runs: list[str] = field(default_factory=list)
     removed_partial: int = 0
 
     @property
@@ -402,11 +421,14 @@ class GcReport:
         s = (
             f"gc {self.root}: {self.before_bytes} -> {self.after_bytes} bytes "
             f"(budget {self.budget_bytes}); evicted {len(self.evicted)} "
-            f"artifact(s) + {len(self.evicted_quarantine)} quarantine dir(s), "
+            f"artifact(s) + {len(self.evicted_quarantine)} quarantine dir(s) "
+            f"+ {len(self.evicted_runs)} finished run journal(s), "
             f"removed {self.removed_partial} partial dir(s)"
         )
         if self.skipped_in_use:
             s += f"; kept {len(self.skipped_in_use)} in-use artifact(s)"
+        if self.kept_runs:
+            s += f"; kept {len(self.kept_runs)} resumable run journal(s)"
         if self.over_budget:
             s += "; still over budget (remaining artifacts are in use)"
         return s
@@ -544,6 +566,28 @@ class ArtifactCache:
                     continue
                 yield name, path, QUARANTINE_SUFFIX in name
 
+    @property
+    def runs_root(self) -> str:
+        """Where per-suite-run journals live (``<root>/runs``)."""
+        return os.path.join(self.root, RUNS_DIR)
+
+    def _run_dirs(self) -> Iterator[tuple[str, str, bool]]:
+        """Yields ``(run_id, path, finished)`` for every suite-run
+        journal directory under the cache root. ``finished`` is the
+        presence of the run's ``DONE`` marker — written when the run
+        recorded its terminal journal entry; a directory without it is
+        an interrupted run somebody may still ``--resume``."""
+        try:
+            names = sorted(os.listdir(self.runs_root))
+        except OSError:
+            return
+        for name in names:
+            path = os.path.join(self.runs_root, name)
+            if not os.path.isdir(path):
+                continue
+            yield name, path, os.path.exists(
+                os.path.join(path, RUN_DONE_MARKER))
+
     # -- fsck -----------------------------------------------------------
     def fsck(self, repair: bool = False) -> FsckReport:
         """Scrub every artifact; optionally repair what can be repaired.
@@ -603,8 +647,11 @@ class ArtifactCache:
         """Shrink the cache under *max_bytes* by LRU eviction.
 
         Partial directories (no commit marker) whose key lock is free are
-        garbage and removed first. If still over budget, quarantined
-        forensic copies go next (oldest first), then committed artifacts
+        garbage and removed first. If still over budget, *finished*
+        suite-run journals go next (oldest first — a completed run's
+        journal is forensics, while an *unfinished* run directory is
+        resumable state and is never evicted), then quarantined
+        forensic copies (oldest first), then committed artifacts
         least-recently-used first: ordered by the explicit ``last_access``
         stamp :meth:`get` refreshes on every cache hit, falling back to
         ``meta.json``'s mtime for artifacts written before the stamp
@@ -617,9 +664,25 @@ class ArtifactCache:
         protected = set(protect)
         candidates: list[tuple[float, str, str, int]] = []
         q_candidates: list[tuple[float, str, str, int]] = []
+        run_candidates: list[tuple[float, str, str, int]] = []
         before = 0
         removed_partial = 0
         skipped: list[str] = []
+        kept_runs: list[str] = []
+        for run_id, path, finished in self._run_dirs():
+            size = sum(
+                os.path.getsize(os.path.join(dp, f))
+                for dp, _dn, fns in os.walk(path) for f in fns
+            )
+            before += size
+            if not finished:
+                kept_runs.append(run_id)
+                continue
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                mtime = 0.0
+            run_candidates.append((mtime, run_id, path, size))
         for name, path, is_quarantine in self._artifact_dirs():
             size = sum(
                 os.path.getsize(os.path.join(dp, f))
@@ -667,9 +730,12 @@ class ArtifactCache:
         total = before
         evicted: list[str] = []
         evicted_q: list[str] = []
-        q_candidates.sort()  # quarantine forensics go first, oldest first
+        evicted_runs: list[str] = []
+        run_candidates.sort()  # finished run journals first, oldest first
+        q_candidates.sort()  # then quarantine forensics, oldest first
         candidates.sort()  # then committed artifacts, oldest last-use first
-        for sink, pool in ((evicted_q, q_candidates), (evicted, candidates)):
+        for sink, pool in ((evicted_runs, run_candidates),
+                           (evicted_q, q_candidates), (evicted, candidates)):
             for _ts, name, path, size in pool:
                 if total <= max_bytes:
                     break
@@ -686,6 +752,8 @@ class ArtifactCache:
             after_bytes=total,
             evicted=evicted,
             evicted_quarantine=evicted_q,
+            evicted_runs=evicted_runs,
             skipped_in_use=sorted(set(skipped)),
+            kept_runs=kept_runs,
             removed_partial=removed_partial,
         )

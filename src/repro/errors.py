@@ -87,3 +87,50 @@ class ExperimentAbortedError(ReproError):
 
 class SchedulerError(ReproError):
     """Invalid task graph or scheduler misconfiguration (repro.sched)."""
+
+
+class JournalError(ReproError):
+    """A suite journal cannot be read, written, or resumed from.
+
+    Raised when ``--resume`` names a run with no journal, or when the
+    journal's recorded graph fingerprint does not match the suite being
+    resumed (a changed suite refuses to resume rather than silently
+    mixing results from two different graphs).
+    """
+
+    def __init__(self, message: str, run_id: str | None = None,
+                 path: str | None = None) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+        self.path = path
+
+
+class SuiteInterrupted(ReproError):
+    """The suite was stopped by SIGINT/SIGTERM after a graceful drain.
+
+    Carries everything the caller needs to report the interruption and
+    offer a resume: the delivering signal number, the journal's run id
+    (``None`` when journaling was off), the partial
+    :class:`~repro.sched.events.SchedulerReport` when the parallel
+    scheduler was driving the run, and how many experiments completed.
+    ``exit_code`` follows the shell convention ``128 + signum``
+    (130 for SIGINT, 143 for SIGTERM).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        signum: int,
+        run_id: str | None = None,
+        report=None,
+        completed: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.signum = signum
+        self.run_id = run_id
+        self.report = report
+        self.completed = completed
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + self.signum

@@ -1,11 +1,20 @@
-"""CLI: ``python -m repro.experiments <id>|all [--write] [--jobs N]``."""
+"""CLI: ``python -m repro.experiments <id>|all [--write] [--jobs N]
+[--run-id ID | --resume ID]``.
+
+Exit codes: 0 success, 2 usage/configuration errors (including a
+``--resume`` whose journal is missing or belongs to a different suite),
+``128 + signum`` when the suite is interrupted — 130 for SIGINT/Ctrl-C,
+143 for SIGTERM — after the scheduler's graceful drain has journaled
+every in-flight result it could."""
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.errors import ConfigurationError
+from repro.engine.engine import CACHE_ENV
+from repro.errors import ConfigurationError, JournalError, SuiteInterrupted
 from repro.experiments.common import ExperimentContext
 from repro.experiments.runner import (
     EXPERIMENTS,
@@ -48,12 +57,44 @@ def main(argv: list[str] | None = None) -> int:
              "artifact cache, so each distinct run spec is still executed "
              "exactly once and results are identical to --jobs 1",
     )
+    parser.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="with 'all': name this run's write-ahead journal under "
+             "<cache-dir>/runs/<ID>/ (default: a fresh timestamped id); "
+             "forces the scheduled path even at --jobs 1",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="ID",
+        help="with 'all': resume an interrupted run from its journal — "
+             "already-finished tasks are not re-executed; refuses if the "
+             "suite no longer matches the journal's graph fingerprint",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=10.0, metavar="S",
+        help="seconds to let in-flight workers drain after SIGINT/SIGTERM "
+             "before they are terminated (default 10); the suite exits "
+             "128+signum either way and can be resumed with --resume",
+    )
     args = parser.parse_args(argv)
 
     try:
         from repro.sched.suite import resolve_jobs
 
         jobs = resolve_jobs(args.jobs)
+        if args.resume is not None and args.run_id is not None:
+            raise ConfigurationError(
+                "--resume and --run-id are mutually exclusive")
+        if ((args.resume is not None or args.run_id is not None)
+                and args.cache_dir is None
+                and not os.environ.get(CACHE_ENV)):
+            raise ConfigurationError(
+                "--resume/--run-id need a persistent cache: pass "
+                f"--cache-dir or set ${CACHE_ENV} (the default temp-dir "
+                "cache vanishes with the process, and the journal lives "
+                "under it)")
+        if args.grace < 0:
+            raise ConfigurationError(
+                f"--grace must be >= 0 seconds, got {args.grace}")
         ctx = ExperimentContext(
             refs_per_iteration=args.refs,
             scale=args.scale,
@@ -66,7 +107,9 @@ def main(argv: list[str] | None = None) -> int:
             if jobs > 1:
                 def on_event(ev):  # live progress on stderr, results on stdout
                     print(f"sched: {ev}", file=sys.stderr)
-            results = run_all(ctx, jobs=jobs, on_sched_event=on_event)
+            results = run_all(ctx, jobs=jobs, on_sched_event=on_event,
+                              run_id=args.run_id, resume=args.resume,
+                              drain_grace_s=args.grace)
             for res in results:
                 print(res)
                 print()
@@ -77,6 +120,17 @@ def main(argv: list[str] | None = None) -> int:
                 print("wrote EXPERIMENTS.md")
         else:
             print(run_experiment(args.experiment, ctx))
+    except SuiteInterrupted as exc:
+        print(f"nvscavenger: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        # a Ctrl-C outside the suite's own handling (argument parsing,
+        # context construction) still exits with the signal convention
+        print("nvscavenger: interrupted", file=sys.stderr)
+        return 130
+    except JournalError as exc:
+        print(f"nvscavenger: error: {exc}", file=sys.stderr)
+        return 2
     except ConfigurationError as exc:
         print(f"nvscavenger: error: {exc}", file=sys.stderr)
         parser.print_usage(sys.stderr)

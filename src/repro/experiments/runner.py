@@ -11,10 +11,11 @@ wall-clock budget degrades fidelity instead of hanging.
 from __future__ import annotations
 
 import io
+import signal
 import sys
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SuiteInterrupted
 from repro.experiments import (
     capacity,
     configs,
@@ -124,6 +125,9 @@ def run_all(
     prefetch: bool = True,
     jobs: int = 1,
     on_sched_event: Callable | None = None,
+    run_id: str | None = None,
+    resume: str | None = None,
+    drain_grace_s: float = 10.0,
 ) -> list[ExperimentResult | ExperimentFailure]:
     """Run every experiment against one shared (cached) context.
 
@@ -151,10 +155,21 @@ def run_all(
     rows. ``prefetch`` is implied (the record tasks *are* the
     prefetch). The default ``jobs=1`` is the sequential in-process path,
     byte-for-byte identical to previous behavior.
+
+    The scheduled path journals every task to
+    ``<cache-root>/runs/<run-id>/journal.jsonl``; ``resume`` replays a
+    previous run's journal so only unfinished tasks execute (``run_id``
+    or ``resume`` forces the scheduled path even at ``jobs=1``). A
+    SIGINT/SIGTERM mid-suite drains in-flight workers for
+    ``drain_grace_s`` seconds and raises
+    :class:`~repro.errors.SuiteInterrupted` (``exit_code = 128 +
+    signum``) — as does a ``KeyboardInterrupt`` on the sequential path,
+    which aborts the suite immediately instead of being retried or
+    recorded as an experiment failure.
     """
     ctx = ctx or ExperimentContext()
     exps = EXPERIMENTS if experiments is None else experiments
-    if jobs != 1:
+    if jobs != 1 or run_id is not None or resume is not None:
         from repro.sched.suite import resolve_jobs, run_suite_parallel
 
         results, _report = run_suite_parallel(
@@ -164,6 +179,9 @@ def run_all(
             budget_s=budget_s,
             strict=strict,
             on_event=on_sched_event,
+            run_id=run_id,
+            resume=resume,
+            drain_grace_s=drain_grace_s,
         )
         return results
     runner = HardenedRunner(
@@ -171,9 +189,24 @@ def run_all(
         budget=ExperimentBudget(wall_s=budget_s) if budget_s is not None else None,
         strict=strict,
     )
-    if prefetch:
-        ctx.prefetch(artifact_names(exps, ctx.apps))
-    return [runner.run_one(name, fn, ctx) for name, fn in exps.items()]
+    results: list[ExperimentResult | ExperimentFailure] = []
+    try:
+        if prefetch:
+            ctx.prefetch(artifact_names(exps, ctx.apps))
+        for name, fn in exps.items():
+            results.append(runner.run_one(name, fn, ctx))
+    except KeyboardInterrupt:
+        # a Ctrl-C must abort the suite cleanly (exit 130), never be
+        # swallowed into a per-experiment failure row or burn the retry
+        # budget — the harness re-raises it and we surface it here with
+        # how far the suite got
+        raise SuiteInterrupted(
+            f"suite interrupted by SIGINT after {len(results)}/"
+            f"{len(exps)} experiment(s)",
+            signum=int(signal.SIGINT),
+            completed=len(results),
+        ) from None
+    return results
 
 
 def experiments_markdown(

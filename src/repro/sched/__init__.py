@@ -9,18 +9,25 @@ The subsystem has four layers:
 * :mod:`repro.sched.workers` — spawn-safe worker entry points; workers
   coordinate through the shared artifact cache's per-key ``flock`` so a
   spec is executed once cluster-wide no matter how tasks land;
+* :mod:`repro.sched.journal` — the per-run write-ahead log: CRC32'd
+  fsync'd JSONL appends under ``<cache-root>/runs/<run-id>/``, torn-tail
+  truncation, and the replay that turns a journal back into scheduler
+  state for ``resume=``;
 * :mod:`repro.sched.scheduler` — the bounded worker pool: liveness- and
   timeout-based crash detection, deterministic retry-with-reseed,
-  structured progress events;
+  structured progress events, graceful SIGINT/SIGTERM drain, and
+  dependency-failure skip propagation;
 * :mod:`repro.sched.suite` — the ``run_all(jobs=N)`` entry point:
   canonical result ordering and parent-side stats merging, so a
-  parallel suite run is bit-identical to a sequential one.
+  parallel suite run is bit-identical to a sequential one — resumed or
+  not.
 """
 
 from repro.sched.events import (
     TASK_FAILED,
     TASK_FINISHED,
     TASK_RETRIED,
+    TASK_SKIPPED,
     TASK_STARTED,
     EventLog,
     SchedEvent,
@@ -32,6 +39,16 @@ from repro.sched.graph import (
     ExperimentTask,
     RecordTask,
     TaskGraph,
+)
+from repro.sched.journal import (
+    JournalState,
+    ReplayState,
+    RunJournal,
+    journal_path,
+    new_run_id,
+    read_journal,
+    replay_state,
+    run_dir,
 )
 from repro.sched.scheduler import Scheduler, SchedulerOutcome, default_start_method
 from repro.sched.suite import (
@@ -46,6 +63,7 @@ __all__ = [
     "TASK_FAILED",
     "TASK_FINISHED",
     "TASK_RETRIED",
+    "TASK_SKIPPED",
     "TASK_STARTED",
     "EventLog",
     "SchedEvent",
@@ -55,6 +73,14 @@ __all__ = [
     "ExperimentTask",
     "RecordTask",
     "TaskGraph",
+    "JournalState",
+    "ReplayState",
+    "RunJournal",
+    "journal_path",
+    "new_run_id",
+    "read_journal",
+    "replay_state",
+    "run_dir",
     "Scheduler",
     "SchedulerOutcome",
     "default_start_method",

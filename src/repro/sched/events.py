@@ -1,7 +1,8 @@
 """Structured progress events and the end-of-run scheduler report.
 
 Every scheduler transition — a task starting on a worker, finishing,
-being retried after a crash/timeout, or failing for good — is emitted as
+being retried after a crash/timeout, failing for good, or being skipped
+because a dependency failed for good — is emitted as
 a :class:`SchedEvent`: machine-readable (``to_dict``), timestamped
 relative to scheduler start, and optionally streamed to a callback as it
 happens (the CLI prints them live with ``--jobs N``). The full log plus
@@ -20,6 +21,8 @@ TASK_STARTED = "task_started"
 TASK_FINISHED = "task_finished"
 TASK_RETRIED = "task_retried"
 TASK_FAILED = "task_failed"
+#: Never launched: a (transitive) dependency exhausted its retries.
+TASK_SKIPPED = "task_skipped"
 
 
 @dataclass
@@ -90,6 +93,16 @@ class SchedulerReport:
     n_experiments: int
     n_retries: int = 0
     n_failed: int = 0
+    #: tasks never launched because a dependency hard-failed
+    n_skipped: int = 0
+    #: tasks seeded as already-done from a resumed run's journal
+    n_resumed: int = 0
+    #: set when SIGINT/SIGTERM stopped the run after a graceful drain
+    interrupted: bool = False
+    #: the delivering signal number when ``interrupted``
+    signum: int | None = None
+    #: the suite journal's run id (None when journaling was off)
+    run_id: str | None = None
     #: per-task wall seconds of the successful attempt
     task_wall_s: dict[str, float] = field(default_factory=dict)
     events: list[SchedEvent] = field(default_factory=list)
@@ -103,6 +116,11 @@ class SchedulerReport:
             "n_experiments": self.n_experiments,
             "n_retries": self.n_retries,
             "n_failed": self.n_failed,
+            "n_skipped": self.n_skipped,
+            "n_resumed": self.n_resumed,
+            "interrupted": self.interrupted,
+            "signum": self.signum,
+            "run_id": self.run_id,
             "task_wall_s": {k: round(v, 6)
                             for k, v in self.task_wall_s.items()},
         }
@@ -113,8 +131,16 @@ class SchedulerReport:
             f"({self.n_records} record + {self.n_experiments} experiment) "
             f"on {self.jobs} worker(s) in {self.wall_s:.2f}s"
         )
+        if self.n_resumed:
+            s += f"; {self.n_resumed} resumed from journal"
         if self.n_retries:
             s += f"; {self.n_retries} retried"
         if self.n_failed:
             s += f"; {self.n_failed} FAILED"
+        if self.n_skipped:
+            s += f"; {self.n_skipped} skipped (failed dependency)"
+        if self.interrupted:
+            s += f"; INTERRUPTED by signal {self.signum}"
+            if self.run_id:
+                s += f" (resume with --resume {self.run_id})"
         return s

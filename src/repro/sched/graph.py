@@ -23,6 +23,8 @@ ordering :func:`repro.experiments.runner.run_all` guarantees.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -107,6 +109,56 @@ class TaskGraph:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.order)
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole graph: every task id, kind,
+        identity (record tasks: the spec's content key; experiment
+        tasks: the experiment id) and dependency list, in insertion
+        order. The suite journal stores this at run start; resume
+        refuses a journal whose fingerprint does not match the graph
+        being resumed — a changed suite cannot silently reuse another
+        suite's partial results."""
+        rows = []
+        for tid in self.order:
+            task = self.tasks[tid]
+            if isinstance(task, RecordTask):
+                ident = task.spec.key if task.spec is not None else ""
+            else:
+                ident = task.exp_id
+            rows.append([tid, task.kind, ident, list(task.deps)])
+        blob = json.dumps(rows, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def dependents(self) -> dict[str, list[str]]:
+        """Direct reverse-dependency map, in insertion order (cached)."""
+        cached = getattr(self, "_dependents", None)
+        if cached is None:
+            cached = {tid: [] for tid in self.order}
+            for tid in self.order:
+                for dep in self.tasks[tid].deps:
+                    cached[dep].append(tid)
+            self._dependents = cached
+        return cached
+
+    def transitive_dependents(self, task_id: str) -> list[str]:
+        """Every task downstream of *task_id*, in deterministic
+        insertion order — the set a hard failure of *task_id* dooms."""
+        direct = self.dependents()
+        doomed: set[str] = set()
+        frontier = [task_id]
+        while frontier:
+            tid = frontier.pop()
+            for nxt in direct.get(tid, ()):
+                if nxt not in doomed:
+                    doomed.add(nxt)
+                    frontier.append(nxt)
+        return [tid for tid in self.order if tid in doomed]
+
+    def unmet_deps(self, task_id: str, done: Iterable[str]) -> list[str]:
+        """The dependencies of *task_id* not yet in *done* — what the
+        scheduler's stall diagnostics report per pending task."""
+        done = set(done)
+        return [d for d in self.tasks[task_id].deps if d not in done]
 
     @property
     def record_tasks(self) -> list[RecordTask]:

@@ -12,6 +12,24 @@ bounded by ``max_task_retries``. A task that exceeds its wall-clock
 allowance is killed and handled the same way, so one hung worker can
 never wedge the suite.
 
+Three robustness layers on top of the pool:
+
+* **Write-ahead journal** — every launch, completion (with its
+  payload), permanent failure, and skip is durably appended to a
+  :class:`~repro.sched.journal.RunJournal`; ``seed_done`` /
+  ``seed_payloads`` replay a previous run's journal so resumed suites
+  launch only unfinished tasks.
+* **Graceful interruption** — with ``handle_signals=True`` the run
+  installs SIGINT/SIGTERM handlers: the first signal stops launching
+  and drains in-flight workers for ``drain_grace_s`` seconds (their
+  completions are journaled normally), then escalates terminate→kill;
+  a second signal forces the escalation immediately. The report comes
+  back marked ``interrupted`` with the delivering signal number.
+* **Dependency-failure propagation** — when a task exhausts its
+  retries, every transitive dependent that has not run yet is reported
+  and journaled as ``task_skipped`` with the root-cause task id,
+  instead of being launched to fail slowly against a missing artifact.
+
 Correctness does not depend on the scheduler's bookkeeping: workers
 coordinate through the shared artifact cache's per-key ``flock``, so
 even a mis-scheduled or retried record task executes its application at
@@ -24,21 +42,25 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.errors import SchedulerError
 from repro.sched.events import (
     TASK_FAILED,
     TASK_FINISHED,
     TASK_RETRIED,
+    TASK_SKIPPED,
     TASK_STARTED,
     EventLog,
     SchedEvent,
     SchedulerReport,
 )
 from repro.sched.graph import RecordTask, TaskGraph
+from repro.sched.journal import RunJournal
 from repro.sched.workers import WorkerConfig, task_process_main
 
 #: Environment override for the multiprocessing start method.
@@ -48,6 +70,8 @@ START_METHOD_ENV = "REPRO_SCHED_START"
 _EXIT_DRAIN_S = 0.5
 #: Main-loop poll interval while waiting on results.
 _POLL_S = 0.05
+#: Signals that trigger the graceful stop-launching-and-drain path.
+INTERRUPT_SIGNALS = (signal.SIGINT, signal.SIGTERM)
 
 
 def default_start_method() -> str:
@@ -75,6 +99,8 @@ class SchedulerOutcome:
     payloads: dict[str, dict] = field(default_factory=dict)
     #: task_id -> structured failure info (every retry exhausted)
     failures: dict[str, dict] = field(default_factory=dict)
+    #: task_id -> skip info (never launched; a dependency hard-failed)
+    skipped: dict[str, dict] = field(default_factory=dict)
     report: SchedulerReport | None = None
 
     @property
@@ -97,6 +123,11 @@ class Scheduler:
         task_timeout_s: float | None = None,
         start_method: str | None = None,
         on_event: Callable[[SchedEvent], None] | None = None,
+        journal: RunJournal | None = None,
+        seed_done: Iterable[str] = (),
+        seed_payloads: Mapping[str, dict] | None = None,
+        drain_grace_s: float = 10.0,
+        handle_signals: bool = False,
     ) -> None:
         if jobs < 1:
             raise SchedulerError(f"jobs must be >= 1, got {jobs}")
@@ -111,6 +142,39 @@ class Scheduler:
         self.task_timeout_s = task_timeout_s
         self.start_method = start_method or default_start_method()
         self.on_event = on_event
+        self.journal = journal
+        self.seed_done = {t for t in seed_done if t in graph.tasks}
+        self.seed_payloads = {
+            tid: p for tid, p in (seed_payloads or {}).items()
+            if tid in self.seed_done
+        }
+        self.drain_grace_s = drain_grace_s
+        self.handle_signals = handle_signals
+        #: first interrupt signal delivered (None while undisturbed)
+        self._signum: int | None = None
+        #: second signal: skip the grace drain, kill immediately
+        self._force = False
+
+    # ------------------------------------------------------------------
+    def _on_signal(self, signum, frame) -> None:  # noqa: ARG002
+        if self._signum is None:
+            self._signum = signum
+        else:
+            self._force = True
+
+    def _install_handlers(self) -> dict:
+        """Install the drain handlers; returns what to restore."""
+        previous: dict = {}
+        if not self.handle_signals:
+            return previous
+        if threading.current_thread() is not threading.main_thread():
+            return previous  # signal.signal only works on the main thread
+        for sig in INTERRUPT_SIGNALS:
+            try:
+                previous[sig] = signal.signal(sig, self._on_signal)
+            except (ValueError, OSError):  # pragma: no cover — platform
+                pass
+        return previous
 
     # ------------------------------------------------------------------
     def run(self) -> SchedulerOutcome:
@@ -118,21 +182,31 @@ class Scheduler:
         result_q = mp_ctx.Queue()
         log = EventLog(self.on_event)
         outcome = SchedulerOutcome()
+        outcome.payloads.update(self.seed_payloads)
         running: dict[str, _Running] = {}
         attempts: dict[str, int] = {}
-        done: set[str] = set()
+        done: set[str] = set(self.seed_done)
         t_start = time.monotonic()
+        previous_handlers = self._install_handlers()
         try:
             while len(done) < len(self.graph):
+                if self._signum is not None:
+                    break
                 self._launch(mp_ctx, result_q, running, attempts, done, log)
-                if not running:
-                    pending = [t for t in self.graph.order if t not in done]
-                    raise SchedulerError(
-                        f"scheduler stalled with pending tasks {pending}")
+                if not running and self._signum is None:
+                    raise SchedulerError(self._stall_message(done))
                 self._drain(result_q, running, attempts, done, outcome, log,
                             timeout=_POLL_S)
                 self._reap(result_q, running, attempts, done, outcome, log)
+            if self._signum is not None:
+                self._drain_on_interrupt(result_q, running, attempts, done,
+                                         outcome, log)
         finally:
+            for sig, handler in previous_handlers.items():
+                try:
+                    signal.signal(sig, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
             for st in running.values():
                 if st.proc.is_alive():
                     st.proc.terminate()
@@ -151,6 +225,10 @@ class Scheduler:
             n_experiments=len(self.graph.experiment_tasks),
             n_retries=log.count(TASK_RETRIED),
             n_failed=len(outcome.failures),
+            n_skipped=len(outcome.skipped),
+            n_resumed=len(self.seed_done),
+            interrupted=self._signum is not None,
+            signum=self._signum,
             task_wall_s={
                 tid: float(p.get("wall_s", 0.0))
                 for tid, p in outcome.payloads.items()
@@ -160,9 +238,65 @@ class Scheduler:
         return outcome
 
     # ------------------------------------------------------------------
+    def _stall_message(self, done: set[str]) -> str:
+        """Diagnosable stall report: every pending task with the
+        dependencies it is still waiting on."""
+        pending = [t for t in self.graph.order if t not in done]
+        waits = "; ".join(
+            f"{tid} waits on [{', '.join(self.graph.unmet_deps(tid, done))}]"
+            for tid in pending
+        )
+        return (
+            f"scheduler stalled with {len(pending)} pending task(s): {waits}"
+        )
+
+    # ------------------------------------------------------------------
+    def _drain_on_interrupt(self, result_q, running, attempts, done,
+                            outcome, log) -> None:
+        """Stop launching, give in-flight workers ``drain_grace_s`` to
+        finish (their results are collected and journaled normally),
+        then escalate terminate→kill on whatever is left. A second
+        signal skips the grace period."""
+        deadline = time.monotonic() + max(0.0, self.drain_grace_s)
+        while running and not self._force and time.monotonic() < deadline:
+            self._drain(result_q, running, attempts, done, outcome, log,
+                        timeout=_POLL_S)
+            self._reap_finished_only(result_q, running, attempts, done,
+                                     outcome, log)
+        for tid, st in list(running.items()):
+            if st.proc.is_alive():
+                st.proc.terminate()
+        for tid, st in list(running.items()):
+            st.proc.join(timeout=2.0)
+            if st.proc.is_alive():
+                st.proc.kill()
+                st.proc.join(timeout=2.0)
+            running.pop(tid, None)
+        if self.journal is not None:
+            self.journal.run_interrupted(int(self._signum or 0))
+
+    def _reap_finished_only(self, result_q, running, attempts, done,
+                            outcome, log) -> None:
+        """During an interrupt drain, collect results of workers that
+        exited but do not retry crashes — their tasks simply stay
+        pending for the resumed run."""
+        for tid in list(running):
+            st = running.get(tid)
+            if st is None or st.proc.is_alive():
+                continue
+            deadline = time.monotonic() + _EXIT_DRAIN_S
+            while tid in running and time.monotonic() < deadline:
+                if not self._drain(result_q, running, attempts, done,
+                                   outcome, log, timeout=0.05):
+                    break
+            if tid in running:  # died without a result: leave it pending
+                running.pop(tid)
+                st.proc.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
     def _launch(self, mp_ctx, result_q, running, attempts, done, log) -> None:
         for tid in self.graph.ready(done, running):
-            if len(running) >= self.jobs:
+            if len(running) >= self.jobs or self._signum is not None:
                 break
             task = self.graph.tasks[tid]
             attempt = attempts.get(tid, 0)
@@ -183,6 +317,8 @@ class Scheduler:
             proc.start()
             running[tid] = _Running(proc, attempt, time.monotonic())
             log.emit(TASK_STARTED, tid, attempt=attempt, pid=proc.pid)
+            if self.journal is not None:
+                self.journal.task_started(tid, attempt)
 
     # ------------------------------------------------------------------
     def _drain(self, result_q, running, attempts, done, outcome, log,
@@ -216,6 +352,8 @@ class Scheduler:
                      pid=st.proc.pid,
                      wall_s=round(float(payload.get("wall_s", wall)), 6),
                      detail=payload.get("error", ""))
+            if self.journal is not None:
+                self.journal.task_finished(task_id, attempt, payload)
         else:
             # the worker survived but task execution itself blew up
             # (infrastructure failure, not an experiment error — those
@@ -280,3 +418,25 @@ class Scheduler:
         log.emit(TASK_FAILED, task_id, attempt=st.attempt,
                  pid=st.proc.pid,
                  wall_s=round(time.monotonic() - st.t0, 6), detail=reason)
+        if self.journal is not None:
+            self.journal.task_failed(task_id, attempts[task_id], reason)
+        self._skip_dependents(task_id, reason, done, outcome, log)
+
+    def _skip_dependents(self, task_id, reason, done, outcome, log) -> None:
+        """A task is out of retries: everything transitively downstream
+        of it that has not already finished is doomed — report and
+        journal it as skipped instead of launching it to fail slowly."""
+        for tid in self.graph.transitive_dependents(task_id):
+            if tid in done or tid in outcome.skipped:
+                continue
+            done.add(tid)
+            info = {
+                "task_id": tid,
+                "root_cause": task_id,
+                "reason": reason,
+            }
+            outcome.skipped[tid] = info
+            log.emit(TASK_SKIPPED, tid,
+                     detail=f"dependency {task_id} failed: {reason}")
+            if self.journal is not None:
+                self.journal.task_skipped(tid, task_id, reason)

@@ -9,6 +9,17 @@ every worker's engine-stage deltas back into the parent context's
 order), and returns results in the suite's canonical experiment order —
 so the output is bit-identical to a sequential run regardless of
 ``jobs`` or scheduling interleavings.
+
+Every parallel run is **journaled and resumable** by default: task
+transitions and completed payloads land in an fsync'd write-ahead log
+under ``<cache-root>/runs/<run-id>/journal.jsonl`` (see
+:mod:`repro.sched.journal`). ``resume="<run-id>"`` replays that journal
+— after validating the graph fingerprint, so a *changed* suite refuses
+to resume — and launches only the tasks that never finished; the
+already-journaled results come back exactly as the interrupted run
+produced them. SIGINT/SIGTERM trigger a graceful drain (grace period,
+then terminate→kill) and surface as
+:class:`~repro.errors.SuiteInterrupted` carrying the run id to resume.
 """
 
 from __future__ import annotations
@@ -17,10 +28,22 @@ import os
 import sys
 from typing import Callable, Mapping
 
-from repro.errors import ConfigurationError, ExperimentAbortedError
+from repro.errors import (
+    ConfigurationError,
+    ExperimentAbortedError,
+    JournalError,
+    SuiteInterrupted,
+)
 from repro.resilience.harness import ExperimentFailure
 from repro.sched.events import SchedEvent, SchedulerReport
 from repro.sched.graph import EXPERIMENT_PREFIX, TaskGraph
+from repro.sched.journal import (
+    RunJournal,
+    journal_path,
+    new_run_id,
+    read_journal,
+    replay_state,
+)
 from repro.sched.scheduler import Scheduler
 from repro.sched.workers import WorkerConfig
 
@@ -76,6 +99,34 @@ def _failure_from_task(exp_id: str, info: dict) -> ExperimentFailure:
     )
 
 
+def _failure_from_skip(exp_id: str, info: dict) -> ExperimentFailure:
+    return ExperimentFailure(
+        exp_id=exp_id,
+        error_type="DependencySkipped",
+        message=(f"never launched: dependency {info.get('root_cause', '?')} "
+                 f"failed ({info.get('reason', 'unknown reason')})"),
+        attempts=0,
+        elapsed_s=0.0,
+    )
+
+
+def _load_resume_state(cache_root: str, run_id: str, graph: TaskGraph):
+    """Replay *run_id*'s journal into scheduler seeds, refusing a
+    journal recorded for a different graph."""
+    path = journal_path(cache_root, run_id)
+    state = replay_state(read_journal(path), run_id)
+    fp = graph.fingerprint()
+    if state.fingerprint != fp:
+        raise JournalError(
+            f"refusing to resume run {run_id!r}: the journal was recorded "
+            f"for graph {state.fingerprint[:12]} but this suite expands to "
+            f"graph {fp[:12]} — the experiment set, apps, or fidelity knobs "
+            f"changed; start a fresh run instead",
+            run_id=run_id, path=path,
+        )
+    return state
+
+
 def run_suite_parallel(
     ctx,
     exps: Mapping[str, Callable],
@@ -87,6 +138,11 @@ def run_suite_parallel(
     on_event: Callable[[SchedEvent], None] | None = None,
     task_timeout_s: float | None = None,
     start_method: str | None = None,
+    run_id: str | None = None,
+    resume: str | None = None,
+    journal: bool = True,
+    drain_grace_s: float = 10.0,
+    handle_signals: bool = True,
 ) -> tuple[list, SchedulerReport]:
     """Run *exps* against *ctx* on ``jobs`` worker processes.
 
@@ -96,6 +152,19 @@ def run_suite_parallel(
     account of the run. The parent context's engine stats absorb every
     worker's stage deltas, so ``ctx.engine.stats.table()`` reads the
     same as after a sequential run.
+
+    ``run_id`` names this run's journal under the artifact-cache root
+    (default: a fresh timestamped id); ``resume`` replays a previous
+    run's journal instead — finished tasks are seeded as done (their
+    journaled payloads are returned verbatim), failed and skipped tasks
+    get a fresh chance, and the graph fingerprint must match or
+    :class:`~repro.errors.JournalError` refuses the resume.
+    ``journal=False`` disables the write-ahead log entirely (the run is
+    then not resumable). ``handle_signals`` (default on, main thread
+    only) arms the graceful SIGINT/SIGTERM drain: in-flight workers get
+    ``drain_grace_s`` seconds to finish and journal, then the run
+    raises :class:`~repro.errors.SuiteInterrupted` whose ``exit_code``
+    is ``128 + signum``.
     """
     from repro.experiments.runner import EXPERIMENTS
 
@@ -121,22 +190,82 @@ def run_suite_parallel(
         # the in-worker HardenedRunner gets retries+1 attempts plus one
         # degraded rerun, each nominally within budget_s; pad for startup
         task_timeout_s = budget_s * (retries + 2) + 30.0
-    outcome = Scheduler(
-        graph,
-        cfg,
-        jobs=jobs,
-        exp_fns=exp_fns,
-        task_timeout_s=task_timeout_s,
-        start_method=start_method,
-        on_event=on_event,
-    ).run()
+
+    cache_root = ctx.engine.cache.root
+    seed_done: set[str] = set()
+    seed_payloads: dict[str, dict] = {}
+    if resume is not None:
+        if run_id is not None and run_id != resume:
+            raise ConfigurationError(
+                f"--resume {resume!r} conflicts with --run-id {run_id!r}")
+        run_id = resume
+        rstate = _load_resume_state(cache_root, resume, graph)
+        seed_done = rstate.done
+        seed_payloads = rstate.payloads
+    jnl: RunJournal | None = None
+    if journal:
+        if run_id is None:
+            run_id = new_run_id(seed=ctx.seed)
+        jnl = RunJournal.open(cache_root, run_id)
+        if resume is not None:
+            jnl.append("run_resumed", jobs=jobs,
+                       n_done=len(seed_done))
+        else:
+            jnl.append("run_started", run_id=run_id,
+                       fingerprint=graph.fingerprint(), jobs=jobs,
+                       seed=ctx.seed, apps=list(ctx.apps),
+                       refs_per_iteration=ctx.refs_per_iteration,
+                       scale=ctx.scale, n_iterations=ctx.n_iterations)
+
+    try:
+        outcome = Scheduler(
+            graph,
+            cfg,
+            jobs=jobs,
+            exp_fns=exp_fns,
+            task_timeout_s=task_timeout_s,
+            start_method=start_method,
+            on_event=on_event,
+            journal=jnl,
+            seed_done=seed_done,
+            seed_payloads=seed_payloads,
+            drain_grace_s=drain_grace_s,
+            handle_signals=handle_signals,
+        ).run()
+    except BaseException:
+        if jnl is not None:
+            jnl.close()
+        raise
+
+    assert outcome.report is not None
+    report = outcome.report
+    report.run_id = run_id
 
     # Fold worker engine deltas into the parent in deterministic graph
-    # order so the suite-level accounting is jobs-independent.
+    # order so the suite-level accounting is jobs-independent (resumed
+    # payloads carry the interrupted run's deltas, so the totals match
+    # an uninterrupted run).
     for tid in graph.order:
         payload = outcome.payloads.get(tid)
         if payload is not None:
             ctx.engine.stats.merge(payload.get("stats", {}))
+
+    if report.interrupted:
+        if jnl is not None:
+            jnl.close()
+        signum = int(report.signum or 0)
+        n_done = sum(1 for t in graph.experiment_tasks
+                     if t.task_id in outcome.payloads)
+        hint = (f"; resume with --resume {run_id}" if run_id else "")
+        raise SuiteInterrupted(
+            f"suite interrupted by signal {signum} after "
+            f"{n_done}/{len(graph.experiment_tasks)} experiment(s){hint}",
+            signum=signum, run_id=run_id, report=report, completed=n_done,
+        )
+    if jnl is not None:
+        jnl.run_finished(n_failed=report.n_failed,
+                         n_skipped=report.n_skipped)
+        jnl.close()
 
     results: list = []
     for exp_id in exps:
@@ -144,6 +273,8 @@ def run_suite_parallel(
         payload = outcome.payloads.get(tid)
         if payload is not None:
             results.append(payload["result"])
+        elif tid in outcome.skipped:
+            results.append(_failure_from_skip(exp_id, outcome.skipped[tid]))
         else:
             results.append(_failure_from_task(
                 exp_id, outcome.failures.get(tid, {})))
@@ -153,5 +284,4 @@ def run_suite_parallel(
                 raise ExperimentAbortedError(
                     f"experiment {res.exp_id!r} failed {res.attempts} "
                     f"attempt(s): {res.message}")
-    assert outcome.report is not None
-    return results, outcome.report
+    return results, report

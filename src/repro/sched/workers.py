@@ -19,6 +19,7 @@ worker losing the record race simply replays the winner's artifact.
 from __future__ import annotations
 
 import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass
@@ -136,7 +137,22 @@ def task_process_main(task_id: str, kind: str, args: tuple,
     that dies without enqueuing (SIGKILL, segfault, machine check) is
     detected by the parent through process liveness and handled as a
     crash.
+
+    Workers ignore SIGINT: a terminal Ctrl-C delivers SIGINT to the
+    whole foreground process group, and if workers died on it the
+    parent's graceful drain would have nothing left to drain. The
+    parent alone decides when a worker stops (SIGTERM via
+    ``terminate()``, then SIGKILL), so an interrupted suite journals
+    every result that was about to land instead of losing all of them.
     """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # a forked worker inherits the parent's drain handler for
+        # SIGTERM; restore the default so the parent's terminate()
+        # actually terminates instead of setting a flag in the child
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover — exotic platforms
+        pass
     try:
         if kind == "record":
             (spec,) = args
