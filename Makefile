@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke validate examples all clean
+.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -41,6 +41,16 @@ sched-smoke:
 # verify no journaled task is re-executed (matches CI's resume job).
 resume-smoke:
 	$(PY) tools/resume_smoke.py
+
+# Service smoke: real daemon, 3 requests (duplicate pair + malformed),
+# dedup counter asserted, SIGTERM -> exit 143 (matches CI's service job).
+serve-smoke:
+	$(PY) tools/serve_smoke.py
+
+# Service soak: 200 concurrent mixed requests against a ChaosFS-backed
+# daemon, worker kill mid-flight, SIGTERM drain mid-burst.
+serve-soak:
+	$(PY) tools/serve_soak.py
 
 validate:
 	$(PY) -m repro.validation

@@ -14,6 +14,11 @@ Measures, on the same inputs the pytest-benchmark suite uses:
   to process overhead, so the section records ``cpu_count`` alongside
   the wall-clocks and the differential check (jobs-independent results)
   is the hard assertion, not the speedup.
+* ``nvscavenger serve`` warm-path request rate: a real daemon on a
+  loopback socket, one cold request to populate the cache, then timed
+  sequential warm requests (``requests_per_s_warm`` — cache hit +
+  digest + HTTP round trip per request). The differential check is that
+  every warm response carries the cold request's exact digest.
 
 Usage::
 
@@ -182,6 +187,80 @@ def scheduler_section(tmp_root: str) -> dict:
     }
 
 
+#: Warm requests timed against the daemon (after one cold record).
+SERVE_WARM_REQUESTS = 50
+
+
+def service_section(tmp_root: str) -> dict:
+    import http.client
+    import os
+    import signal
+    import subprocess
+
+    spec = {"app": "gtc", "refs_per_iteration": 2_000,
+            "scale": 1.0 / 256.0, "n_iterations": 3}
+
+    def post(host, port, payload):
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            conn.request("POST", "/analyze", body=json.dumps(payload),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    ready = os.path.join(tmp_root, "serve-ready")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        + os.pathsep + env.get("PYTHONPATH", ""))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--cache-dir", os.path.join(tmp_root, "serve-cache"),
+         "--port", "0", "--ready-file", ready, "--grace", "3"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        deadline = time.monotonic() + 30
+        while not os.path.exists(ready):
+            if proc.poll() is not None:
+                raise SystemExit(
+                    f"serve bench daemon died:\n{proc.stdout.read()}")
+            if time.monotonic() > deadline:
+                raise SystemExit("serve bench daemon never became ready")
+            time.sleep(0.05)
+        host, port = open(ready).read().split()
+        port = int(port)
+
+        t0 = time.perf_counter()
+        status, cold = post(host, port, spec)
+        t_cold = time.perf_counter() - t0
+        if status != 200 or not cold.get("ok"):
+            raise SystemExit(f"serve bench cold request failed: {cold}")
+
+        t0 = time.perf_counter()
+        for _ in range(SERVE_WARM_REQUESTS):
+            status, body = post(host, port, spec)
+            if status != 200 or body["digest"] != cold["digest"]:
+                raise SystemExit(
+                    "differential check failed: warm response digest "
+                    f"diverges from cold ({body})")
+        t_warm = time.perf_counter() - t0
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return {
+        "warm_requests": SERVE_WARM_REQUESTS,
+        "cold_request_s": round(t_cold, 3),
+        "requests_per_s_warm": round(SERVE_WARM_REQUESTS / t_warm, 1),
+        "digest_stable_across_requests": True,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     import tempfile
 
@@ -192,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             "cache_hierarchy": cache_section(),
             "engine": engine_section(tmp),
             "scheduler": scheduler_section(tmp),
+            "service": service_section(tmp),
         }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)

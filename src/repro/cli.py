@@ -23,7 +23,12 @@ Subcommands:
   stamp (written on every cache hit; ``meta.json`` mtime is the
   fallback for pre-stamp caches), never evicting artifacts whose
   cross-process lock is held; finished suite-run journals under
-  ``<root>/runs/`` are evicted first, unfinished (resumable) ones never;
+  ``<root>/runs/`` are evicted first, unfinished (resumable) ones never,
+  and spec keys a live ``serve`` daemon advertises as in use are
+  protected automatically;
+* ``serve`` — run the analysis daemon: JSON-over-HTTP requests answered
+  from the artifact cache with admission control, single-flight dedup,
+  circuit breakers, and graceful SIGTERM drain (exit ``128 + signum``);
 * ``experiments <id>|all`` — regenerate paper tables/figures;
   ``--jobs N`` runs the suite on N worker processes sharing one
   artifact cache (0 = one per CPU; results identical to ``--jobs 1``).
@@ -165,8 +170,16 @@ def cmd_engine(args: argparse.Namespace) -> int:
         return 0 if report.clean else 1
 
     if args.action == "gc":
+        from repro.service.active import read_active_keys
+
         cache = ArtifactCache(args.cache_dir)
-        report = cache.gc(_parse_bytes(args.max_bytes))
+        # a live `nvscavenger serve` daemon advertises the spec keys its
+        # admitted requests reference; never evict those out from under it
+        protect = read_active_keys(args.cache_dir)
+        report = cache.gc(_parse_bytes(args.max_bytes), protect=protect)
+        if protect:
+            print(f"protecting {len(protect)} key(s) in use by a live "
+                  f"service daemon")
         print(report.summary())
         return 0
 
@@ -211,6 +224,59 @@ def cmd_engine(args: argparse.Namespace) -> int:
     print()
     print(engine.stats.table())
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServeConfig, serve
+
+    if not (0 <= args.port <= 65535):
+        raise ConfigurationError(
+            f"--port must be 0..65535, got {args.port}")
+    if args.max_inflight < 1:
+        raise ConfigurationError(
+            f"--max-inflight must be >= 1, got {args.max_inflight}")
+    if args.max_queue < 0:
+        raise ConfigurationError(
+            f"--max-queue must be >= 0, got {args.max_queue}")
+    if args.grace < 0:
+        raise ConfigurationError(
+            f"--grace must be >= 0, got {args.grace}")
+    for flag, value in (("--default-deadline", args.default_deadline),
+                        ("--max-deadline", args.max_deadline)):
+        if value <= 0:
+            raise ConfigurationError(
+                f"{flag} must be positive, got {value!r}")
+    if args.breaker_threshold < 1:
+        raise ConfigurationError(
+            f"--breaker-threshold must be >= 1, got {args.breaker_threshold}")
+    if args.chaos is not None:
+        from repro.resilience.faults import SCENARIOS
+
+        if args.chaos not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown chaos scenario {args.chaos!r}; "
+                f"know {sorted(SCENARIOS)}")
+    budget = (_parse_bytes(args.cache_budget)
+              if args.cache_budget is not None else None)
+    cfg = ServeConfig(
+        cache_root=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline_s=args.default_deadline,
+        max_deadline_s=args.max_deadline,
+        grace_s=args.grace,
+        breaker_threshold=args.breaker_threshold,
+        breaker_backoff_s=args.breaker_backoff,
+        cache_budget_bytes=budget,
+        gc_interval_s=args.gc_interval,
+        chaos_scenario=args.chaos,
+        chaos_seed=args.chaos_seed,
+        ready_file=args.ready_file,
+        seed=args.seed,
+    )
+    return serve(cfg)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -274,6 +340,40 @@ def main(argv: list[str] | None = None) -> int:
                       help="artifact-cache root to collect")
     p_eg.add_argument("--max-bytes", required=True,
                       help="size budget (supports K/M/G suffixes)")
+    p_sv = sub.add_parser(
+        "serve", help="run the analysis daemon (JSON over HTTP)")
+    p_sv.add_argument("--cache-dir", required=True,
+                      help="artifact-cache root the daemon serves from")
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8077,
+                      help="listen port (0 = pick a free port)")
+    p_sv.add_argument("--max-inflight", type=int, default=2,
+                      help="concurrently-executing requests (admission)")
+    p_sv.add_argument("--max-queue", type=int, default=16,
+                      help="requests allowed to wait for a slot; beyond "
+                           "this, shed load with 503 overloaded")
+    p_sv.add_argument("--default-deadline", type=float, default=60.0,
+                      help="seconds granted a request that sets no deadline_s")
+    p_sv.add_argument("--max-deadline", type=float, default=600.0,
+                      help="hard cap on any request's deadline_s")
+    p_sv.add_argument("--grace", type=float, default=10.0,
+                      help="drain window after SIGTERM/SIGINT, seconds")
+    p_sv.add_argument("--breaker-threshold", type=int, default=3,
+                      help="consecutive failures before a spec's breaker opens")
+    p_sv.add_argument("--breaker-backoff", type=float, default=0.5,
+                      help="base seconds before an open breaker half-opens")
+    p_sv.add_argument("--cache-budget", default=None,
+                      help="periodic gc budget (K/M/G suffixes; default: no gc)")
+    p_sv.add_argument("--gc-interval", type=float, default=30.0,
+                      help="seconds between periodic gc passes")
+    p_sv.add_argument("--chaos", default=None,
+                      help="inject a registered I/O fault scenario into "
+                           "recording workers (soak testing)")
+    p_sv.add_argument("--chaos-seed", type=int, default=0)
+    p_sv.add_argument("--ready-file", default=None,
+                      help="write 'host port' here once listening (for tests)")
+    p_sv.add_argument("--seed", type=int, default=0,
+                      help="jitter seed for breaker backoff")
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")
@@ -291,6 +391,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_perf(args)
         if args.command == "engine":
             return cmd_engine(args)
+        if args.command == "serve":
+            return cmd_serve(args)
     except ConfigurationError as exc:
         print(f"nvscavenger: error: {exc}", file=sys.stderr)
         return 2

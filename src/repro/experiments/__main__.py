@@ -53,7 +53,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="with 'all': worker processes for the suite (default 1 = "
-             "sequential in-process; 0 = one per CPU). Workers share the "
+             "sequential in-process; 0 = auto: one per CPU, clamped to "
+             "the task graph's useful parallelism). Workers share the "
              "artifact cache, so each distinct run spec is still executed "
              "exactly once and results are identical to --jobs 1",
     )
@@ -80,7 +81,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         from repro.sched.suite import resolve_jobs
 
-        jobs = resolve_jobs(args.jobs)
+        # validate (and estimate, for the progress printer below) here;
+        # the *effective* worker count for --jobs 0 is decided inside
+        # run_suite_parallel, where the task graph's width is known
+        jobs_estimate = resolve_jobs(args.jobs)
+        jobs = args.jobs
         if args.resume is not None and args.run_id is not None:
             raise ConfigurationError(
                 "--resume and --run-id are mutually exclusive")
@@ -104,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         if args.experiment == "all":
             on_event = None
-            if jobs > 1:
+            if jobs_estimate > 1:
                 def on_event(ev):  # live progress on stderr, results on stdout
                     print(f"sched: {ev}", file=sys.stderr)
             results = run_all(ctx, jobs=jobs, on_sched_event=on_event,

@@ -170,11 +170,13 @@ def run_all(
     ctx = ctx or ExperimentContext()
     exps = EXPERIMENTS if experiments is None else experiments
     if jobs != 1 or run_id is not None or resume is not None:
-        from repro.sched.suite import resolve_jobs, run_suite_parallel
+        from repro.sched.suite import run_suite_parallel
 
+        # jobs passes through raw: run_suite_parallel resolves 0 with the
+        # graph in hand, clamping auto-sizing to the suite's useful width
         results, _report = run_suite_parallel(
             ctx, exps,
-            jobs=resolve_jobs(jobs),
+            jobs=jobs,
             retries=retries,
             budget_s=budget_s,
             strict=strict,

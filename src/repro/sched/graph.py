@@ -129,6 +129,28 @@ class TaskGraph:
         blob = json.dumps(rows, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
+    def width(self) -> int:
+        """The graph's maximum useful parallelism: the widest level of
+        its level decomposition (every task placed at 1 + the deepest
+        level of its dependencies). More workers than this can never all
+        be busy at once, so ``--jobs 0`` auto-sizing clamps to it —
+        spawning processes that exist only to idle costs real fork and
+        IPC overhead on small machines."""
+        indeg = {tid: len(self.tasks[tid].deps) for tid in self.order}
+        dependents = self.dependents()
+        frontier = [tid for tid in self.order if indeg[tid] == 0]
+        widest = 0
+        while frontier:
+            widest = max(widest, len(frontier))
+            nxt: list[str] = []
+            for tid in frontier:
+                for child in dependents[tid]:
+                    indeg[child] -= 1
+                    if indeg[child] == 0:
+                        nxt.append(child)
+            frontier = nxt
+        return widest
+
     def dependents(self) -> dict[str, list[str]]:
         """Direct reverse-dependency map, in insertion order (cached)."""
         cached = getattr(self, "_dependents", None)

@@ -48,13 +48,25 @@ from repro.sched.scheduler import Scheduler
 from repro.sched.workers import WorkerConfig
 
 
-def resolve_jobs(jobs: int) -> int:
-    """Normalize a ``--jobs`` value: ``0`` means one worker per CPU."""
+def resolve_jobs(jobs: int, ready_width: int | None = None) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means auto-size.
+
+    Auto-sizing picks one worker per CPU, clamped to *ready_width* (the
+    task graph's maximum useful parallelism) when given — on a 1-CPU
+    container, or for a suite whose graph is narrower than the machine,
+    extra workers can never all be busy and only add fork/IPC overhead.
+    An explicit ``jobs > 0`` is always honoured verbatim; the clamp is
+    an auto-sizing policy, not a cap.
+    """
     if jobs == 0:
-        return max(1, os.cpu_count() or 1)
+        auto = max(1, os.cpu_count() or 1)
+        if ready_width is not None:
+            auto = min(auto, max(1, ready_width))
+        return auto
     if jobs < 0:
         raise ConfigurationError(
-            f"--jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
+            f"--jobs must be >= 0 (0 = one worker per CPU, clamped to the "
+            f"suite's useful parallelism), got {jobs}")
     return jobs
 
 
@@ -169,6 +181,7 @@ def run_suite_parallel(
     from repro.experiments.runner import EXPERIMENTS
 
     graph = build_suite_graph(ctx, exps)
+    jobs = resolve_jobs(jobs, ready_width=graph.width())
     cfg = WorkerConfig(
         cache_root=ctx.engine.cache.root,
         refs_per_iteration=ctx.refs_per_iteration,

@@ -1,0 +1,174 @@
+"""Admission control: a bounded queue that sheds load instead of growing.
+
+The daemon admits at most ``max_inflight`` concurrently-executing
+requests and lets at most ``max_queue`` more wait for a slot. Anything
+beyond that is **rejected immediately** with a structured ``overloaded``
+error and a retry-after hint derived from the observed service time —
+an unbounded queue would accept work it can never finish before the
+client gives up, turning overload into timeouts for *everyone*.
+
+Deadlines are enforced while queued, too: a request whose deadline
+expires before a slot frees up leaves the queue with
+``deadline_exceeded`` rather than occupying a slot just to discover it
+is already too late.
+
+The FIFO gate is hand-rolled rather than an :class:`asyncio.Semaphore`
+so a timed-out waiter can *hand its wakeup on* to the next waiter —
+``wait_for``-cancelled semaphore acquires have historically lost
+wakeups under contention, and an admission gate that occasionally
+strands a slot is exactly the kind of slow leak this service exists to
+not have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable
+
+from repro.service.protocol import ServiceError
+
+#: Fallback retry-after hint before any request has completed.
+_DEFAULT_RETRY_S = 1.0
+#: EWMA weight for the observed per-request service time.
+_EWMA_ALPHA = 0.2
+
+
+class AdmissionController:
+    """Bounded admission with load shedding and queued-deadline checks."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._clock = clock
+        self._free = max_inflight
+        self._waiters: deque[asyncio.Future] = deque()
+        self.draining = False
+        self._service_s = 0.0  # EWMA of per-request service time
+        self.stats = {
+            "admitted": 0,
+            "rejected_overload": 0,
+            "rejected_draining": 0,
+            "expired_in_queue": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self.max_inflight - self._free
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def retry_after_hint(self) -> float:
+        """How long a shed client should wait: roughly one queue's worth
+        of work divided across the worker slots."""
+        per = self._service_s or _DEFAULT_RETRY_S
+        backlog = self.inflight + self.queued
+        return max(0.1, per * max(1, backlog) / self.max_inflight)
+
+    def observe_service_time(self, wall_s: float) -> None:
+        if self._service_s == 0.0:
+            self._service_s = wall_s
+        else:
+            self._service_s += _EWMA_ALPHA * (wall_s - self._service_s)
+
+    # ------------------------------------------------------------------
+    async def acquire(self, deadline: float) -> None:
+        """Admit one request or raise a structured :class:`ServiceError`.
+
+        *deadline* is an absolute ``clock()`` timestamp; a request that
+        cannot get a slot by then leaves with ``deadline_exceeded``.
+        """
+        if self.draining:
+            self.stats["rejected_draining"] += 1
+            raise ServiceError(
+                "shutting_down",
+                "service is draining; no new work is admitted",
+                retry_after_s=self.retry_after_hint())
+        if self._free > 0:
+            self._free -= 1
+            self.stats["admitted"] += 1
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.stats["rejected_overload"] += 1
+            raise ServiceError(
+                "overloaded",
+                f"admission queue full ({self.inflight} in flight, "
+                f"{self.queued} queued); load shed",
+                retry_after_s=self.retry_after_hint())
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        timeout = deadline - self._clock()
+        try:
+            await asyncio.wait_for(asyncio.shield(fut), timeout=max(0.0, timeout))
+        except asyncio.TimeoutError:
+            self._abandon(fut)
+            self.stats["expired_in_queue"] += 1
+            raise ServiceError(
+                "deadline_exceeded",
+                "deadline expired while waiting for an admission slot",
+            ) from None
+        except asyncio.CancelledError:
+            self._abandon(fut)
+            raise
+        self.stats["admitted"] += 1
+
+    def _abandon(self, fut: asyncio.Future) -> None:
+        """A waiter is leaving without its slot; if a grant raced the
+        departure, hand the slot on instead of stranding it."""
+        if fut.done() and not fut.cancelled() and fut.exception() is None:
+            self._grant_or_free()
+            return
+        fut.cancel()
+        try:
+            self._waiters.remove(fut)
+        except ValueError:
+            pass
+
+    def release(self) -> None:
+        """Return one slot; wakes the oldest live waiter if any."""
+        self._grant_or_free()
+
+    def _grant_or_free(self) -> None:
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                fut.set_result(None)
+                return
+        self._free += 1
+
+    # ------------------------------------------------------------------
+    def start_drain(self) -> None:
+        """Close admission (``shutting_down`` from now on) and fail every
+        queued waiter — they would only discover the drain after winning
+        a slot they can no longer use."""
+        self.draining = True
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                fut.set_exception(ServiceError(
+                    "shutting_down",
+                    "service began draining while this request was queued"))
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "queued": self.queued,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "draining": self.draining,
+            "service_time_ewma_s": round(self._service_s, 6),
+            **self.stats,
+        }

@@ -1,0 +1,179 @@
+"""Circuit breakers around the recording path.
+
+A spec whose recording keeps failing — corrupt media under the cache
+root, an application bug, a chaos scenario — must not let every retry
+burn a worker slot and a full deadline. After ``threshold`` consecutive
+failures the breaker **opens**: requests fail fast with the *last root
+cause* and a retry-after hint instead of queueing doomed work. After a
+jittered exponential backoff the breaker **half-opens** and admits
+exactly one probe; a successful probe closes it, a failed probe re-opens
+it with a doubled (bounded) backoff — the same bounded-backoff shape the
+engine's re-record path uses, with deterministic jitter so tests can pin
+the timeline.
+
+:class:`BreakerBoard` keeps one breaker per spec key plus one for the
+cache root as a whole (higher threshold): a single poisoned spec trips
+only its own breaker, while a dying disk trips the root breaker and
+flips ``/readyz`` to not-ready so load balancers stop sending traffic.
+
+Both classes take an injectable ``clock`` so the state machine is
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """One failure-counting breaker with jittered exponential backoff."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        base_backoff_s: float = 0.5,
+        max_backoff_s: float = 30.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        assert threshold >= 1 and base_backoff_s > 0 and 0 <= jitter < 1
+        self.threshold = threshold
+        self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self._state = CLOSED
+        self._consecutive = 0
+        self._opened_count = 0  # how many times we (re-)opened: backoff exponent
+        self._retry_at = 0.0
+        self._probe_inflight = False
+        self.last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() >= self._retry_at:
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+
+    def _backoff_s(self) -> float:
+        base = min(self.max_backoff_s,
+                   self.base_backoff_s * (2 ** (self._opened_count - 1)))
+        # jittered: +-jitter fraction, so synchronized clients desynchronize
+        return base * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+
+    @property
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will next admit a probe (0 when it
+        already would)."""
+        self._maybe_half_open()
+        if self._state != OPEN:
+            return 0.0
+        return max(0.0, self._retry_at - self._clock())
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        ``CLOSED``: always. ``OPEN``: never (fail fast). ``HALF_OPEN``:
+        exactly one probe at a time — the first caller after the backoff
+        elapses gets through, everyone else keeps failing fast until the
+        probe reports back.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._state = CLOSED
+        self._consecutive = 0
+        self._opened_count = 0
+        self._probe_inflight = False
+        self.last_error = None
+
+    def record_failure(self, error: str) -> None:
+        self.last_error = error
+        self._probe_inflight = False
+        self._consecutive += 1
+        if self._state == HALF_OPEN or self._consecutive >= self.threshold:
+            # trip (or re-trip after a failed probe) with doubled backoff
+            self._opened_count += 1
+            self._state = OPEN
+            self._retry_at = self._clock() + self._backoff_s()
+
+    def abandon_probe(self) -> None:
+        """The request that consumed the half-open probe ended without a
+        verdict (deadline expiry, drain cancel, or a sibling breaker
+        rejected it): free the probe slot so the next caller can try,
+        instead of wedging the breaker half-open forever."""
+        self._probe_inflight = False
+
+
+class BreakerBoard:
+    """Per-spec breakers plus a whole-cache-root breaker.
+
+    The per-key breaker isolates one poisoned spec; the root breaker
+    (fed by *every* failure, any key) has a higher threshold and models
+    systemic trouble — a full disk, dying media — that should flip the
+    daemon not-ready rather than fail one key at a time.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        base_backoff_s: float = 0.5,
+        max_backoff_s: float = 30.0,
+        root_threshold: int = 10,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._mk = lambda thr, key_seed: CircuitBreaker(
+            threshold=thr, base_backoff_s=base_backoff_s,
+            max_backoff_s=max_backoff_s, seed=key_seed, clock=clock)
+        self._seed = seed
+        self._by_key: dict[str, CircuitBreaker] = {}
+        self._threshold = threshold
+        self.root = self._mk(root_threshold, seed)
+
+    def for_key(self, key: str) -> CircuitBreaker:
+        br = self._by_key.get(key)
+        if br is None:
+            # derive a per-key jitter seed so breakers don't thunder in step
+            br = self._mk(self._threshold,
+                          self._seed ^ (hash(key) & 0x7FFFFFFF))
+            self._by_key[key] = br
+        return br
+
+    def record_success(self, key: str) -> None:
+        self.for_key(key).record_success()
+        self.root.record_success()
+
+    def record_failure(self, key: str, error: str) -> None:
+        self.for_key(key).record_failure(error)
+        self.root.record_failure(error)
+
+    @property
+    def n_open(self) -> int:
+        return sum(1 for br in self._by_key.values() if br.state == OPEN)
+
+    def snapshot(self) -> dict:
+        return {
+            "keys": len(self._by_key),
+            "open": self.n_open,
+            "root_state": self.root.state,
+        }

@@ -1,0 +1,236 @@
+"""The analysis-service wire protocol: requests, errors, digests.
+
+A request is one JSON object naming a run spec plus an optional
+relative deadline::
+
+    {"app": "gtc", "refs_per_iteration": 4000, "scale": 0.00390625,
+     "n_iterations": 4, "seed": 0, "deadline_s": 30.0}
+
+:func:`parse_request` canonicalizes it into a
+:class:`~repro.engine.spec.RunSpec` — the same content-addressed
+identity the cache and scheduler use, so two clients asking the same
+question always land on the same artifact key — and validates every
+field up front: unknown fields, wrong types, non-positive fidelity
+knobs, and requests larger than the service's reference budget are all
+rejected *before* any work is admitted.
+
+Every failure the daemon can produce is a **structured error**: a JSON
+body ``{"ok": false, "error": {"code", "message", "retry_after_s",
+"detail"}}`` with a stable machine-readable ``code`` from
+:data:`ERROR_CODES` and the matching HTTP status from
+:data:`ERROR_STATUS`. Retryable rejections (``overloaded``,
+``breaker_open``, ``shutting_down``) carry a ``retry_after_s`` hint,
+also surfaced as an HTTP ``Retry-After`` header.
+
+Successful responses carry the artifact's **content digest** — a
+sha256 over the decoded event stream and reference batches rather than
+the on-disk bytes, so the digest is stable across a quarantine +
+re-record of the same spec (npz containers embed timestamps; the
+content does not). The chaos soak asserts every OK response for a key
+reports the same digest: bit-identical answers or a clean error,
+never torn bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.engine.spec import VARIANT_PREFIX, RunSpec
+from repro.errors import ReproError
+
+#: Every structured error code the daemon can emit.
+ERROR_CODES = (
+    "bad_request",       # malformed JSON, unknown field, invalid spec
+    "not_found",         # unknown endpoint
+    "overloaded",        # admission queue full: load shed, retry later
+    "shutting_down",     # drain in progress: admission is closed
+    "deadline_exceeded", # the request's deadline expired (queued or mid-record)
+    "breaker_open",      # circuit breaker tripped: failing fast
+    "record_failed",     # the recording attempt itself failed
+    "internal",          # unexpected server-side failure
+)
+
+#: HTTP status for each structured error code.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "not_found": 404,
+    "overloaded": 503,
+    "shutting_down": 503,
+    "deadline_exceeded": 504,
+    "breaker_open": 503,
+    "record_failed": 500,
+    "internal": 500,
+}
+
+
+class ServiceError(ReproError):
+    """A structured daemon-side failure, rendered as a JSON error body.
+
+    ``code`` is one of :data:`ERROR_CODES`; ``retry_after_s`` (when not
+    ``None``) tells the client how long to back off before retrying —
+    it becomes both the JSON hint and the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_s: float | None = None,
+        detail: Mapping | None = None,
+    ) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+        self.detail = dict(detail) if detail else {}
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+    def body(self) -> dict:
+        return error_body(self.code, str(self),
+                          retry_after_s=self.retry_after_s,
+                          detail=self.detail or None)
+
+
+class RequestError(ServiceError):
+    """A request that can never succeed as written (HTTP 400)."""
+
+    def __init__(self, message: str, detail: Mapping | None = None) -> None:
+        super().__init__("bad_request", message, detail=detail)
+
+
+def error_body(code: str, message: str, retry_after_s: float | None = None,
+               detail: Mapping | None = None) -> dict:
+    """The canonical JSON error envelope for *code*."""
+    err: dict = {"code": code, "message": message}
+    if retry_after_s is not None:
+        err["retry_after_s"] = round(float(retry_after_s), 3)
+    if detail:
+        err["detail"] = dict(detail)
+    return {"ok": False, "error": err}
+
+
+#: Spec fields a request may set, with (python type, CLI-equivalent flag).
+_SPEC_FIELDS = {
+    "app": (str, "app"),
+    "refs_per_iteration": (int, "--refs"),
+    "scale": ((int, float), "--scale"),
+    "n_iterations": (int, "--iterations"),
+    "seed": (int, "--seed"),
+}
+_REQUEST_FIELDS = set(_SPEC_FIELDS) | {"deadline_s"}
+
+
+def _valid_app(app: str) -> bool:
+    from repro.apps import APPLICATIONS, VARIANT_OF
+
+    if app.startswith(VARIANT_PREFIX):
+        return app[len(VARIANT_PREFIX):] in VARIANT_OF
+    return app in APPLICATIONS
+
+
+def parse_request(
+    payload: object,
+    *,
+    default_deadline_s: float = 60.0,
+    max_deadline_s: float = 600.0,
+    max_total_refs: int = 10_000_000,
+) -> tuple[RunSpec, float]:
+    """Validate *payload* into ``(spec, relative_deadline_s)``.
+
+    Raises :class:`RequestError` on anything malformed: the daemon
+    rejects bad requests before they consume an admission slot. A
+    ``deadline_s`` above ``max_deadline_s`` is clamped rather than
+    rejected — the client asked for patience the service will not
+    grant, which is a policy fact, not a malformed request.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError(
+            f"request body must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - _REQUEST_FIELDS)
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s): {', '.join(unknown)}",
+            detail={"known_fields": sorted(_REQUEST_FIELDS)})
+    if "app" not in payload:
+        raise RequestError("request is missing required field 'app'")
+
+    kwargs: dict = {}
+    for name, (types, flag) in _SPEC_FIELDS.items():
+        if name not in payload:
+            continue
+        value = payload[name]
+        # bool is an int subclass; {"seed": true} is a client bug
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise RequestError(
+                f"field {name!r} ({flag}) must be "
+                f"{'a number' if name == 'scale' else 'an integer' if name != 'app' else 'a string'}, "
+                f"got {value!r}")
+        kwargs[name] = value
+    app = kwargs["app"]
+    if not _valid_app(app):
+        from repro.apps import APPLICATIONS, VARIANT_OF
+
+        raise RequestError(
+            f"unknown application {app!r}",
+            detail={"applications": sorted(APPLICATIONS),
+                    "variants": [VARIANT_PREFIX + a for a in sorted(VARIANT_OF)]})
+    for name in ("refs_per_iteration", "n_iterations", "scale"):
+        if name in kwargs and kwargs[name] <= 0:
+            raise RequestError(
+                f"field {name!r} must be positive, got {kwargs[name]!r}")
+    spec = RunSpec(**kwargs)
+    total = spec.refs_per_iteration * spec.n_iterations
+    if total > max_total_refs:
+        raise RequestError(
+            f"request asks for {total} references; this service admits at "
+            f"most {max_total_refs} per request",
+            detail={"max_total_refs": max_total_refs})
+
+    deadline_s = payload.get("deadline_s", default_deadline_s)
+    if isinstance(deadline_s, bool) or not isinstance(deadline_s, (int, float)):
+        raise RequestError(
+            f"field 'deadline_s' must be a number of seconds, got {deadline_s!r}")
+    if deadline_s <= 0:
+        raise RequestError(
+            f"field 'deadline_s' must be positive, got {deadline_s!r}")
+    return spec, float(min(deadline_s, max_deadline_s))
+
+
+def digest_payload(events: list, batches) -> str:
+    """Content digest over a decoded run: the event stream plus every
+    reference batch's arrays. Stable across re-records of the same spec
+    (unlike a hash of ``refs.npz``, whose zip container embeds
+    timestamps), so "bit-identical answer" is checkable end to end."""
+    h = hashlib.sha256()
+    h.update(json.dumps(events, separators=(",", ":")).encode())
+    for b in batches:
+        h.update(str(int(b.iteration)).encode())
+        for arr in (b.addr, b.is_write, b.size, b.oid):
+            h.update(arr.tobytes())
+    return "sha256:" + h.hexdigest()
+
+
+def ok_body(key: str, meta: dict, digest: str, *, cached: bool,
+            coalesced: bool, wall_s: float) -> dict:
+    """The canonical success envelope."""
+    return {
+        "ok": True,
+        "key": key,
+        "digest": digest,
+        "cached": cached,
+        "coalesced": coalesced,
+        "wall_s": round(wall_s, 6),
+        "meta": {
+            "refs": meta.get("refs"),
+            "n_batches": meta.get("n_batches"),
+            "n_events": meta.get("n_events"),
+            "footprint_bytes": meta.get("footprint_bytes"),
+            "instructions": meta.get("instructions"),
+            "spec": meta.get("spec"),
+        },
+    }

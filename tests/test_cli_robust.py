@@ -60,6 +60,49 @@ class TestExperimentsJobsFlag:
         assert "table5" in capsys.readouterr().out.lower()
 
 
+class TestServeFlag:
+    """``serve`` follows the CLI's exit-code contract: 2 on bad args
+    (before any socket is opened), 130/143 on signals (covered end to
+    end in test_service_http.py)."""
+
+    @pytest.mark.parametrize("argv,fragment", [
+        (["serve", "--cache-dir", "c", "--port", "70000"], "--port"),
+        (["serve", "--cache-dir", "c", "--port", "-1"], "--port"),
+        (["serve", "--cache-dir", "c", "--max-inflight", "0"],
+         "--max-inflight"),
+        (["serve", "--cache-dir", "c", "--max-queue", "-1"], "--max-queue"),
+        (["serve", "--cache-dir", "c", "--grace", "-2"], "--grace"),
+        (["serve", "--cache-dir", "c", "--default-deadline", "0"],
+         "--default-deadline"),
+        (["serve", "--cache-dir", "c", "--max-deadline", "-5"],
+         "--max-deadline"),
+        (["serve", "--cache-dir", "c", "--breaker-threshold", "0"],
+         "--breaker-threshold"),
+        (["serve", "--cache-dir", "c", "--chaos", "no-such-scenario"],
+         "chaos scenario"),
+        (["serve", "--cache-dir", "c", "--cache-budget", "lots"],
+         "byte size"),
+    ])
+    def test_invalid_args_exit_2(self, capsys, argv, fragment):
+        rc = main(argv)
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err
+        assert fragment in err
+
+    def test_missing_cache_dir_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve"])
+        assert exc.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_garbage_port_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--cache-dir", "c", "--port", "http"])
+        assert exc.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+
 class TestTraceVerify:
     @pytest.fixture
     def trace_path(self, tmp_path):

@@ -104,6 +104,29 @@ class TestTaskGraph:
         (task,) = g.experiment_tasks
         assert set(task.deps) == {RECORD_PREFIX + a for a in ctx.apps}
 
+    def test_width_is_widest_level(self):
+        r1 = RecordTask(task_id="record:x", name="x", spec=None)
+        r2 = RecordTask(task_id="record:y", name="y", spec=None)
+        a = ExperimentTask(task_id="exp:a", exp_id="a",
+                           deps=("record:x", "record:y"))
+        # level 0: {x, y}; level 1: {a} -> width 2
+        assert TaskGraph([r1, r2, a]).width() == 2
+        # a pure chain has width 1 regardless of length
+        c1 = RecordTask(task_id="record:c1", name="c1", spec=None)
+        e1 = ExperimentTask(task_id="exp:e1", exp_id="e1",
+                            deps=("record:c1",))
+        e2 = ExperimentTask(task_id="exp:e2", exp_id="e2", deps=("exp:e1",))
+        assert TaskGraph([c1, e1, e2]).width() == 1
+        assert TaskGraph([]).width() == 0
+
+    def test_suite_graph_width_bounds_useful_parallelism(self, tmp_path):
+        ctx = make_ctx(tmp_path)
+        g = build_suite_graph(ctx, EXPERIMENTS)
+        # the record layer is the suite's widest level: every worker
+        # beyond that can never be simultaneously busy
+        assert 1 <= g.width() <= len(g)
+        assert g.width() >= len(ctx.apps)
+
 
 # ----------------------------------------------------------------------
 class TestResolveJobs:
@@ -116,6 +139,19 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError, match="--jobs"):
             resolve_jobs(-2)
+
+    def test_zero_clamps_to_graph_width(self):
+        # auto-sizing never spawns more workers than the graph can keep
+        # busy at once...
+        assert resolve_jobs(0, ready_width=1) == 1
+        cpus = max(1, os.cpu_count() or 1)
+        assert resolve_jobs(0, ready_width=10_000) == cpus
+        # ...and an empty/degenerate width still yields one worker
+        assert resolve_jobs(0, ready_width=0) == 1
+
+    def test_explicit_jobs_never_clamped(self):
+        # an explicit worker count is an operator decision, not a hint
+        assert resolve_jobs(4, ready_width=1) == 4
 
 
 # ----------------------------------------------------------------------

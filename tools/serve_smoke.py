@@ -1,0 +1,119 @@
+"""Quick CI smoke for ``nvscavenger serve``: three requests, one drain.
+
+The minimal end-to-end cut the CI ``service`` job runs on every push
+(``make serve-smoke``; the full chaos soak is ``make serve-soak``):
+
+1. start a real daemon on a free port and wait for its ready file;
+2. send two **concurrent identical** requests — both must return 200
+   with the same digest, the daemon must record exactly once, and the
+   single-flight counter must show the duplicate coalesced (or served
+   from cache, when the record wins the race);
+3. send one malformed request — a structured 400 ``bad_request``;
+4. SIGTERM the daemon — it must exit 143 after a graceful drain.
+
+Exit 0 on success, 1 with a diagnostic on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+REQ = {"app": "gtc", "refs_per_iteration": 2000, "scale": 1.0 / 256.0,
+       "n_iterations": 3}
+
+
+def fail(msg: str) -> None:
+    print(f"serve smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(host, port, method, path, payload=None, timeout=120.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"}
+                     if body else {})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO, "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        ready = os.path.join(tmp, "ready")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--cache-dir", os.path.join(tmp, "cache"),
+             "--port", "0", "--ready-file", ready, "--grace", "3"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        deadline = time.monotonic() + 30
+        while not os.path.exists(ready):
+            if proc.poll() is not None:
+                fail(f"daemon died at startup:\n{proc.stdout.read()}")
+            if time.monotonic() > deadline:
+                proc.kill()
+                fail("daemon never wrote its ready file")
+            time.sleep(0.05)
+        host, port = open(ready).read().split()
+        port = int(port)
+
+        # request 1 + 2: concurrent duplicates -> one record, same digest
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futs = [pool.submit(request, host, port, "POST", "/analyze", REQ)
+                    for _ in range(2)]
+            results = [f.result(timeout=120) for f in futs]
+        for status, body in results:
+            if status != 200 or not body.get("ok"):
+                fail(f"duplicate request failed: {status} {body}")
+        d1, d2 = (body["digest"] for _s, body in results)
+        if d1 != d2:
+            fail(f"duplicate requests disagree: {d1} vs {d2}")
+
+        _s, stats = request(host, port, "GET", "/stats")
+        if stats.get("records") != 1:
+            fail(f"expected exactly 1 recording, stats say {stats}")
+        deduped = stats.get("coalesced", 0) + stats.get("cache_hits", 0)
+        if deduped != 1:
+            fail(f"duplicate was not deduplicated (coalesced+cache_hits="
+                 f"{deduped}): {stats}")
+
+        # request 3: malformed -> structured 400
+        status, body = request(host, port, "POST", "/analyze",
+                               {"app": "gtc", "bogus": 1})
+        if status != 400 or body.get("error", {}).get("code") != "bad_request":
+            fail(f"malformed request got {status} {body}")
+
+        # drain: SIGTERM -> graceful exit 143
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("daemon did not exit within 30s of SIGTERM")
+        if rc != 143:
+            fail(f"exit code {rc}, want 143 (128+SIGTERM)\n"
+                 f"{proc.stdout.read()}")
+
+        print(f"serve smoke OK — 1 record, 1 deduped duplicate "
+              f"(digest {d1[:18]}…), structured 400, exit 143")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
