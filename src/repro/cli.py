@@ -6,8 +6,13 @@ Subcommands:
   the per-object report, Table V row, and classification;
 * ``power <app>`` — Table VI-style normalized power for one app;
 * ``perf <app>`` — Figure 12-style latency sweep for one app;
-* ``trace <path> [--verify]`` — inspect a trace file; ``--verify`` checks
-  every batch's CRC32 and reports the first corrupt batch;
+* ``trace show <path> [--verify]`` — inspect a trace container (the bare
+  ``trace <path>`` spelling still works); ``--verify`` checks every
+  batch's CRC32 and reports the first corrupt batch;
+* ``trace migrate <in> <out>`` — convert a v1/v2 ``.npz`` archive (or
+  another v3 container) to the chunked columnar v3 format, atomically
+  (tmp directory + one rename); refuses to overwrite an existing
+  destination (exit 2);
 * ``engine stats <app>`` — record one run spec through the pipeline
   engine, replay it, and print the per-stage wall-time / refs-per-second
   table, including the self-healing ``quarantined`` / ``re-recorded``
@@ -187,22 +192,33 @@ def cmd_engine(args: argparse.Namespace) -> int:
         import json
         import os
 
+        from repro.engine.artifacts import REFS_TV3, Artifact
+
         cache = ArtifactCache(args.cache_dir)
         found = 0
+        total = 0
         for dirpath, _dirnames, filenames in sorted(os.walk(cache.root)):
             if "meta.json" not in filenames:
                 continue
             with open(os.path.join(dirpath, "meta.json")) as fh:
                 meta = json.load(fh)
             spec = meta.get("spec", {})
+            art = Artifact(os.path.basename(dirpath), dirpath)
+            size = art.size_bytes()
+            total += size
+            fmt = ("tv3" if os.path.isdir(os.path.join(dirpath, REFS_TV3))
+                   else "npz")
             print(f"{os.path.basename(dirpath)[:12]}  "
                   f"{spec.get('app', '?'):18s} "
                   f"refs={meta.get('refs', 0):>8d}  "
                   f"batches={meta.get('n_batches', 0):>4d}  "
-                  f"seed={spec.get('seed', '?')}")
+                  f"seed={spec.get('seed', '?')}  "
+                  f"fmt={fmt}  size={fmt_bytes(size)}")
             found += 1
         if not found:
             print(f"no committed artifacts under {cache.root}")
+        else:
+            print(f"{found} artifact(s), {fmt_bytes(total)} total")
         return 0
 
     # action == "stats": record one spec, replay it, print the stage table.
@@ -304,6 +320,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_migrate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.trace.chunked import migrate_trace, tv3_path
+
+    final = tv3_path(args.dst)
+    if os.path.exists(final):
+        raise ConfigurationError(
+            f"destination {final} already exists (refusing to overwrite)")
+    try:
+        n_batches, total_refs = migrate_trace(args.src, args.dst)
+    except TraceError as exc:
+        where = (f" (batch {exc.batch_index})"
+                 if exc.batch_index is not None else "")
+        print(f"migrate failed{where}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.src} -> {final}: {n_batches} batches, "
+          f"{total_refs} references migrated to v3")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="nvscavenger")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -313,10 +350,17 @@ def main(argv: list[str] | None = None) -> int:
     _add_app_args(p_pw)
     p_pf = sub.add_parser("perf", help="latency-sensitivity sweep for a model app")
     _add_app_args(p_pf)
-    p_tr = sub.add_parser("trace", help="inspect/verify a trace file")
-    p_tr.add_argument("path")
-    p_tr.add_argument("--verify", action="store_true",
+    p_tr = sub.add_parser("trace", help="inspect/verify/migrate trace files")
+    tr_sub = p_tr.add_subparsers(dest="action", required=True)
+    p_ts = tr_sub.add_parser("show", help="inspect/verify a trace container")
+    p_ts.add_argument("path")
+    p_ts.add_argument("--verify", action="store_true",
                       help="checksum every batch; exit 1 on corruption")
+    p_tm = tr_sub.add_parser(
+        "migrate", help="convert a v1/v2 archive to a v3 container")
+    p_tm.add_argument("src", help="source trace (.npz archive or .tv3 dir)")
+    p_tm.add_argument("dst", help="destination v3 container "
+                                  "(.tv3 appended if missing)")
     p_en = sub.add_parser("engine",
                           help="pipeline-engine stats and artifact listing")
     en_sub = p_en.add_subparsers(dest="action", required=True)
@@ -379,6 +423,14 @@ def main(argv: list[str] | None = None) -> int:
     p_va = sub.add_parser("validate", help="run the reproduction gate")
     p_va.add_argument("rest", nargs=argparse.REMAINDER)
 
+    if argv is None:
+        argv = sys.argv[1:]
+    # back-compat shim: `trace <path> [--verify]` predates the
+    # show/migrate subcommands and must keep working — insert "show"
+    # unless an action (or a help flag) is already spelled out
+    if (len(argv) >= 2 and argv[0] == "trace"
+            and argv[1] not in ("show", "migrate", "-h", "--help")):
+        argv = [argv[0], "show", *argv[1:]]
     args = parser.parse_args(argv)
     try:
         if args.command in ("analyze", "power", "perf"):
@@ -393,11 +445,13 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_engine(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "trace":
+            if args.action == "migrate":
+                return cmd_trace_migrate(args)
+            return cmd_trace(args)
     except ConfigurationError as exc:
         print(f"nvscavenger: error: {exc}", file=sys.stderr)
         return 2
-    if args.command == "trace":
-        return cmd_trace(args)
     if args.command == "validate":
         from repro.validation import main as validation_main
 

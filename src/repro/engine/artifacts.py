@@ -1,9 +1,13 @@
 """Content-addressed artifact cache for recorded runs.
 
-Layout: ``<root>/<key[:2]>/<key>/`` holding three files —
+Layout: ``<root>/<key[:2]>/<key>/`` holding three entries —
 
-* ``refs.npz`` — the reference batches in the crash-safe v2 trace format
-  (per-batch CRC32, atomic publish);
+* ``refs.tv3/`` — the reference batches in the chunked columnar v3
+  trace format (per-chunk CRC32 index, streamed chunk files, atomic
+  directory publish; see :mod:`repro.trace.chunked`). Caches written
+  before v3 hold a monolithic ``refs.npz`` instead — those still read
+  fine (:attr:`Artifact.refs_path` picks whichever exists) and can be
+  upgraded with ``nvscavenger trace migrate``;
 * ``events.json`` — the discrete event stream interleaved with batch
   placeholders (see :mod:`repro.engine.events`);
 * ``meta.json`` — the canonical spec plus run-level facts (footprint,
@@ -52,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List
 
 from repro.errors import TraceError
+from repro.trace.fsio import content_digest_from_crcs
 from repro.trace.io import OsFS, TraceReader, TraceWriter
 from repro.trace.record import RefBatch
 
@@ -60,10 +65,17 @@ from repro.engine.spec import RunSpec
 
 _log = logging.getLogger("repro.engine.cache")
 
-#: The three files of a committed artifact, in write order.
-ARTIFACT_FILES = ("refs.npz", "events.json", "meta.json")
-#: Temporary siblings a crashed recording may leave behind.
-TMP_FILES = tuple(name + ".tmp" for name in ARTIFACT_FILES)
+#: The chunked v3 trace container inside an artifact directory.
+REFS_TV3 = "refs.tv3"
+#: The legacy monolithic trace archive (pre-v3 caches).
+REFS_NPZ = "refs.npz"
+#: The three entries of a committed artifact, in write order.
+ARTIFACT_FILES = (REFS_TV3, "events.json", "meta.json")
+#: Temporary sibling *files* a crashed recording may leave behind
+#: (``refs.npz.tmp`` covers pre-v3 caches).
+TMP_FILES = ("refs.npz.tmp", "events.json.tmp", "meta.json.tmp")
+#: Temporary sibling *directories* a crashed v3 recording may leave.
+TMP_DIRS = (REFS_TV3 + ".tmp",)
 #: Sibling-directory suffix quarantined artifacts are renamed under.
 QUARANTINE_SUFFIX = ".quarantine"
 #: Zero-byte sidecar whose mtime is the artifact's last-use stamp.
@@ -120,7 +132,16 @@ class Artifact:
 
     @property
     def refs_path(self) -> str:
-        return os.path.join(self.directory, "refs.npz")
+        """The trace container: the v3 chunk directory when present,
+        else the legacy npz archive (pre-v3 caches), else the v3 path a
+        fresh recording would create."""
+        tv3 = os.path.join(self.directory, REFS_TV3)
+        if os.path.isdir(tv3):
+            return tv3
+        npz = os.path.join(self.directory, REFS_NPZ)
+        if os.path.exists(npz):
+            return npz
+        return tv3
 
     @property
     def events_path(self) -> str:
@@ -172,13 +193,20 @@ class Artifact:
             yield from reader
 
     def size_bytes(self) -> int:
-        """Total on-disk size of the artifact's files."""
+        """Total on-disk size of the artifact directory.
+
+        Walks the whole tree rather than a fixed file list so the v3
+        trace container's nested chunk files (and any stray tmp
+        leftovers) are counted — ``engine gc`` and ``engine ls`` byte
+        totals stay correct for mixed v2/v3 caches.
+        """
         total = 0
-        for name in ARTIFACT_FILES + TMP_FILES:
-            try:
-                total += os.path.getsize(os.path.join(self.directory, name))
-            except OSError:
-                pass
+        for dirpath, _dirnames, filenames in os.walk(self.directory):
+            for name in filenames:
+                try:
+                    total += os.path.getsize(os.path.join(dirpath, name))
+                except OSError:
+                    pass
         return total
 
     def verify(self) -> int:
@@ -190,13 +218,12 @@ class Artifact:
         """
         return len(self.verify_load()[1])
 
-    def verify_load(self) -> tuple[list, List[RefBatch]]:
-        """Scrub the whole artifact and return its decoded payload.
+    def verify_marker(self) -> dict:
+        """Check the commit marker and the event log's whole-file CRC.
 
-        Performs exactly the checks :meth:`verify` does, but hands back
-        ``(events, batches)`` so a caller about to replay does not decode
-        the event JSON and the npz batches a second time — the scrub *is*
-        the decode.
+        Validates meta.json's self-checksum and key, and events.json
+        against the ``events_crc32`` the marker declares — everything
+        *except* the trace payload. Returns the (validated) meta dict.
         """
         meta = self.meta
         stored_key = meta.get("key")
@@ -240,24 +267,130 @@ class Artifact:
                     f"computed {actual_crc:#010x})",
                     key=self.key, path=self.events_path,
                 )
+        return meta
+
+    def _check_n_batches(self, n: int, path: str) -> None:
+        declared = self.meta.get("n_batches")
+        if declared is not None and int(declared) != n:
+            raise TraceError(
+                f"artifact {self.key[:12]}: {os.path.basename(path)} holds "
+                f"{n} batches but meta.json declares {declared} "
+                f"(truncated trace)",
+                key=self.key, path=path,
+            )
+
+    def verify_load(self) -> tuple[list, List[RefBatch]]:
+        """Scrub the whole artifact and return its decoded payload.
+
+        Performs exactly the checks :meth:`verify` does, but hands back
+        ``(events, batches)`` so a caller about to replay does not decode
+        the event JSON and the trace batches a second time — the scrub
+        *is* the decode.
+        """
+        self.verify_marker()
         events = self.events()
         try:
-            # iterating the reader checksums every batch (v2 CRC path)
+            # iterating the reader checksums every batch/chunk
             with TraceReader(self.refs_path) as reader:
                 batches = list(reader)
         except TraceError as exc:
             if exc.key is None:
                 exc.key = self.key
             raise
-        n = len(batches)
-        declared = meta.get("n_batches")
-        if declared is not None and int(declared) != n:
-            raise TraceError(
-                f"artifact {self.key[:12]}: refs.npz holds {n} batches but "
-                f"meta.json declares {declared} (truncated trace)",
-                key=self.key, path=self.refs_path,
-            )
+        self._check_n_batches(len(batches), self.refs_path)
         return events, batches
+
+    def verify_integrity(self) -> int:
+        """Structural scrub without decoding the trace; returns the
+        batch count.
+
+        Checks everything :meth:`verify` does *except* that chunk
+        payloads are verified by their stored CRC32s only — for a v3
+        container that is a CRC pass over the mapped chunk bytes with
+        no decompression and no array construction, which is what makes
+        the service's warm path cheap. Legacy npz archives have no
+        stored-bytes checksum, so they fall back to the full decode.
+        """
+        self.verify_marker()
+        try:
+            with TraceReader(self.refs_path) as reader:
+                if hasattr(reader, "verify_stored"):
+                    reader.verify_stored()
+                    n = reader.n_batches
+                else:
+                    n = reader.verify()
+        except TraceError as exc:
+            if exc.key is None:
+                exc.key = self.key
+            raise
+        self._check_n_batches(n, self.refs_path)
+        return n
+
+    def content_digest(self) -> str:
+        """The run's content digest, computed from stored CRCs.
+
+        sha256 over the event log's CRC32 plus every batch's
+        format-independent payload CRC32 — read from the v3 chunk index
+        (or v2's tiny ``b{i}_crc`` members) without decoding any
+        payload, and equal to
+        :func:`repro.service.protocol.digest_payload` of the decoded
+        content. Stable across re-records of the same spec *and* across
+        a v2→v3 migration.
+        """
+        meta = self.meta
+        events_crc = meta.get("events_crc32")
+        if events_crc is None:  # pre-checksum marker: hash the bytes
+            try:
+                with open(self.events_path, "rb") as fh:
+                    events_crc = zlib.crc32(fh.read())
+            except OSError as exc:
+                raise TraceError(
+                    f"artifact {self.key[:12]}: cannot read events.json: "
+                    f"{exc}", key=self.key, path=self.events_path,
+                ) from exc
+        try:
+            with TraceReader(self.refs_path) as reader:
+                crcs = reader.payload_crcs()
+        except TraceError as exc:
+            if exc.key is None:
+                exc.key = self.key
+            raise
+        return content_digest_from_crcs(int(events_crc), crcs)
+
+    def verify_chunks(self) -> list["ChunkVerdict"]:
+        """Per-chunk scrub verdicts — fsck's forensic view.
+
+        Returns one :class:`ChunkVerdict` per batch, decoding each
+        independently so a single corrupt chunk does not mask the
+        intact ones around it. If the container itself is unreadable
+        (missing file, corrupt index) a single index ``-1`` verdict
+        describes that.
+        """
+        try:
+            reader = TraceReader(self.refs_path)
+        except TraceError as exc:
+            return [ChunkVerdict(-1, "corrupt", 0,
+                                 f"unreadable container: {exc}")]
+        verdicts: list[ChunkVerdict] = []
+        with reader:
+            for i in range(reader.n_batches):
+                try:
+                    batch = reader.read_batch(i)
+                except TraceError as exc:
+                    verdicts.append(ChunkVerdict(i, "corrupt", 0, str(exc)))
+                else:
+                    verdicts.append(ChunkVerdict(i, "ok", len(batch)))
+        return verdicts
+
+
+@dataclass
+class ChunkVerdict:
+    """One chunk's (batch's) outcome from :meth:`Artifact.verify_chunks`."""
+
+    index: int
+    status: str  # "ok" | "corrupt"
+    refs: int = 0
+    detail: str = ""
 
 
 class PendingArtifact:
@@ -282,12 +415,16 @@ class PendingArtifact:
         self._done = False
         self._fs.makedirs(directory)
         # clear any partial files left by an interrupted recording (safe:
-        # the key lock guarantees no live recorder owns them)
-        for name in ARTIFACT_FILES + TMP_FILES + (LAST_ACCESS_FILE,):
+        # the key lock guarantees no live recorder owns them); the v3
+        # trace container and its tmp are directories, so clean both kinds
+        for name in (ARTIFACT_FILES + (REFS_NPZ,) + TMP_FILES + TMP_DIRS
+                     + (LAST_ACCESS_FILE,)):
             path = os.path.join(directory, name)
-            if self._fs.exists(path):
+            if os.path.isdir(path):
+                self._fs.rmtree(path)
+            elif self._fs.exists(path):
                 self._fs.unlink(path)
-        self.writer = TraceWriter(os.path.join(directory, "refs.npz"),
+        self.writer = TraceWriter(os.path.join(directory, REFS_TV3),
                                   fs=self._fs)
 
     def _finish(self) -> None:
@@ -327,11 +464,13 @@ class PendingArtifact:
             self.writer.discard()
         except Exception:
             pass
-        for name in (("meta.json", "events.json", "refs.npz")
-                     + TMP_FILES + (LAST_ACCESS_FILE,)):
+        for name in (("meta.json", "events.json", REFS_TV3, REFS_NPZ)
+                     + TMP_FILES + TMP_DIRS + (LAST_ACCESS_FILE,)):
             path = os.path.join(self.directory, name)
             try:
-                if self._fs.exists(path):
+                if os.path.isdir(path):
+                    self._fs.rmtree(path)
+                elif self._fs.exists(path):
                     self._fs.unlink(path)
             except OSError:
                 pass
@@ -618,7 +757,19 @@ class ArtifactCache:
             try:
                 n = art.verify()
             except TraceError as exc:
-                entry = FsckEntry(name, path, "corrupt", str(exc))
+                detail = str(exc)
+                # chunk-granular forensics: when only the trace payload is
+                # bad (the marker itself verified), name which chunks
+                # survived so quarantine triage knows what is salvageable
+                if getattr(exc, "batch_index", None) is not None or \
+                        os.path.isdir(os.path.join(path, REFS_TV3)):
+                    verdicts = art.verify_chunks()
+                    bad = [v.index for v in verdicts if v.status != "ok"]
+                    good = sum(1 for v in verdicts if v.status == "ok")
+                    if bad:
+                        detail += (f"; chunks: {good} intact, "
+                                   f"{len(bad)} corrupt ({bad[:8]})")
+                entry = FsckEntry(name, path, "corrupt", detail)
                 if repair:
                     try:
                         if self.quarantine(name, reason=str(exc)) is not None:
@@ -628,14 +779,18 @@ class ArtifactCache:
                 report.entries.append(entry)
                 continue
             entry = FsckEntry(name, path, "ok", f"{n} batches verified")
-            stray = [t for t in TMP_FILES
+            stray = [t for t in TMP_FILES + TMP_DIRS
                      if os.path.exists(os.path.join(path, t))]
             if stray:
                 entry.detail += f"; stray tmp files: {', '.join(stray)}"
                 if repair:
                     for t in stray:
+                        target = os.path.join(path, t)
                         try:
-                            os.unlink(os.path.join(path, t))
+                            if os.path.isdir(target):
+                                shutil.rmtree(target)
+                            else:
+                                os.unlink(target)
                         except OSError:
                             pass
                     entry.action = "removed stray tmp files"

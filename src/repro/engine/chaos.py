@@ -106,8 +106,8 @@ class IOFaultScenario(FaultScenario):
 
 
 register_scenario(IOFaultScenario(
-    "io-torn-refs", "torn write: only 512 bytes of the trace tmp survive",
-    faults=(IOFault("torn", op="write:refs.npz.tmp", offset=512),)))
+    "io-torn-refs", "torn write: only 512 bytes of the first chunk survive",
+    faults=(IOFault("torn", op="write:chunk-000000.bin", offset=512),)))
 register_scenario(IOFaultScenario(
     "io-enospc-meta", "disk full while writing the meta.json commit marker",
     faults=(IOFault("enospc", op="write:meta.json.tmp"),)))
@@ -118,12 +118,12 @@ register_scenario(IOFaultScenario(
     "io-crash-commit", "process killed at the meta.json publish rename",
     faults=(IOFault("crash", op="replace:meta.json"),)))
 register_scenario(IOFaultScenario(
-    "io-bitflip-refs", "one bit flips in the committed trace file",
-    faults=(IOFault("bitflip", op="replace:refs.npz"),)))
+    "io-bitflip-refs", "one bit flips in the committed trace container",
+    faults=(IOFault("bitflip", op="replace:refs.tv3"),)))
 register_scenario(IOFaultScenario(
     "io-bitflip-refs-persistent",
-    "every re-recorded trace file is corrupted again (bad media)",
-    faults=(IOFault("bitflip", op="replace:refs.npz", repeat=True),)))
+    "every re-recorded trace container is corrupted again (bad media)",
+    faults=(IOFault("bitflip", op="replace:refs.tv3", repeat=True),)))
 
 
 def _zip_payload_spans(path: str) -> list[tuple[int, int]]:
@@ -159,10 +159,33 @@ def _zip_payload_spans(path: str) -> list[tuple[int, int]]:
 def _flip_payload_bit(path: str, injector: FaultInjector) -> int:
     """Flip one injector-drawn bit of *path*'s stored payload, in place.
 
-    For zip containers (``refs.npz``) the flip lands inside a member's
-    compressed data; for anything else, anywhere in the file. Returns
-    the affected byte offset.
+    For a v3 container *directory* the flip lands anywhere across its
+    files' total bytes (index and chunks alike — every byte is covered
+    by a CRC32, so any flip is detectable); for zip containers
+    (``refs.npz``) inside a member's compressed data; for anything else,
+    anywhere in the file. Returns the affected byte offset (within the
+    chosen file, for directories).
     """
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(dp, f)
+            for dp, _dn, fns in os.walk(path) for f in fns
+        )
+        total = sum(os.path.getsize(f) for f in files)
+        if total == 0:
+            raise FaultInjectionError(f"cannot corrupt empty container {path}")
+        k = injector.random_offset(total)
+        for fpath in files:
+            size = os.path.getsize(fpath)
+            if k < size:
+                with open(fpath, "rb") as fh:
+                    data = bytearray(fh.read())
+                data[k] ^= 1 << injector.random_offset(8)
+                with open(fpath, "wb") as fh:
+                    fh.write(data)
+                return k
+            k -= size
+        raise AssertionError("unreachable: offset within total size")
     with open(path, "rb") as fh:
         data = bytearray(fh.read())
     if not data:
@@ -352,6 +375,12 @@ class ChaosFS(OsFS):
         if self.dead:
             raise SimulatedCrash("chaos: rename after simulated crash")
         os.rename(src, dst)
+
+    def rmtree(self, path: str) -> None:
+        fault = self._op("rmtree", path)
+        if fault is not None and fault.kind == "crash":
+            self._crash(f"rmtree of {os.path.basename(path)}")
+        super().rmtree(path)
 
     def unlink(self, path: str) -> None:
         fault = self._op("unlink", path)

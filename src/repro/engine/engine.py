@@ -2,27 +2,42 @@
 
 ``record(spec)`` executes the application *at most once per distinct
 spec*: the first request instruments the app, streams its reference
-batches into the crash-safe v2 trace format under the content-addressed
-artifact cache, and logs the discrete event stream; later requests (and
-later processes pointed at the same cache root) return the committed
-artifact without executing anything. ``replay(spec, probes)`` re-delivers
-a recorded run into any probe set — the NV-SCAVENGER analyzers, the cache
-simulator, a locality analyzer — so one execution feeds arbitrarily many
-consumers.
+batches into the crash-safe chunked v3 trace format under the
+content-addressed artifact cache, and logs the discrete event stream;
+later requests (and later processes pointed at the same cache root)
+return the committed artifact without executing anything.
+``replay(spec, probes)`` re-delivers a recorded run into any probe set —
+the NV-SCAVENGER analyzers, the cache simulator, a locality analyzer —
+so one execution feeds arbitrarily many consumers.
+``replay_window(spec, probes, start_ref, n_refs)`` delivers just a slice
+of the reference stream, using the v3 chunk index to decode only the
+chunks the window touches.
 
-Every stage is instrumented: per-stage wall time, reference counts and
-derived refs/sec live in :attr:`PipelineEngine.stats`, alongside the
-``app_runs`` / ``cache_hits`` / ``replays`` counters the suite-level
-"each spec executes once" guarantee is tested against.
+Every stage is instrumented: per-phase wall time (``map`` the container,
+``verify`` stored checksums, ``decode`` chunks, ``consume`` in probes),
+reference counts and derived refs/sec live in
+:attr:`PipelineEngine.stats`, alongside the ``app_runs`` /
+``cache_hits`` / ``replays`` / ``chunks_verified`` / ``chunks_decoded``
+counters the suite-level "each spec executes once" guarantee — and the
+window-replay decode bound — are tested against.
 
 Replay is **self-healing**: before an artifact's first replay through an
-engine instance, every batch CRC and both JSON files are scrubbed. A
-corrupt artifact is quarantined (renamed aside, structured log event)
-and transparently re-recorded with bounded, exponentially backed-off
-retries; the ``quarantined`` / ``rerecorded`` counters surface how often
-that happened. Recording is also safe across processes: the cache's
-per-key ``flock`` serializes concurrent recorders, and losing the race
-simply returns the winner's committed artifact as a cache hit.
+engine instance, both JSON files and every chunk's stored CRC32 are
+scrubbed (for v3 that is a checksum pass over the mapped bytes, no
+decompression). A corrupt artifact is quarantined (renamed aside,
+structured log event) and transparently re-recorded with bounded,
+exponentially backed-off retries; the ``quarantined`` / ``rerecorded``
+counters surface how often that happened. Recording is also safe across
+processes: the cache's per-key ``flock`` serializes concurrent
+recorders, and losing the race simply returns the winner's committed
+artifact as a cache hit.
+
+Decoding is **lazy and chunk-granular**: an open artifact is held as a
+:class:`_RunHandle` (memory-mapped reader + parsed event stream), and a
+chunk is decoded only when a replay first touches it, landing in a
+per-``(key, chunk)`` LRU memo bounded by ``decode_cache_bytes``. A full
+replay therefore decodes each chunk once across arbitrarily many
+replays, and a window replay never decodes chunks outside the window.
 
 By default each engine gets a **fresh temporary cache root** (per
 process), so repeated invocations never read stale artifacts from earlier
@@ -38,8 +53,11 @@ import tempfile
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
+import numpy as np
+
+from repro.trace.io import TraceReader
 from repro.trace.record import RefBatch
 
 from repro.engine.artifacts import Artifact, ArtifactCache
@@ -70,6 +88,10 @@ class StageStats:
         return self.refs / self.wall_s if self.wall_s > 0 else 0.0
 
 
+#: The per-stage timing keys every engine reports, in pipeline order.
+STAGE_NAMES = ("record", "replay", "map", "verify", "decode", "consume")
+
+
 @dataclass
 class EngineStats:
     """Counters and per-stage timings for one engine instance."""
@@ -79,19 +101,23 @@ class EngineStats:
     replays: int = 0
     quarantined: int = 0
     rerecorded: int = 0
+    #: chunks whose stored CRC32 was checked (first scrub per handle)
+    chunks_verified: int = 0
+    #: chunks decoded into arrays (memo misses — the expensive path)
+    chunks_decoded: int = 0
+    #: windowed partial replays served via the chunk index
+    window_replays: int = 0
     stages: dict[str, StageStats] = field(
-        default_factory=lambda: {"record": StageStats(), "replay": StageStats()}
+        default_factory=lambda: {n: StageStats() for n in STAGE_NAMES}
     )
+
+    _COUNTERS = ("app_runs", "cache_hits", "replays", "quarantined",
+                 "rerecorded", "chunks_verified", "chunks_decoded",
+                 "window_replays")
 
     def snapshot(self) -> dict:
         """Flat machine-readable view (used for per-experiment deltas)."""
-        out = {
-            "app_runs": self.app_runs,
-            "cache_hits": self.cache_hits,
-            "replays": self.replays,
-            "quarantined": self.quarantined,
-            "rerecorded": self.rerecorded,
-        }
+        out = {name: getattr(self, name) for name in self._COUNTERS}
         for name, st in self.stages.items():
             out[f"{name}_s"] = st.wall_s
             out[f"{name}_refs"] = st.refs
@@ -108,11 +134,8 @@ class EngineStats:
         engine) into this instance. Counters and reference totals add up
         exactly; stage wall times add as *CPU-seconds across workers*, so
         the merged wall can exceed the suite's elapsed wall clock."""
-        self.app_runs += int(delta.get("app_runs", 0))
-        self.cache_hits += int(delta.get("cache_hits", 0))
-        self.replays += int(delta.get("replays", 0))
-        self.quarantined += int(delta.get("quarantined", 0))
-        self.rerecorded += int(delta.get("rerecorded", 0))
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + int(delta.get(name, 0)))
         for name, st in self.stages.items():
             st.wall_s += float(delta.get(f"{name}_s", 0.0))
             st.refs += int(delta.get(f"{name}_refs", 0))
@@ -124,6 +147,9 @@ class EngineStats:
             f"app runs: {self.app_runs}   cache hits: {self.cache_hits}   "
             f"replays: {self.replays}   quarantined: {self.quarantined}   "
             f"re-recorded: {self.rerecorded}",
+            f"chunks verified: {self.chunks_verified}   "
+            f"chunks decoded: {self.chunks_decoded}   "
+            f"window replays: {self.window_replays}",
             f"{'stage':8s} {'calls':>6s} {'wall (s)':>9s} {'refs':>12s} {'refs/sec':>12s}",
         ]
         for name, st in self.stages.items():
@@ -141,24 +167,38 @@ def _default_root() -> str:
     return tempfile.mkdtemp(prefix="nvscavenger-cache-")
 
 
-#: Default in-memory budget for decoded runs kept by one engine instance.
+#: Default in-memory budget for decoded chunks kept by one engine instance.
 DECODE_CACHE_BYTES = 256 << 20
 
 
 @dataclass
-class _DecodedRun:
-    """One artifact's payload decoded into memory (events + batches)."""
+class _DecodedChunk:
+    """One chunk's batch decoded into (frozen) arrays."""
 
-    events: list
-    batches: list[RefBatch]
+    batch: RefBatch
     nbytes: int
 
 
-def _batches_nbytes(batches: list[RefBatch]) -> int:
-    return sum(
-        b.addr.nbytes + b.is_write.nbytes + b.size.nbytes + b.oid.nbytes
-        for b in batches
-    )
+@dataclass
+class _RunHandle:
+    """An open artifact: mapped trace reader + parsed event stream.
+
+    Holding the handle across replays means the v3 container's index and
+    chunk mmaps stay established — re-replaying costs no re-open, and the
+    per-chunk stored-CRC verification state inside the reader persists.
+    ``ref_offsets`` (cumulative refs before each chunk) is filled lazily:
+    free from a v3 index, derived by decoding for legacy npz archives.
+    """
+
+    art: Artifact
+    reader: object  # ChunkedTraceReader | NpzTraceReader
+    events: list
+    ref_offsets: np.ndarray | None = None
+    verified: bool = False
+
+
+def _batch_nbytes(b: RefBatch) -> int:
+    return b.addr.nbytes + b.is_write.nbytes + b.size.nbytes + b.oid.nbytes
 
 
 class PipelineEngine:
@@ -184,12 +224,15 @@ class PipelineEngine:
         self.rerecord_backoff_s = rerecord_backoff_s
         #: keys whose committed artifact this engine already scrubbed
         self._verified: set[str] = set()
-        # decoded-run memo: replaying the same artifact many times (the
-        # suite's normal shape) must not re-open the npz archive and
-        # re-parse the event JSON every time — the decode dominated
-        # replay wall time before this cache existed. 0 disables it.
+        #: open artifacts, keyed by artifact key
+        self._handles: dict[str, _RunHandle] = {}
+        # decoded-chunk memo: replaying the same artifact many times (the
+        # suite's normal shape) must not re-inflate compressed chunks
+        # every time — keyed ``(key, chunk_index)`` so window replays
+        # memoize only what they touched. 0 disables it.
         self.decode_cache_bytes = decode_cache_bytes
-        self._decoded: OrderedDict[str, _DecodedRun] = OrderedDict()
+        self._decoded: OrderedDict[tuple[str, int], _DecodedChunk] = \
+            OrderedDict()
         self._decoded_bytes = 0
 
     # ------------------------------------------------------------------
@@ -236,31 +279,128 @@ class PipelineEngine:
         self.stats.app_runs += 1
         return art
 
-    # ------------------------------------------------------------------
-    def _remember(self, key: str, events: list,
-                  batches: list[RefBatch]) -> None:
-        """Memoize a decoded run, LRU-bounded by ``decode_cache_bytes``."""
+    # -- handles and the chunk memo ------------------------------------
+    def _handle(self, art: Artifact) -> _RunHandle:
+        """The open :class:`_RunHandle` for *art*, opening it on first use.
+
+        Opening maps the trace container (for v3: reads and validates the
+        chunk index, no payload I/O) and parses the event stream; the
+        cost lands in the ``map`` stage."""
+        h = self._handles.get(art.key)
+        if h is not None:
+            return h
+        t0 = time.perf_counter()
+        try:
+            reader = TraceReader(art.refs_path)
+        except TraceError as exc:
+            if exc.key is None:
+                exc.key = art.key
+            raise
+        try:
+            events = art.events()
+        except BaseException:
+            reader.close()
+            raise
+        stage = self.stats.stages["map"]
+        stage.calls += 1
+        stage.wall_s += time.perf_counter() - t0
+        h = _RunHandle(art=art, reader=reader, events=events)
+        self._handles[art.key] = h
+        return h
+
+    def _verify_handle(self, h: _RunHandle) -> None:
+        """Scrub *h* before anything is delivered from it (idempotent).
+
+        Checks the commit marker, the event log's whole-file CRC, and
+        every chunk's stored CRC32 — for v3 a checksum pass over the
+        mapped bytes with no decompression, for legacy npz a full decode
+        (the archive stores no raw-bytes checksum). Runs once per handle;
+        raises :class:`~repro.errors.TraceError` on any corruption, so a
+        bad artifact can never half-deliver into stateful probes."""
+        if h.verified:
+            return
+        art = h.art
+        t0 = time.perf_counter()
+        try:
+            art.verify_marker()
+            reader = h.reader
+            if hasattr(reader, "verify_stored"):
+                reader.verify_stored()
+                self.stats.chunks_verified += reader.n_batches
+            else:
+                self.stats.chunks_verified += reader.verify()
+            art._check_n_batches(reader.n_batches, art.refs_path)
+        except TraceError as exc:
+            if exc.key is None:
+                exc.key = art.key
+            raise
+        finally:
+            stage = self.stats.stages["verify"]
+            stage.calls += 1
+            stage.wall_s += time.perf_counter() - t0
+        stage.refs += int(art.meta.get("refs", 0) or 0)
+        h.verified = True
+
+    def _chunk(self, h: _RunHandle, i: int) -> RefBatch:
+        """Chunk *i* of *h*'s trace, via the decode memo when warm."""
+        memo_key = (h.art.key, i)
+        entry = self._decoded.get(memo_key)
+        if entry is not None:
+            self._decoded.move_to_end(memo_key)
+            return entry.batch
+        t0 = time.perf_counter()
+        try:
+            batch = h.reader.read_batch(i)
+        except TraceError as exc:
+            if exc.key is None:
+                exc.key = h.art.key
+            raise
+        stage = self.stats.stages["decode"]
+        stage.calls += 1
+        stage.wall_s += time.perf_counter() - t0
+        stage.refs += len(batch)
+        self.stats.chunks_decoded += 1
+        self._remember_chunk(memo_key, batch)
+        return batch
+
+    def _remember_chunk(self, memo_key: tuple[str, int],
+                        batch: RefBatch) -> None:
+        """Memoize a decoded chunk, LRU-bounded by ``decode_cache_bytes``."""
         if self.decode_cache_bytes <= 0:
             return
-        for b in batches:
-            # a probe mutating a memoized batch would silently poison
-            # every later replay; freeze the arrays so it raises instead
-            for arr in (b.addr, b.is_write, b.size, b.oid):
-                arr.setflags(write=False)
-        nbytes = _batches_nbytes(batches)
+        # a probe mutating a memoized batch would silently poison every
+        # later replay; freeze the arrays so it raises instead (v3 raw
+        # chunks are mmap-backed and already read-only)
+        for arr in (batch.addr, batch.is_write, batch.size, batch.oid):
+            arr.setflags(write=False)
+        nbytes = _batch_nbytes(batch)
         if nbytes > self.decode_cache_bytes:
             return
-        self._forget(key)
-        self._decoded[key] = _DecodedRun(events, batches, nbytes)
-        self._decoded_bytes += nbytes
-        while self._decoded_bytes > self.decode_cache_bytes and self._decoded:
-            _, old = self._decoded.popitem(last=False)
-            self._decoded_bytes -= old.nbytes
-
-    def _forget(self, key: str) -> None:
-        old = self._decoded.pop(key, None)
+        old = self._decoded.pop(memo_key, None)
         if old is not None:
             self._decoded_bytes -= old.nbytes
+        self._decoded[memo_key] = _DecodedChunk(batch, nbytes)
+        self._decoded_bytes += nbytes
+        while self._decoded_bytes > self.decode_cache_bytes and self._decoded:
+            _, evicted = self._decoded.popitem(last=False)
+            self._decoded_bytes -= evicted.nbytes
+
+    def memoized_chunks(self, key: str) -> list[int]:
+        """Chunk indices of *key* currently held in the decode memo."""
+        return sorted(i for (k, i) in self._decoded if k == key)
+
+    def _forget(self, key: str) -> None:
+        """Drop everything held in memory for *key*: memoized chunks,
+        the open handle (closing its mmaps), and its scrub status."""
+        for memo_key in [mk for mk in self._decoded if mk[0] == key]:
+            self._decoded_bytes -= self._decoded.pop(memo_key).nbytes
+        h = self._handles.pop(key, None)
+        if h is not None:
+            try:
+                h.reader.close()
+            except Exception:
+                pass
+        self._verified.discard(key)
 
     # ------------------------------------------------------------------
     def verified_artifact(self, spec: RunSpec) -> Artifact:
@@ -270,12 +410,17 @@ class PipelineEngine:
         quarantines the artifact and falls back to a live re-record, with
         up to ``max_rerecord_attempts`` retries under exponential backoff
         (transient ``OSError`` during the re-record is retried too).
-        Each committed key is scrubbed once per engine instance, and the
-        scrub doubles as the decode: the verified events and batches are
-        memoized so the first replay does not re-read what the scrub
-        already decoded."""
+        Each committed key is scrubbed once per engine instance; the
+        scrub is chunk-stored-CRC granular, so it does not decompress v3
+        payloads — decoding stays lazy for the replay itself. With
+        ``self_heal=False`` the scrub still runs but corruption raises
+        directly instead of quarantining and re-recording."""
         art = self.record(spec)
-        if not self.self_heal or art.key in self._verified:
+        if art.key in self._verified:
+            return art
+        if not self.self_heal:
+            self._verify_handle(self._handle(art))
+            self._verified.add(art.key)
             return art
         last_exc: Exception | None = None
         for attempt in range(self.max_rerecord_attempts + 1):
@@ -288,7 +433,7 @@ class PipelineEngine:
                     continue
                 self.stats.rerecorded += 1
             try:
-                events, batches = art.verify_load()
+                self._verify_handle(self._handle(art))
             except TraceError as exc:
                 last_exc = exc
                 self._forget(art.key)
@@ -296,7 +441,6 @@ class PipelineEngine:
                 self.stats.quarantined += 1
                 continue
             self._verified.add(art.key)
-            self._remember(art.key, events, batches)
             return art
         raise TraceError(
             f"artifact for {spec} still unusable after "
@@ -305,20 +449,27 @@ class PipelineEngine:
         )
 
     # ------------------------------------------------------------------
-    def _decoded_run(self, spec: RunSpec) -> tuple[Artifact, list, list[RefBatch]]:
-        """The verified artifact plus its decoded payload, via the memo
-        when the run is already in memory."""
-        art = self.verified_artifact(spec)
-        run = self._decoded.get(art.key)
-        if run is not None:
-            self._decoded.move_to_end(art.key)
-            return art, run.events, run.batches
-        events = art.events()
-        batches = list(art.batches())
-        self._remember(art.key, events, batches)
-        return art, events, batches
+    def _chunk_iter(self, h: _RunHandle) -> Iterator[RefBatch]:
+        for i in range(h.reader.n_batches):
+            yield self._chunk(h, i)
 
-    # ------------------------------------------------------------------
+    def _ref_offsets(self, h: _RunHandle) -> np.ndarray:
+        """Cumulative refs before each chunk (length ``n_batches + 1``).
+
+        Free from the v3 chunk index; for legacy npz archives the batch
+        lengths are only known by decoding, so they come through the
+        chunk memo (a window replay over an npz therefore decodes
+        everything once — exactly the cost v3 removes)."""
+        if h.ref_offsets is None:
+            offsets = getattr(h.reader, "ref_offsets", None)
+            if offsets is None:
+                lens = [len(self._chunk(h, i))
+                        for i in range(h.reader.n_batches)]
+                offsets = np.concatenate(
+                    ([0], np.cumsum(lens, dtype=np.int64)))
+            h.ref_offsets = np.asarray(offsets, dtype=np.int64)
+        return h.ref_offsets
+
     def replay(
         self,
         spec: RunSpec,
@@ -329,16 +480,85 @@ class PipelineEngine:
         needed). The artifact is integrity-scrubbed before its first
         replay through this engine — see :meth:`verified_artifact` — so
         corruption can never half-deliver a stream into stateful probes.
-        Decoded runs are memoized (LRU, ``decode_cache_bytes``), so
-        replay-many costs one decode, not one per replay.
-        Returns the artifact so callers can read ``meta``."""
-        art, events, batches = self._decoded_run(spec)
+        Chunks decode lazily as the event stream reaches them and land in
+        the per-chunk LRU memo, so replay-many costs one decode per
+        chunk, not one per replay. Returns the artifact so callers can
+        read ``meta``."""
+        art = self.verified_artifact(spec)
+        h = self._handle(art)
+        self._verify_handle(h)
         probe = probes if isinstance(probes, Probe) else FanoutProbe(list(probes))
+        decode = self.stats.stages["decode"]
+        decode_before = decode.wall_s
         t0 = time.perf_counter()
-        replay_events(events, iter(batches), probe, stack=stack)
+        replay_events(h.events, self._chunk_iter(h), probe, stack=stack)
+        wall = time.perf_counter() - t0
+        refs = art.meta["refs"]
         stage = self.stats.stages["replay"]
         stage.calls += 1
-        stage.wall_s += time.perf_counter() - t0
-        stage.refs += art.meta["refs"]
+        stage.wall_s += wall
+        stage.refs += refs
+        # probe-side cost: replay wall minus whatever lazy decoding
+        # happened inside it
+        consume = self.stats.stages["consume"]
+        consume.calls += 1
+        consume.wall_s += max(0.0, wall - (decode.wall_s - decode_before))
+        consume.refs += refs
         self.stats.replays += 1
+        return art
+
+    def replay_window(
+        self,
+        spec: RunSpec,
+        probes: Probe | Iterable[Probe],
+        start_ref: int,
+        n_refs: int,
+    ) -> Artifact:
+        """Replay only refs ``[start_ref, start_ref + n_refs)`` into
+        *probes*, decoding just the chunks the window overlaps.
+
+        The window is located via the chunk index (binary search over
+        cumulative ref offsets); boundary chunks are trimmed with
+        zero-copy array slices. Batches are delivered in stream order
+        with their original iteration tags, followed by ``on_finish()``;
+        the discrete event stream is *not* replayed — windows are for
+        reference-stream consumers (cache sims, locality analyzers), not
+        allocation-lifecycle probes. Out-of-range windows clamp."""
+        art = self.verified_artifact(spec)
+        h = self._handle(art)
+        self._verify_handle(h)
+        offsets = self._ref_offsets(h)
+        total = int(offsets[-1])
+        start = max(0, min(int(start_ref), total))
+        end = max(start, min(start + max(0, int(n_refs)), total))
+        probe = probes if isinstance(probes, Probe) else FanoutProbe(list(probes))
+        decode = self.stats.stages["decode"]
+        decode_before = decode.wall_s
+        t0 = time.perf_counter()
+        if end > start:
+            first = int(np.searchsorted(offsets, start, side="right")) - 1
+            last = int(np.searchsorted(offsets, end, side="left"))
+            for i in range(first, last):
+                b = self._chunk(h, i)
+                lo = max(0, start - int(offsets[i]))
+                hi = min(len(b), end - int(offsets[i]))
+                if lo > 0 or hi < len(b):
+                    # contiguous slices of the decoded columns — views,
+                    # not copies (RefBatch keeps contiguous arrays as-is)
+                    b = RefBatch(addr=b.addr[lo:hi], is_write=b.is_write[lo:hi],
+                                 size=b.size[lo:hi], oid=b.oid[lo:hi],
+                                 iteration=b.iteration)
+                probe.on_batch(b)
+        probe.on_finish()
+        wall = time.perf_counter() - t0
+        refs = end - start
+        stage = self.stats.stages["replay"]
+        stage.calls += 1
+        stage.wall_s += wall
+        stage.refs += refs
+        consume = self.stats.stages["consume"]
+        consume.calls += 1
+        consume.wall_s += max(0.0, wall - (decode.wall_s - decode_before))
+        consume.refs += refs
+        self.stats.window_replays += 1
         return art

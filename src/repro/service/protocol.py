@@ -33,12 +33,13 @@ never torn bytes.
 
 from __future__ import annotations
 
-import hashlib
 import json
+import zlib
 from typing import Mapping
 
 from repro.engine.spec import VARIANT_PREFIX, RunSpec
 from repro.errors import ReproError
+from repro.trace.fsio import _batch_crc, content_digest_from_crcs
 
 #: Every structured error code the daemon can emit.
 ERROR_CODES = (
@@ -204,15 +205,18 @@ def parse_request(
 def digest_payload(events: list, batches) -> str:
     """Content digest over a decoded run: the event stream plus every
     reference batch's arrays. Stable across re-records of the same spec
-    (unlike a hash of ``refs.npz``, whose zip container embeds
-    timestamps), so "bit-identical answer" is checkable end to end."""
-    h = hashlib.sha256()
-    h.update(json.dumps(events, separators=(",", ":")).encode())
-    for b in batches:
-        h.update(str(int(b.iteration)).encode())
-        for arr in (b.addr, b.is_write, b.size, b.oid):
-            h.update(arr.tobytes())
-    return "sha256:" + h.hexdigest()
+    (unlike a hash of the stored container, which embeds timestamps or
+    compression choices), so "bit-identical answer" is checkable end to
+    end. Built from per-part CRC32s with the same formula as
+    :meth:`repro.engine.artifacts.Artifact.content_digest`, which reads
+    the CRCs straight from the stored chunk index — the server's warm
+    path gets the identical digest without decoding the trace."""
+    events_crc = zlib.crc32(
+        json.dumps(events, separators=(",", ":")).encode())
+    return content_digest_from_crcs(events_crc, (
+        _batch_crc(b.addr, b.is_write, b.size, b.oid, b.iteration)
+        for b in batches
+    ))
 
 
 def ok_body(key: str, meta: dict, digest: str, *, cached: bool,

@@ -60,7 +60,6 @@ from repro.service.breaker import OPEN, BreakerBoard
 from repro.service.protocol import (
     ERROR_STATUS,
     ServiceError,
-    digest_payload,
     error_body,
     ok_body,
     parse_request,
@@ -343,12 +342,14 @@ class AnalysisService:
             return {"ok": True, "key": key, "meta": meta,
                     "digest": self._digests[key], "cached": True}
         try:
-            events, batches = art.verify_load()
+            # stored-CRC scrub + index-derived digest: no trace decode on
+            # the warm path (v3 reads the CRCs straight from the index)
+            art.verify_integrity()
+            digest = art.content_digest()
         except TraceError as exc:
             self.stats["quarantined"] += 1
             self.cache.quarantine(key, reason=str(exc))
             return None
-        digest = digest_payload(events, batches)
         self._verified.add(key)
         self._digests[key] = digest
         return {"ok": True, "key": key, "meta": art.meta,

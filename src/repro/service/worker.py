@@ -27,7 +27,6 @@ import time
 from repro.engine.artifacts import ArtifactCache
 from repro.engine.engine import PipelineEngine
 from repro.errors import ReproError
-from repro.service.protocol import digest_payload
 
 #: Poll interval while waiting on a worker's result pipe.
 _POLL_S = 0.02
@@ -97,12 +96,11 @@ def _record_child(spec, cache_root: str, chaos_scenario: str | None,
             cache = ArtifactCache(cache_root)
         engine = PipelineEngine(cache=cache)
         art = engine.verified_artifact(spec)
-        events, batches = art.verify_load()
         conn.send({
             "ok": True,
             "key": art.key,
             "meta": art.meta,
-            "digest": digest_payload(events, batches),
+            "digest": art.content_digest(),
             "engine": engine.stats.snapshot(),
         })
     except (ReproError, OSError) as exc:

@@ -1,0 +1,105 @@
+"""Shared low-level trace plumbing: filesystem shim and checksums.
+
+Both trace containers — the legacy monolithic ``.npz`` archives
+(:mod:`repro.trace.io`) and the chunked columnar v3 directories
+(:mod:`repro.trace.chunked`) — write through the same injectable
+:class:`OsFS` surface and checksum batch payloads with the same
+:func:`_batch_crc` formula. Keeping those here (below both container
+modules) lets the v3 code share them without importing the npz layer.
+
+The per-batch payload CRC32 is deliberately **format-independent**: it
+covers the logical column arrays plus the iteration index, so the same
+batch stored in a v2 archive and in a v3 chunk carries the same
+checksum, and :func:`content_digest_from_crcs` turns the ordered CRC
+list into a run-level content digest that survives a v2→v3 migration
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import zlib
+from typing import Iterable
+
+import numpy as np
+
+
+class OsFS:
+    """Direct passthrough to the host filesystem.
+
+    The writer-side durability code (the trace writers and the artifact
+    cache) calls the filesystem through this small surface so a
+    fault-injecting shim (:class:`repro.engine.chaos.ChaosFS`) can be
+    substituted in tests. ``os`` functions are resolved at call time, so
+    monkeypatching e.g. ``os.replace`` still works.
+    """
+
+    def open(self, path: str, mode: str = "wb"):
+        return open(path, mode)
+
+    def fsync(self, fh) -> None:
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        os.rename(src, dst)
+
+    def unlink(self, path: str) -> None:
+        os.unlink(path)
+
+    def rmtree(self, path: str) -> None:
+        shutil.rmtree(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def fsync_dir(self, path: str) -> None:
+        """fsync a directory so a rename into it survives power loss.
+
+        Platforms that cannot open directories (Windows) silently skip —
+        the rename itself is still atomic there.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def _batch_crc(addr: np.ndarray, is_write: np.ndarray, size: np.ndarray,
+               oid: np.ndarray, iteration: int) -> int:
+    """CRC32 over a batch's payload, independent of archive encoding."""
+    crc = zlib.crc32(np.ascontiguousarray(addr).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(is_write).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(size).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(oid).tobytes(), crc)
+    return zlib.crc32(int(iteration).to_bytes(8, "little", signed=True), crc)
+
+
+def content_digest_from_crcs(events_crc32: int,
+                             payload_crcs: Iterable[int]) -> str:
+    """Run-level content digest from per-part CRC32s.
+
+    sha256 over ``le32(events_crc32)`` followed by each batch's payload
+    CRC32 in order. Because the payload CRC is the format-independent
+    :func:`_batch_crc`, the digest is identical whether it was computed
+    from decoded content, from a v2 archive's stored ``b{i}_crc``
+    members, or from a v3 chunk index — no decode required for the
+    latter two.
+    """
+    h = hashlib.sha256()
+    h.update(int(events_crc32).to_bytes(4, "little"))
+    for crc in payload_crcs:
+        h.update(int(crc).to_bytes(4, "little"))
+    return "sha256:" + h.hexdigest()

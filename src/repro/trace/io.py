@@ -1,100 +1,60 @@
-"""Compressed trace files.
+"""Durable trace containers, behind one writer/reader API.
 
 The paper notes (§III-D) that storing raw traces does not scale — NV-
 SCAVENGER computes statistics on-the-fly — but the power simulator is
 trace-driven, so filtered (post-cache) traces still need a durable form.
-Files are ``.npz`` archives holding one group of arrays per batch.
+Two containers exist behind the :func:`TraceWriter` / :func:`TraceReader`
+dispatch:
 
-Durability (format v2):
+* **v3 (default)** — the chunked, compressed, columnar directory format
+  of :mod:`repro.trace.chunked`: one file per batch, a CRC-covered
+  index, memory-mapped zero-copy reads with lazy per-chunk
+  verification. Any path *not* ending in ``.npz`` gets a v3 container.
+* **v1/v2 (legacy)** — monolithic ``.npz`` archives holding one group
+  of arrays per batch (:class:`NpzTraceWriter` / :class:`NpzTraceReader`
+  below). Paths ending in ``.npz`` keep producing them, and existing
+  archives always load read-only; ``nvscavenger trace migrate``
+  converts them to v3.
 
-* every batch carries a CRC32 checksum over its payload arrays; a
-  flipped byte anywhere in a batch is detected on read and reported as a
+Shared durability properties (both formats):
+
+* every batch carries a CRC32 checksum over its payload arrays (the
+  same :func:`~repro.trace.fsio._batch_crc` formula in both formats, so
+  content digests survive migration); a flipped byte anywhere in a
+  batch is detected on read and reported as a
   :class:`~repro.errors.TraceError` carrying ``batch_index``;
-* writes are crash-consistent: the archive is written to ``<path>.tmp``
-  and atomically renamed with :func:`os.replace`, so an interrupted run
-  never leaves a truncated archive at the final path;
+* writes are crash-consistent: data goes to a ``.tmp`` sibling and one
+  atomic :func:`os.replace` publishes it, so an interrupted run never
+  leaves a truncated trace at the final path;
 * v1 files (pre-checksum) still load — they simply skip verification.
 """
 
 from __future__ import annotations
 
 import os
-import zlib
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import TraceError
+from repro.trace.chunked import (
+    ChunkedTraceReader,
+    ChunkedTraceWriter,
+    is_chunked,
+)
+from repro.trace.fsio import OsFS, _batch_crc  # noqa: F401  (re-exports)
 from repro.trace.record import RefBatch
 
 _MAGIC_V1 = "nvscavenger-trace-v1"
 _MAGIC_V2 = "nvscavenger-trace-v2"
 
 
-class OsFS:
-    """Direct passthrough to the host filesystem.
-
-    The writer-side durability code (here and in the artifact cache) calls
-    the filesystem through this small surface so a fault-injecting shim
-    (:class:`repro.engine.chaos.ChaosFS`) can be substituted in tests.
-    ``os`` functions are resolved at call time, so monkeypatching e.g.
-    ``os.replace`` still works.
-    """
-
-    def open(self, path: str, mode: str = "wb"):
-        return open(path, mode)
-
-    def fsync(self, fh) -> None:
-        fh.flush()
-        os.fsync(fh.fileno())
-
-    def replace(self, src: str, dst: str) -> None:
-        os.replace(src, dst)
-
-    def rename(self, src: str, dst: str) -> None:
-        os.rename(src, dst)
-
-    def unlink(self, path: str) -> None:
-        os.unlink(path)
-
-    def exists(self, path: str) -> bool:
-        return os.path.exists(path)
-
-    def makedirs(self, path: str) -> None:
-        os.makedirs(path, exist_ok=True)
-
-    def fsync_dir(self, path: str) -> None:
-        """fsync a directory so a rename into it survives power loss.
-
-        Platforms that cannot open directories (Windows) silently skip —
-        the rename itself is still atomic there.
-        """
-        try:
-            fd = os.open(path, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-
-
-def _batch_crc(addr: np.ndarray, is_write: np.ndarray, size: np.ndarray,
-               oid: np.ndarray, iteration: int) -> int:
-    """CRC32 over a batch's payload, independent of archive encoding."""
-    crc = zlib.crc32(np.ascontiguousarray(addr).tobytes())
-    crc = zlib.crc32(np.ascontiguousarray(is_write).tobytes(), crc)
-    crc = zlib.crc32(np.ascontiguousarray(size).tobytes(), crc)
-    crc = zlib.crc32(np.ascontiguousarray(oid).tobytes(), crc)
-    return zlib.crc32(int(iteration).to_bytes(8, "little", signed=True), crc)
-
-
 def _npz_path(path: str) -> str:
     return path if path.endswith(".npz") else path + ".npz"
 
 
-class TraceWriter:
-    """Accumulates batches and writes one compressed archive on close.
+class NpzTraceWriter:
+    """Accumulates batches and writes one compressed v2 archive on close.
 
     The close is atomic: data goes to a temporary sibling file first and
     only an :func:`os.replace` publishes it under the final name.
@@ -155,15 +115,15 @@ class TraceWriter:
             raise
         self._closed = True
 
-    def __enter__(self) -> "TraceWriter":
+    def __enter__(self) -> "NpzTraceWriter":
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-class TraceReader:
-    """Iterates the batches of a trace file, verifying v2 checksums."""
+class NpzTraceReader:
+    """Iterates the batches of a v1/v2 archive, verifying v2 checksums."""
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
@@ -220,6 +180,10 @@ class TraceReader:
         return RefBatch(addr=addr, is_write=is_write, size=size, oid=oid,
                         iteration=iteration)
 
+    def read_batch(self, i: int) -> RefBatch:
+        """Decode (and checksum-verify) batch *i*."""
+        return self._read_batch(i)
+
     def __iter__(self) -> Iterator[RefBatch]:
         for i in range(self.n_batches):
             yield self._read_batch(i)
@@ -230,14 +194,57 @@ class TraceReader:
             self._read_batch(i)
         return self.n_batches
 
+    def payload_crcs(self) -> list[int]:
+        """Each batch's payload CRC32: stored members for v2 (no array
+        decode), recomputed from decoded batches for v1."""
+        if self.version >= 2:
+            try:
+                return [int(self._npz[f"b{i}_crc"][0])
+                        for i in range(self.n_batches)]
+            except Exception as exc:
+                raise TraceError(
+                    f"{self._path}: corrupt batch checksums: {exc}") from exc
+        out = []
+        for i in range(self.n_batches):
+            b = self._read_batch(i)
+            out.append(_batch_crc(b.addr, b.is_write, b.size, b.oid,
+                                  b.iteration))
+        return out
+
     def close(self) -> None:
         self._npz.close()
 
-    def __enter__(self) -> "TraceReader":
+    def __enter__(self) -> "NpzTraceReader":
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+def TraceWriter(path: str | os.PathLike, fs: OsFS | None = None):
+    """Open a trace writer for *path*, dispatching on the suffix.
+
+    ``.npz`` paths keep producing the legacy monolithic v2 archive;
+    everything else gets a chunked columnar v3 container (the path is
+    normalized to end in ``.tv3``).
+    """
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        return NpzTraceWriter(path, fs=fs)
+    return ChunkedTraceWriter(path, fs=fs)
+
+
+def TraceReader(path: str | os.PathLike):
+    """Open a trace reader for *path*, sniffing the container format.
+
+    A directory holding an ``index.bin`` (or a stem whose ``.tv3``
+    sibling is one) opens as v3; anything else falls back to the npz
+    reader, which raises the usual :class:`~repro.errors.TraceError`
+    for missing or corrupt files.
+    """
+    if is_chunked(path) is not None:
+        return ChunkedTraceReader(path)
+    return NpzTraceReader(path)
 
 
 def write_trace(path: str | os.PathLike, batches: Iterable[RefBatch]) -> None:

@@ -1,0 +1,70 @@
+"""Regenerate the committed trace-format fixtures in this directory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/make_fixtures.py
+
+The archives pin the *historical* on-disk formats — ``trace-v1.npz``
+(pre-checksum) and ``trace-v2.npz`` (per-batch CRC32) — so the v3
+migration path is exercised against bytes an old deployment actually
+wrote, not against whatever today's writer happens to emit. The batch
+content is seeded and must never change: ``test_trace_fixtures.py``
+asserts bit-identity through migration.
+"""
+
+import os
+
+import numpy as np
+
+from repro.trace.io import _MAGIC_V1, NpzTraceWriter
+from repro.trace.record import RefBatch
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def fixture_batches():
+    """The canonical fixture content: 3 batches, every column varying."""
+    out = []
+    for i in range(3):
+        rng = np.random.default_rng(1000 + i)
+        n = 50 + 10 * i
+        out.append(RefBatch(
+            addr=rng.integers(0, 2**48, size=n, dtype=np.uint64),
+            is_write=rng.integers(0, 2, size=n).astype(bool),
+            size=rng.choice(np.array([1, 4, 8, 64], np.uint8), size=n),
+            oid=rng.integers(-1, 32, size=n, dtype=np.int32),
+            iteration=i,
+        ))
+    return out
+
+
+def write_v1(path, batches):
+    arrays = {
+        "magic": np.array([_MAGIC_V1]),
+        "n_batches": np.array([len(batches)], dtype=np.int64),
+    }
+    for i, b in enumerate(batches):
+        arrays[f"b{i}_addr"] = b.addr
+        arrays[f"b{i}_w"] = b.is_write
+        arrays[f"b{i}_sz"] = b.size
+        arrays[f"b{i}_oid"] = b.oid
+        arrays[f"b{i}_it"] = np.array([b.iteration], dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def write_v2(path, batches):
+    writer = NpzTraceWriter(path)
+    for b in batches:
+        writer.append(b)
+    writer.close()
+
+
+def main():
+    batches = fixture_batches()
+    write_v1(os.path.join(HERE, "trace-v1.npz"), batches)
+    write_v2(os.path.join(HERE, "trace-v2.npz"), batches)
+    print("wrote trace-v1.npz and trace-v2.npz")
+
+
+if __name__ == "__main__":
+    main()

@@ -139,3 +139,55 @@ class TestTraceVerify:
     def test_missing_file(self, capsys, tmp_path):
         assert main(["trace", str(tmp_path / "nope.npz"), "--verify"]) == 1
         assert "corrupt trace" in capsys.readouterr().err
+
+    def test_show_subcommand_spelled_out(self, capsys, trace_path):
+        # the legacy "trace <path>" spelling above is a shim; the real
+        # subcommand must work too
+        assert main(["trace", "show", trace_path, "--verify"]) == 0
+        assert "all checksums verified" in capsys.readouterr().out
+
+
+class TestTraceMigrate:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.npz")
+        batches = [
+            RefBatch.from_access(np.arange(16, dtype=np.uint64) * 8,
+                                 AccessType.READ, iteration=i)
+            for i in range(2)
+        ]
+        write_trace(path, batches)
+        return path
+
+    def test_migrate_then_show(self, capsys, trace_path, tmp_path):
+        dst = str(tmp_path / "out")
+        assert main(["trace", "migrate", trace_path, dst]) == 0
+        out = capsys.readouterr().out
+        assert "2 batches" in out and "32 references" in out
+        assert main(["trace", dst, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "v3" in out and "all checksums verified" in out
+
+    def test_existing_destination_is_usage_error(self, capsys, trace_path,
+                                                 tmp_path):
+        dst = str(tmp_path / "out")
+        assert main(["trace", "migrate", trace_path, dst]) == 0
+        capsys.readouterr()
+        assert main(["trace", "migrate", trace_path, dst]) == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err and "exists" in err
+
+    def test_unreadable_source_exit_1(self, capsys, tmp_path):
+        src = str(tmp_path / "junk.npz")
+        with open(src, "wb") as fh:
+            fh.write(b"not a trace")
+        assert main(["trace", "migrate", src, str(tmp_path / "out")]) == 1
+        assert "trace" in capsys.readouterr().err
+        import os
+
+        assert not os.path.exists(str(tmp_path / "out.tv3"))
+
+    def test_missing_args_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "migrate"])
+        assert exc.value.code == 2

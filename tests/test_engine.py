@@ -243,13 +243,16 @@ class TestSuiteIntegration:
 
 # ----------------------------------------------------------------------
 class TestDecodeMemo:
-    """The in-memory decoded-run memo behind warm replays."""
+    """The in-memory per-chunk decode memo behind warm replays."""
 
     def test_first_replay_seeds_memo_and_warm_replay_hits_it(self, tmp_path):
         spec = RunSpec(app="gtc", **SPEC)
         eng = make_engine(tmp_path)
         eng.replay(spec, MemoryTraceProbe())
-        assert spec.key in eng._decoded  # scrub decoded once, memoized
+        n_chunks = eng.cache.get(spec).meta["n_batches"]
+        # first replay decoded every chunk once and memoized them all
+        assert eng.memoized_chunks(spec.key) == list(range(n_chunks))
+        assert eng.stats.chunks_decoded == n_chunks
         traces = []
         for _ in range(2):
             probe = MemoryTraceProbe()
@@ -257,13 +260,18 @@ class TestDecodeMemo:
             traces.append(np.concatenate([b.addr for b in probe.memory_trace]))
         np.testing.assert_array_equal(traces[0], traces[1])
         assert eng.stats.replays == 3
+        # warm replays hit the memo: no further decodes
+        assert eng.stats.chunks_decoded == n_chunks
 
     def test_memoized_batches_are_frozen(self, tmp_path):
         spec = RunSpec(app="gtc", **SPEC)
         eng = make_engine(tmp_path)
         eng.replay(spec, MemoryTraceProbe())
-        run = eng._decoded[spec.key]
-        for batch in run.batches:
+        chunks = eng.memoized_chunks(spec.key)
+        assert chunks
+        handle = eng._handles[spec.key]
+        for i in chunks:
+            batch = eng._chunk(handle, i)
             assert not batch.addr.flags.writeable
             with pytest.raises(ValueError):
                 batch.addr[0] = 0
@@ -272,7 +280,7 @@ class TestDecodeMemo:
         spec = RunSpec(app="gtc", **SPEC)
         eng = PipelineEngine(root=tmp_path / "cache", decode_cache_bytes=0)
         eng.replay(spec, MemoryTraceProbe())
-        assert spec.key not in eng._decoded
+        assert eng.memoized_chunks(spec.key) == []
         # cold path still replays correctly
         probe = MemoryTraceProbe()
         eng.replay(spec, probe)
@@ -283,21 +291,28 @@ class TestDecodeMemo:
         b = RunSpec(app="s3d", **SPEC)
         eng = make_engine(tmp_path)
         eng.replay(a, MemoryTraceProbe())
-        size_a = eng._decoded[a.key].nbytes
+        n_a = len(eng.memoized_chunks(a.key))
+        size_a = sum(entry.nbytes for entry in eng._decoded.values())
         # budget fits one decoded run but not two
         eng.decode_cache_bytes = int(size_a * 1.5)
         eng.replay(b, MemoryTraceProbe())
-        assert b.key in eng._decoded
-        assert a.key not in eng._decoded  # evicted, LRU
-        # evicted run replays fine (cold path) and re-enters the memo
-        eng.replay(a, MemoryTraceProbe())
-        assert a.key in eng._decoded
+        n_b = eng.cache.get(b).meta["n_batches"]
+        # b's chunks are all resident; a was partially evicted, oldest
+        # chunks first — eviction is chunk-granular now, not whole-run
+        assert eng.memoized_chunks(b.key) == list(range(n_b))
+        assert len(eng.memoized_chunks(a.key)) < n_a
+        # evicted chunks replay fine (cold path) and re-enter the memo
+        probe = MemoryTraceProbe()
+        eng.replay(a, probe)
+        assert probe.memory_trace
+        assert eng.memoized_chunks(a.key)
 
     def test_quarantine_forgets_memoized_run(self, tmp_path):
         spec = RunSpec(app="gtc", **SPEC)
         eng = make_engine(tmp_path)
         eng.replay(spec, MemoryTraceProbe())
-        assert spec.key in eng._decoded
+        assert eng.memoized_chunks(spec.key)
         eng.cache.quarantine(spec.key, reason="test")
         eng._forget(spec.key)
-        assert spec.key not in eng._decoded
+        assert eng.memoized_chunks(spec.key) == []
+        assert spec.key not in eng._handles

@@ -14,9 +14,10 @@ The contract under test:
 * **self-healing replay** — a corrupt committed artifact is quarantined
   and re-recorded (bounded retries), with the ``quarantined`` /
   ``rerecorded`` counters surfacing it;
-* **corruption is loud** — bit-flipped or truncated ``refs.npz`` raises
-  :class:`~repro.errors.TraceError` from ``verify``/``batches``, and
-  ``Artifact.meta``/``events`` wrap racy deletion the same way.
+* **corruption is loud** — bit-flipped or truncated chunk files (and a
+  doctored chunk index) raise :class:`~repro.errors.TraceError` from
+  ``verify``/``batches``, and ``Artifact.meta``/``events`` wrap racy
+  deletion the same way.
 """
 
 import json
@@ -126,7 +127,8 @@ class TestCrashPointSweep:
         """Torn tmp-file writes (machine dies mid-write) never publish."""
         spec = make_spec()
         for i, name in enumerate(
-                ("refs.npz.tmp", "events.json.tmp", "meta.json.tmp")):
+                ("chunk-000000.bin", "index.bin",
+                 "events.json.tmp", "meta.json.tmp")):
             root = tmp_path / f"torn-{i}"
             fs = ChaosFS(faults=[IOFault("torn", op=f"write:{name}",
                                          offset=64)])
@@ -176,7 +178,9 @@ class TestErrorReturns:
         pending.abort()
         pending.writer.close()  # must be inert after discard()
         assert not os.path.exists(
-            os.path.join(pending.directory, "refs.npz"))
+            os.path.join(pending.directory, "refs.tv3"))
+        assert not os.path.exists(
+            os.path.join(pending.directory, "refs.tv3.tmp"))
         with pytest.raises(TraceError):
             pending.writer.append(None)
 
@@ -325,32 +329,49 @@ class TestCorruptionIsLoud:
 
     @pytest.mark.parametrize("keep", [0, 10, 1000])
     def test_truncated_refs_raises(self, committed, keep):
+        """A truncated chunk file is caught before any decode (the
+        mapped size no longer matches the index's stored length)."""
         spec, cache = committed
         art = cache.get(spec)
-        data = open(art.refs_path, "rb").read()
+        chunk = os.path.join(art.refs_path, "chunk-000000.bin")
+        data = open(chunk, "rb").read()
         assert keep < len(data)
-        with open(art.refs_path, "wb") as fh:
+        with open(chunk, "wb") as fh:
             fh.write(data[:keep])
         with pytest.raises(TraceError):
             cache.verify(spec)
         with pytest.raises(TraceError):
             list(art.batches())
 
-    def test_missing_batches_vs_meta_detected(self, committed):
-        """A trace that silently lost whole batches fails the meta
-        cross-check even though every remaining CRC passes."""
+    @pytest.mark.parametrize("keep", [0, 10, 63, 100])
+    def test_truncated_index_raises(self, committed, keep):
+        """A torn chunk index never parses as a shorter-but-valid one."""
         spec, cache = committed
         art = cache.get(spec)
-        npz = dict(np.load(art.refs_path))
-        n = int(npz["n_batches"][0])
-        assert n > 1
-        last = n - 1
-        npz["n_batches"] = np.array([last], dtype=np.int64)
-        for k in list(npz):
-            if k.startswith(f"b{last}_"):
-                del npz[k]
-        with open(art.refs_path, "wb") as fh:
-            np.savez_compressed(fh, **npz)
+        index = os.path.join(art.refs_path, "index.bin")
+        data = open(index, "rb").read()
+        assert keep < len(data)
+        with open(index, "wb") as fh:
+            fh.write(data[:keep])
+        with pytest.raises(TraceError):
+            cache.verify(spec)
+
+    def test_missing_batches_vs_meta_detected(self, committed):
+        """A trace that silently lost whole batches fails the meta
+        cross-check even though every remaining chunk CRC passes."""
+        from repro.trace.chunked import ChunkedTraceReader, _pack_index
+
+        spec, cache = committed
+        art = cache.get(spec)
+        with ChunkedTraceReader(art.refs_path) as reader:
+            records = list(reader.records)
+            total = reader.total_refs
+        assert len(records) > 1
+        dropped = records.pop()
+        # a self-consistent index (valid CRCs) that simply lost a chunk
+        blob = _pack_index(records, total - dropped.n_refs)
+        with open(os.path.join(art.refs_path, "index.bin"), "wb") as fh:
+            fh.write(blob)
         with pytest.raises(TraceError, match="declares"):
             art.verify()
 

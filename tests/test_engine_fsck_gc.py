@@ -47,7 +47,7 @@ class TestFsck:
         shutil.copytree(cache.dir_for(spec.key), pristine)
         detected = 0
         trials = 0
-        for target in ("refs.npz", "events.json", "meta.json"):
+        for target in ("refs.tv3", "events.json", "meta.json"):
             for seed in range(8):
                 shutil.rmtree(cache.dir_for(spec.key))
                 shutil.copytree(pristine, cache.dir_for(spec.key))
@@ -62,7 +62,7 @@ class TestFsck:
     def test_partial_does_not_make_cache_unclean(self, tmp_path):
         cache, specs = populate(tmp_path, n=1)
         pending = cache.begin(make_spec(seed=99))
-        pending.writer.close()  # refs.npz exists, no commit marker
+        pending.writer.close()  # refs.tv3 exists, no commit marker
         pending._finish()
         report = cache.fsck()
         assert report.clean  # the commit protocol already hides partials

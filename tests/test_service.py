@@ -393,8 +393,8 @@ class TestRecordWorker:
             self, tmp_path):
         """The satellite (c) contract: a killed recording leaks nothing."""
         # a deliberately heavy spec so the deadline lands mid-record
-        spec = RunSpec(app="gtc", refs_per_iteration=200_000,
-                       scale=1.0 / 8.0, n_iterations=5)
+        spec = RunSpec(app="gtc", refs_per_iteration=1_000_000,
+                       scale=1.0, n_iterations=10)
         handle = RecordHandle(time.monotonic() + 0.4)
         t0 = time.monotonic()
         out = run_record_worker(spec, str(tmp_path), handle)
@@ -416,8 +416,8 @@ class TestRecordWorker:
         assert ArtifactCache(tmp_path).get(cheap) is not None
 
     def test_cancel_kills_worker_with_shutting_down(self, tmp_path):
-        spec = RunSpec(app="gtc", refs_per_iteration=200_000,
-                       scale=1.0 / 8.0, n_iterations=5)
+        spec = RunSpec(app="gtc", refs_per_iteration=1_000_000,
+                       scale=1.0, n_iterations=10)
         handle = RecordHandle(time.monotonic() + 120)
         handle.cancel()  # drain began before the worker even started
         out = run_record_worker(spec, str(tmp_path), handle)
@@ -590,8 +590,8 @@ class TestAnalysisService:
             svc = make_service(tmp_path, max_inflight=1, max_queue=0)
             # a spec heavy enough to hold the only slot for seconds, so
             # the shed below is deterministic on any machine
-            slow = {"app": "gtc", "refs_per_iteration": 200_000,
-                    "scale": 1.0 / 8.0, "n_iterations": 5}
+            slow = {"app": "gtc", "refs_per_iteration": 1_000_000,
+                    "scale": 1.0, "n_iterations": 10}
             fast = dict(REQ, seed=102)
             task = asyncio.ensure_future(svc.handle_analyze(slow))
             while not svc.admission.inflight:  # wait for slot claim
@@ -634,8 +634,8 @@ class TestAnalysisService:
             self, tmp_path):
         async def scenario():
             svc = make_service(tmp_path)
-            heavy = {"app": "gtc", "refs_per_iteration": 200_000,
-                     "scale": 1.0 / 8.0, "n_iterations": 5,
+            heavy = {"app": "gtc", "refs_per_iteration": 1_000_000,
+                     "scale": 1.0, "n_iterations": 10,
                      "deadline_s": 0.4}
             status, body, _ = await svc.handle_analyze(heavy)
             assert status == 504
@@ -649,8 +649,8 @@ class TestAnalysisService:
     def test_in_flight_keys_are_advertised_for_gc(self, tmp_path):
         async def scenario():
             svc = make_service(tmp_path)
-            heavy = {"app": "gtc", "refs_per_iteration": 200_000,
-                     "scale": 1.0 / 8.0, "n_iterations": 5}
+            heavy = {"app": "gtc", "refs_per_iteration": 1_000_000,
+                     "scale": 1.0, "n_iterations": 10}
             spec, _ = parse_request(heavy)
             task = asyncio.ensure_future(svc.handle_analyze(heavy))
             while not svc.protect_keys():  # admitted -> advertised

@@ -159,8 +159,8 @@ class TestRoutes:
 
     def test_deadline_expiry_mid_record_is_504_and_daemon_survives(
             self, daemon):
-        heavy = {"app": "gtc", "refs_per_iteration": 200_000,
-                 "scale": 1.0 / 8.0, "n_iterations": 5, "deadline_s": 0.5}
+        heavy = {"app": "gtc", "refs_per_iteration": 1_000_000,
+                 "scale": 1.0, "n_iterations": 10, "deadline_s": 0.5}
         status, body, _ = daemon.req("POST", "/analyze", heavy)
         assert status == 504
         assert body["error"]["code"] == "deadline_exceeded"
@@ -174,8 +174,8 @@ class TestDrain:
         d = start_daemon(tmp_path)
         # park a heavy recording in flight: an idle daemon drains (and
         # closes its listener) too fast to observe the readyz flip
-        heavy = {"app": "gtc", "refs_per_iteration": 200_000,
-                 "scale": 1.0 / 8.0, "n_iterations": 5, "deadline_s": 120}
+        heavy = {"app": "gtc", "refs_per_iteration": 1_000_000,
+                 "scale": 1.0, "n_iterations": 10, "deadline_s": 120}
         with ThreadPoolExecutor(max_workers=1) as pool:
             fut = pool.submit(d.req, "POST", "/analyze", heavy, 120.0)
             deadline = time.monotonic() + 30

@@ -1,0 +1,78 @@
+"""Format compatibility against *committed* v1/v2 archives.
+
+These fixtures are frozen bytes written by the historical formats (see
+``tests/fixtures/make_fixtures.py``). Every test migrates them through
+the v3 writer and checks the result batch-by-batch against both the
+fixture bytes and the canonical in-memory content — so a change to the
+v3 codec, the column layout, or the CRC formula that silently altered
+replayed data would fail here even if the self-roundtrip tests pass.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.trace.fsio import _batch_crc
+from repro.trace.io import TraceReader
+from repro.trace.chunked import migrate_trace
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+sys.path.insert(0, FIXTURES)
+
+from make_fixtures import fixture_batches  # noqa: E402
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def assert_batches_equal(a, b):
+    assert a.iteration == b.iteration
+    np.testing.assert_array_equal(a.addr, b.addr)
+    np.testing.assert_array_equal(a.is_write, b.is_write)
+    np.testing.assert_array_equal(a.size, b.size)
+    np.testing.assert_array_equal(a.oid, b.oid)
+
+
+@pytest.mark.parametrize("name,version", [
+    ("trace-v1.npz", 1),
+    ("trace-v2.npz", 2),
+])
+class TestCommittedFixtures:
+    def test_fixture_still_loads_and_matches_generator(self, name, version):
+        with TraceReader(fixture(name)) as reader:
+            assert reader.version == version
+            got = list(reader)
+        want = fixture_batches()
+        assert len(got) == len(want)
+        for a, b in zip(want, got):
+            assert_batches_equal(a, b)
+
+    def test_migration_to_v3_is_bit_identical(self, name, version, tmp_path):
+        dst = str(tmp_path / "migrated")
+        n, total = migrate_trace(fixture(name), dst)
+        with TraceReader(fixture(name)) as old, TraceReader(dst) as new:
+            assert new.version == 3
+            assert n == old.n_batches
+            old_batches = list(old)
+            new_batches = list(new)
+        assert total == sum(len(b) for b in old_batches)
+        for a, b in zip(old_batches, new_batches):
+            assert_batches_equal(a, b)
+
+    def test_migration_preserves_payload_crcs(self, name, version, tmp_path):
+        dst = str(tmp_path / "migrated")
+        migrate_trace(fixture(name), dst)
+        with TraceReader(fixture(name)) as old, TraceReader(dst) as new:
+            # v2 stored these CRCs on disk; v1 recomputes from content.
+            # Either way the migrated index must carry the same values,
+            # which keeps the service content digest stable across formats.
+            assert old.payload_crcs() == new.payload_crcs()
+        want = [
+            _batch_crc(b.addr, b.is_write, b.size, b.oid, b.iteration)
+            for b in fixture_batches()
+        ]
+        with TraceReader(dst) as new:
+            assert new.payload_crcs() == want
