@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak validate examples all clean
+.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak queue-soak validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -51,6 +51,12 @@ serve-smoke:
 # daemon, worker kill mid-flight, SIGTERM drain mid-burst.
 serve-soak:
 	$(PY) tools/serve_soak.py
+
+# Queue soak: a suite run over the filesystem work queue with workers
+# SIGKILLed mid-record under ChaosFS bit flips; results must come back
+# bit-identical to jobs=1 (matches CI's queue job).
+queue-soak:
+	$(PY) tools/queue_soak.py
 
 validate:
 	$(PY) -m repro.validation

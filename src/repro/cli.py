@@ -34,6 +34,12 @@ Subcommands:
 * ``serve`` — run the analysis daemon: JSON-over-HTTP requests answered
   from the artifact cache with admission control, single-flight dedup,
   circuit breakers, and graceful SIGTERM drain (exit ``128 + signum``);
+* ``work`` — join a queue-transport suite run
+  (``experiments --transport queue``) as a worker agent: claim leased
+  tasks from ``<cache-dir>/runs/<run-id>/queue/``, heartbeat while
+  running them, publish results, exit 0 when the coordinator writes the
+  STOP marker (a ``--once``/``--max-tasks`` worker fenced out of a task
+  exits 7);
 * ``experiments <id>|all`` — regenerate paper tables/figures;
   ``--jobs N`` runs the suite on N worker processes sharing one
   artifact cache (0 = one per CPU; results identical to ``--jobs 1``).
@@ -295,6 +301,53 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return serve(cfg)
 
 
+def cmd_work(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.errors import QueueError
+    from repro.sched.queue import QueueWorker
+
+    if not os.path.isdir(args.cache_dir):
+        raise ConfigurationError(
+            f"--cache-dir {args.cache_dir!r} does not exist (workers need "
+            f"the same cache filesystem the coordinator publishes to)")
+    if args.poll <= 0:
+        raise ConfigurationError(
+            f"--poll must be positive, got {args.poll!r}")
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        raise ConfigurationError(
+            f"--heartbeat must be positive, got {args.heartbeat!r}")
+    if args.max_tasks is not None and args.max_tasks < 1:
+        raise ConfigurationError(
+            f"--max-tasks must be >= 1, got {args.max_tasks}")
+    if args.chaos is not None:
+        from repro.resilience.faults import SCENARIOS
+
+        if args.chaos not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown chaos scenario {args.chaos!r}; "
+                f"know {sorted(SCENARIOS)}")
+    try:
+        worker = QueueWorker(
+            args.cache_dir,
+            args.run_id,
+            worker_id=args.worker_id,
+            poll_s=args.poll,
+            heartbeat_s=args.heartbeat,
+            max_tasks=(1 if args.once else args.max_tasks),
+            chaos_scenario=args.chaos,
+            chaos_seed=args.chaos_seed,
+        )
+    except QueueError as exc:
+        # bad run id, missing/garbled manifest: a usage error, exit 2
+        raise ConfigurationError(str(exc)) from exc
+    code = worker.run()
+    tail = f", {worker.fenced} fenced out" if worker.fenced else ""
+    print(f"worker {worker.worker_id}: "
+          f"{worker.completed} task(s) completed{tail}")
+    return code
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace.io import TraceReader
 
@@ -418,6 +471,30 @@ def main(argv: list[str] | None = None) -> int:
                       help="write 'host port' here once listening (for tests)")
     p_sv.add_argument("--seed", type=int, default=0,
                       help="jitter seed for breaker backoff")
+    p_wk = sub.add_parser(
+        "work", help="join a queue-transport suite run as a worker agent")
+    p_wk.add_argument("--cache-dir", required=True,
+                      help="artifact-cache root shared with the coordinator")
+    p_wk.add_argument("--run-id", required=True,
+                      help="run whose queue to join "
+                           "(<cache-dir>/runs/<run-id>/queue/)")
+    p_wk.add_argument("--worker-id", default=None,
+                      help="stable worker name (default: host-pid)")
+    wk_mx = p_wk.add_mutually_exclusive_group()
+    wk_mx.add_argument("--once", action="store_true",
+                       help="run at most one task, then exit")
+    wk_mx.add_argument("--max-tasks", type=int, default=None,
+                       help="exit after this many tasks (default: run "
+                            "until the coordinator writes STOP)")
+    p_wk.add_argument("--poll", type=float, default=0.25,
+                      help="seconds between queue scans while idle")
+    p_wk.add_argument("--heartbeat", type=float, default=None,
+                      help="lease heartbeat interval (default: TTL/4 "
+                           "from the run manifest)")
+    p_wk.add_argument("--chaos", default=None,
+                      help="inject a registered I/O fault scenario into "
+                           "this worker's cache writes (soak testing)")
+    p_wk.add_argument("--chaos-seed", type=int, default=0)
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")
@@ -445,6 +522,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_engine(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "work":
+            return cmd_work(args)
         if args.command == "trace":
             if args.action == "migrate":
                 return cmd_trace_migrate(args)

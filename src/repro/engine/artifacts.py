@@ -51,11 +51,12 @@ import json
 import logging
 import os
 import shutil
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Iterator, List
 
-from repro.errors import TraceError
+from repro.errors import CacheLockError, TraceError
 from repro.trace.fsio import content_digest_from_crcs
 from repro.trace.io import OsFS, TraceReader, TraceWriter
 from repro.trace.record import RefBatch
@@ -78,6 +79,14 @@ TMP_FILES = ("refs.npz.tmp", "events.json.tmp", "meta.json.tmp")
 TMP_DIRS = (REFS_TV3 + ".tmp",)
 #: Sibling-directory suffix quarantined artifacts are renamed under.
 QUARANTINE_SUFFIX = ".quarantine"
+#: Sibling-directory marker for fenced staged recordings: a worker whose
+#: key flock is blocked by a frozen (zombie) holder records into
+#: ``<key>.stage.<epoch>-<pid>/`` and publishes with one atomic rename
+#: after its fencing token validates.
+STAGE_MARKER = ".stage."
+#: A staged recording older than this is a leftover from a dead worker
+#: (live fenced recorders are seconds old); fsck/gc may remove it.
+STAGE_TTL_S = 3600.0
 #: Zero-byte sidecar whose mtime is the artifact's last-use stamp.
 #: gc's LRU ordering reads this instead of meta.json's atime, which is
 #: frozen on ``noatime`` mounts and only sporadically updated under
@@ -93,6 +102,19 @@ RUNS_DIR = "runs"
 #: directory *without* the marker is resumable state and is never
 #: evicted.
 RUN_DONE_MARKER = "DONE"
+#: Subdirectory of a run directory holding the distributed work queue
+#: (:mod:`repro.sched.queue`): ready files, leases, fences, results.
+QUEUE_DIR = "queue"
+#: Where the queue keeps its lease/heartbeat files, relative to
+#: ``QUEUE_DIR`` — gc reads heartbeat mtimes from here to decide
+#: whether a finished run still has live workers attached.
+QUEUE_LEASES_DIR = "leases"
+#: A finished run whose newest lease heartbeat is younger than this is
+#: treated as still having workers attached (possibly zombies whose
+#: fence files must survive), so gc keeps the whole run directory.
+#: When the queue manifest declares a lease TTL the grace tightens to
+#: ``max(60, 4 * ttl)``.
+QUEUE_LEASE_GRACE_S = 900.0
 
 
 def _atomic_bytes(path: str, blob: bytes, fs: OsFS) -> None:
@@ -399,6 +421,21 @@ class PendingArtifact:
     Constructed while holding the key's cross-process lock (passed in by
     :meth:`ArtifactCache.begin`); the lock is released by ``commit`` and
     ``abort``.
+
+    Two fencing extensions for the distributed queue:
+
+    * ``fence`` — a :class:`~repro.engine.locks.FencingToken` validated
+      at the *start* of commit (before the writer publishes anything)
+      and again immediately before the commit marker lands. A stale
+      token raises :class:`~repro.errors.FencedOutError` and the
+      recording is discarded — a zombie worker whose lease was revoked
+      can never publish over the current holder's artifact;
+    * ``final_dir`` — staged mode: the recording is written into a
+      private sibling stage directory (``<key>.stage.<epoch>-<pid>/``)
+      and published into ``final_dir`` with one atomic rename after the
+      fence validates. :meth:`ArtifactCache.begin` falls back to this
+      when the key flock is blocked by a holder that is alive but
+      frozen — the fence, not the flock, is then the mutual exclusion.
     """
 
     def __init__(
@@ -407,23 +444,31 @@ class PendingArtifact:
         directory: str,
         fs: OsFS | None = None,
         lock: KeyLock | None = None,
+        fence=None,
+        final_dir: str | None = None,
     ) -> None:
         self.key = key
         self.directory = directory
         self._fs = fs if fs is not None else OsFS()
         self._lock = lock
+        self._fence = fence
+        self._final_dir = final_dir
         self._done = False
         self._fs.makedirs(directory)
-        # clear any partial files left by an interrupted recording (safe:
-        # the key lock guarantees no live recorder owns them); the v3
-        # trace container and its tmp are directories, so clean both kinds
-        for name in (ARTIFACT_FILES + (REFS_NPZ,) + TMP_FILES + TMP_DIRS
-                     + (LAST_ACCESS_FILE,)):
-            path = os.path.join(directory, name)
-            if os.path.isdir(path):
-                self._fs.rmtree(path)
-            elif self._fs.exists(path):
-                self._fs.unlink(path)
+        if final_dir is None:
+            # clear any partial files left by an interrupted recording
+            # (safe: the key lock guarantees no live recorder owns them);
+            # the v3 trace container and its tmp are directories, so
+            # clean both kinds. Staged mode skips this: the stage dir is
+            # freshly created and the final dir belongs to someone else
+            # until the publish rename.
+            for name in (ARTIFACT_FILES + (REFS_NPZ,) + TMP_FILES + TMP_DIRS
+                         + (LAST_ACCESS_FILE,)):
+                path = os.path.join(directory, name)
+                if os.path.isdir(path):
+                    self._fs.rmtree(path)
+                elif self._fs.exists(path):
+                    self._fs.unlink(path)
         self.writer = TraceWriter(os.path.join(directory, REFS_TV3),
                                   fs=self._fs)
 
@@ -432,8 +477,66 @@ class PendingArtifact:
         if self._lock is not None:
             self._lock.release()
 
+    def _fence_check(self, what: str) -> None:
+        if self._fence is not None:
+            self._fence.check(what)
+
+    def _refuse(self, exc: BaseException) -> None:
+        """Discard the recording without touching the final directory —
+        the fence says someone else owns it now."""
+        try:
+            self.writer.discard()
+        except Exception:
+            pass
+        if self._final_dir is not None:
+            try:
+                self._fs.rmtree(self.directory)
+            except OSError:
+                pass
+        self._finish()
+        raise exc
+
+    def _publish_stage(self, fs: OsFS) -> Artifact:
+        """Atomically rename the fully-written stage into place.
+
+        The final directory may hold the fenced-out previous holder's
+        partial files; clearing them without its flock is safe exactly
+        because our fence just validated — any live writer in there is
+        a zombie whose own commit the fence will refuse.
+        """
+        final = self._final_dir
+        assert final is not None
+        committed = os.path.join(final, "meta.json")
+        for attempt in range(2):
+            if os.path.exists(committed):
+                # someone else committed first: our recording is a
+                # wasted duplicate, theirs is the artifact
+                fs.rmtree(self.directory)
+                self._finish()
+                return Artifact(self.key, final)
+            try:
+                if os.path.isdir(final):
+                    fs.rmtree(final)
+                fs.rename(self.directory, final)
+                fs.fsync_dir(os.path.dirname(final))
+                self._finish()
+                return Artifact(self.key, final)
+            except OSError:
+                if attempt:
+                    raise
+                # a racer re-created the directory between our rmtree
+                # and rename; loop once — either they committed (we
+                # defer) or they left partials (we clear again)
+        raise AssertionError("unreachable")
+
     def commit(self, events: list, meta: dict) -> Artifact:
         fs = self._fs
+        try:
+            # before the writer publishes its container: a fenced-out
+            # recorder must not rename anything into the artifact dir
+            self._fence_check(f"commit of artifact {self.key[:12]}")
+        except Exception as exc:
+            self._refuse(exc)
         self.writer.close()
         events_blob = json.dumps(events, separators=(",", ":")).encode()
         _atomic_bytes(os.path.join(self.directory, "events.json"),
@@ -447,8 +550,16 @@ class PendingArtifact:
         # this field), so a flip in any free-form meta value — not just
         # the fields verify() cross-checks — is detectable
         meta["self_crc32"] = _meta_self_crc(meta)
+        try:
+            # narrowest possible window: re-validate right before the
+            # commit marker (in-place) or the publish rename (staged)
+            self._fence_check(f"commit of artifact {self.key[:12]}")
+        except Exception as exc:
+            self._refuse(exc)
         # meta.json last: the commit marker
         _atomic_json(os.path.join(self.directory, "meta.json"), meta, fs)
+        if self._final_dir is not None:
+            return self._publish_stage(fs)
         # make the renames durable: fsync the directory holding them
         fs.fsync_dir(self.directory)
         self._finish()
@@ -456,6 +567,10 @@ class PendingArtifact:
 
     def abort(self) -> None:
         """Best-effort cleanup; never leaves a committed-looking artifact."""
+        if self._done:
+            # commit or a fence refusal already settled this recording;
+            # the directory may belong to the current epoch's winner now
+            return
         try:
             # drop buffered batches and mark the writer closed *first*:
             # a stray later close() must not resurrect the recording, and
@@ -464,6 +579,22 @@ class PendingArtifact:
             self.writer.discard()
         except Exception:
             pass
+        if self._final_dir is not None:
+            # staged mode: the stage is entirely ours; drop it whole
+            try:
+                self._fs.rmtree(self.directory)
+            except OSError:
+                pass
+            self._finish()
+            return
+        if self._fence is not None and not self._fence.valid():
+            # revoked mid-record: the new epoch's holder may already have
+            # published its artifact into this very directory (staged
+            # rename over our partials) — cleaning "our" files now would
+            # destroy the winner's commit. The writer is discarded above;
+            # leave the directory to its current owner.
+            self._finish()
+            return
         for name in (("meta.json", "events.json", REFS_TV3, REFS_NPZ)
                      + TMP_FILES + TMP_DIRS + (LAST_ACCESS_FILE,)):
             path = os.path.join(self.directory, name)
@@ -546,6 +677,10 @@ class GcReport:
     skipped_in_use: list[str] = field(default_factory=list)
     #: unfinished (resumable) run dirs that were counted but never evicted
     kept_runs: list[str] = field(default_factory=list)
+    #: finished run dirs kept anyway because their work queue still has
+    #: live lease heartbeats — evicting them would delete the fence
+    #: files that keep zombie workers from clobbering artifacts
+    kept_queues: list[str] = field(default_factory=list)
     removed_partial: int = 0
 
     @property
@@ -568,6 +703,9 @@ class GcReport:
             s += f"; kept {len(self.skipped_in_use)} in-use artifact(s)"
         if self.kept_runs:
             s += f"; kept {len(self.kept_runs)} resumable run journal(s)"
+        if self.kept_queues:
+            s += (f"; kept {len(self.kept_queues)} run(s) with live "
+                  f"queue leases")
         if self.over_budget:
             s += "; still over budget (remaining artifacts are in use)"
         return s
@@ -581,10 +719,22 @@ class ArtifactCache:
         root: str | os.PathLike,
         fs: OsFS | None = None,
         lock_timeout: float | None = 60.0,
+        fence_lock_timeout: float = 5.0,
     ) -> None:
         self.root = os.fspath(root)
         self.fs = fs if fs is not None else OsFS()
         self.lock_timeout = lock_timeout
+        #: How long a *fenced* recorder waits on a key flock before
+        #: concluding the holder is a frozen zombie and falling back to
+        #: a staged recording. Deliberately short: the fence — not the
+        #: flock — is the real mutual exclusion once leases are in play.
+        self.fence_lock_timeout = fence_lock_timeout
+        #: Installed by queue workers
+        #: (:class:`~repro.engine.locks.FencingToken`); when set, every
+        #: lock acquisition and commit is validated against the lease
+        #: fence and refused with FencedOutError if the lease was
+        #: revoked.
+        self.fence = None
         os.makedirs(self.root, exist_ok=True)
 
     def dir_for(self, key: str) -> str:
@@ -592,7 +742,8 @@ class ArtifactCache:
 
     def lock_for(self, key: str) -> KeyLock:
         """The cross-process lock guarding *key*'s artifact directory."""
-        return KeyLock(os.path.join(self.root, ".locks", key + ".lock"))
+        return KeyLock(os.path.join(self.root, ".locks", key + ".lock"),
+                       fence=self.fence)
 
     def get(self, spec: RunSpec) -> Artifact | None:
         """The committed artifact for *spec*, or None if absent/partial."""
@@ -636,17 +787,46 @@ class ArtifactCache:
         :class:`PendingArtifact` — callers must check which they got.
         Raises :class:`~repro.errors.CacheLockError` when the lock cannot
         be acquired within ``lock_timeout``.
+
+        With a :attr:`fence` installed (queue workers), two extra rules
+        apply: a stale fencing token is refused up front with
+        :class:`~repro.errors.FencedOutError`, and a flock that stays
+        blocked past ``fence_lock_timeout`` — the signature of a frozen
+        zombie holder, whose flock SIGSTOP does *not* release — makes
+        the recorder fall back to a **staged** recording in a private
+        ``<key>.stage.<epoch>-<pid>/`` sibling, published by one
+        fence-validated atomic rename at commit.
         """
         key = spec.key
         lock = self.lock_for(key)
-        lock.acquire(timeout=self.lock_timeout)
+        timeout = self.lock_timeout
+        if self.fence is not None:
+            self.fence.check(f"begin recording of artifact {key[:12]}")
+            if timeout is None or timeout > self.fence_lock_timeout:
+                timeout = self.fence_lock_timeout
+        try:
+            lock.acquire(timeout=timeout)
+        except CacheLockError:
+            if self.fence is None:
+                raise
+            # the flock holder is alive-but-stuck (a zombie keeps its
+            # flock through SIGSTOP); our valid fence outranks it —
+            # record into a stage and publish over it atomically
+            art = self.get(spec)
+            if art is not None:
+                return art
+            stage = (self.dir_for(key) + STAGE_MARKER
+                     + f"{self.fence.epoch}-{os.getpid()}")
+            return PendingArtifact(key, stage, fs=self.fs,
+                                   fence=self.fence,
+                                   final_dir=self.dir_for(key))
         try:
             art = self.get(spec)
             if art is not None:
                 lock.release()
                 return art
             return PendingArtifact(key, self.dir_for(key), fs=self.fs,
-                                   lock=lock)
+                                   lock=lock, fence=self.fence)
         except BaseException:
             if lock.held:
                 lock.release()
@@ -703,7 +883,40 @@ class ArtifactCache:
                 path = os.path.join(shard_path, name)
                 if not os.path.isdir(path):
                     continue
+                if STAGE_MARKER in name:
+                    # fenced staged recordings are walked separately
+                    # (_stage_dirs); they are never artifacts
+                    continue
                 yield name, path, QUARANTINE_SUFFIX in name
+
+    def _stage_dirs(self) -> Iterator[tuple[str, str, float]]:
+        """Yields ``(name, path, age_s)`` for every fenced staged
+        recording (``<key>.stage.<epoch>-<pid>/``) under the fan-out.
+        Age is seconds since the directory's mtime — a live fenced
+        recorder touches its stage constantly, so anything older than
+        :data:`STAGE_TTL_S` is a dead worker's leftover."""
+        now = time.time()
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for shard in shards:
+            if shard == ".locks" or len(shard) != 2:
+                continue
+            shard_path = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                if STAGE_MARKER not in name:
+                    continue
+                path = os.path.join(shard_path, name)
+                if not os.path.isdir(path):
+                    continue
+                try:
+                    age = now - os.stat(path).st_mtime
+                except OSError:
+                    age = STAGE_TTL_S + 1.0
+                yield name, path, age
 
     @property
     def runs_root(self) -> str:
@@ -726,6 +939,41 @@ class ArtifactCache:
                 continue
             yield name, path, os.path.exists(
                 os.path.join(path, RUN_DONE_MARKER))
+
+    def _queue_live(self, run_path: str) -> bool:
+        """True when *run_path*'s work queue shows recent lease activity.
+
+        A finished (DONE-marked) run can still have workers attached:
+        a zombie that was SIGSTOPped past its lease expiry wakes up
+        arbitrarily later, and the only thing standing between it and
+        the cache is the fence files under ``queue/``. So gc refuses to
+        evict a run directory while any lease heartbeat is fresher than
+        the grace window (``max(60, 4 * lease_ttl_s)`` from the queue
+        manifest, :data:`QUEUE_LEASE_GRACE_S` when no TTL is
+        declared)."""
+        qdir = os.path.join(run_path, QUEUE_DIR)
+        leases = os.path.join(qdir, QUEUE_LEASES_DIR)
+        try:
+            names = os.listdir(leases)
+        except OSError:
+            return False
+        grace = QUEUE_LEASE_GRACE_S
+        try:
+            with open(os.path.join(qdir, "manifest.json")) as fh:
+                ttl = float(json.load(fh).get("lease_ttl_s", 0.0))
+            if ttl > 0.0:
+                grace = max(60.0, 4.0 * ttl)
+        except (OSError, ValueError, TypeError):
+            pass
+        now = time.time()
+        for n in names:
+            try:
+                mtime = os.stat(os.path.join(leases, n)).st_mtime
+            except OSError:
+                continue
+            if now - mtime < grace:
+                return True
+        return False
 
     # -- fsck -----------------------------------------------------------
     def fsck(self, repair: bool = False) -> FsckReport:
@@ -795,6 +1043,20 @@ class ArtifactCache:
                             pass
                     entry.action = "removed stray tmp files"
             report.entries.append(entry)
+        for name, path, age in self._stage_dirs():
+            if age <= STAGE_TTL_S:
+                # a live fenced recorder owns this; leave it alone
+                continue
+            entry = FsckEntry(name, path, "partial",
+                              f"stale fenced stage ({age:.0f}s old, "
+                              f"abandoned recording)")
+            if repair:
+                try:
+                    shutil.rmtree(path)
+                    entry.action = "removed"
+                except OSError as exc:
+                    entry.detail += f"; removal failed: {exc}"
+            report.entries.append(entry)
         return report
 
     # -- gc -------------------------------------------------------------
@@ -824,6 +1086,7 @@ class ArtifactCache:
         removed_partial = 0
         skipped: list[str] = []
         kept_runs: list[str] = []
+        kept_queues: list[str] = []
         for run_id, path, finished in self._run_dirs():
             size = sum(
                 os.path.getsize(os.path.join(dp, f))
@@ -833,11 +1096,30 @@ class ArtifactCache:
             if not finished:
                 kept_runs.append(run_id)
                 continue
+            if self._queue_live(path):
+                # finished run, but workers (or zombies) still heartbeat
+                # its queue — the fence files in there are load-bearing
+                kept_queues.append(run_id)
+                continue
             try:
                 mtime = os.stat(path).st_mtime
             except OSError:
                 mtime = 0.0
             run_candidates.append((mtime, run_id, path, size))
+        for _name, path, age in self._stage_dirs():
+            size = sum(
+                os.path.getsize(os.path.join(dp, f))
+                for dp, _dn, fns in os.walk(path) for f in fns
+            )
+            if age <= STAGE_TTL_S:
+                # a live fenced recorder owns this stage; count, keep
+                before += size
+                continue
+            try:
+                shutil.rmtree(path)
+                removed_partial += 1
+            except OSError:
+                before += size
         for name, path, is_quarantine in self._artifact_dirs():
             size = sum(
                 os.path.getsize(os.path.join(dp, f))
@@ -910,5 +1192,6 @@ class ArtifactCache:
             evicted_runs=evicted_runs,
             skipped_in_use=sorted(set(skipped)),
             kept_runs=kept_runs,
+            kept_queues=kept_queues,
             removed_partial=removed_partial,
         )

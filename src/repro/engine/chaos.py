@@ -124,6 +124,12 @@ register_scenario(IOFaultScenario(
     "io-bitflip-refs-persistent",
     "every re-recorded trace container is corrupted again (bad media)",
     faults=(IOFault("bitflip", op="replace:refs.tv3", repeat=True),)))
+register_scenario(IOFaultScenario(
+    "io-queue-soak",
+    "queue soak: each worker's first committed trace container takes a "
+    "bit flip (replay verification + self-healing re-record repair it "
+    "mid-suite, under concurrent claims and worker kills)",
+    faults=(IOFault("bitflip", op="replace:refs.tv3"),)))
 
 
 def _zip_payload_spans(path: str) -> list[tuple[int, int]]:

@@ -1,4 +1,4 @@
-"""Cross-process artifact locks.
+"""Cross-process artifact locks and fencing tokens.
 
 Two recorders pointed at the same cache root and the same
 :class:`~repro.engine.spec.RunSpec` must never interleave inside one
@@ -13,6 +13,18 @@ in one process conflict just like two processes do), and — crucially for
 crash robustness — released automatically by the kernel when the holder
 dies, so a crashed recorder can never wedge the cache.
 
+A ``flock`` alone cannot defend against a *zombie*: a worker that is
+alive but frozen (SIGSTOP, NFS stall, a VM pause) keeps its lock while
+the distributed queue reassigns its task, and when it thaws it would
+happily clobber the new owner's work. :class:`FencingToken` closes that
+hole with the classic lease-fencing protocol: every claim of a task
+carries a monotonically increasing epoch, the current minimum valid
+epoch is stored durably in a fence file, and revoking a lease bumps the
+fence *before* the task is handed to anyone else. A lock acquisition or
+an artifact commit made under a stale token is refused with
+:class:`~repro.errors.FencedOutError` — the resurrected holder can only
+discard its work.
+
 On platforms without ``fcntl`` (Windows) the lock degrades to a no-op:
 single-process use stays correct, and the cache's commit-marker protocol
 still bounds the damage of a true multi-writer race to a wasted
@@ -23,23 +35,108 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass
 
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None  # type: ignore[assignment]
 
-from repro.errors import CacheLockError
+from repro.errors import CacheLockError, FencedOutError
 
 #: Poll interval while waiting on a contended lock with a timeout.
 _POLL_S = 0.01
 
 
-class KeyLock:
-    """An exclusive ``flock`` on one lock file (one artifact key)."""
+# ----------------------------------------------------------------------
+def read_fence(path: str) -> int:
+    """The minimum fencing epoch *path* currently accepts (0 = no fence
+    written yet, every epoch is valid)."""
+    try:
+        with open(path, "rb") as fh:
+            return int(fh.read().strip() or 0)
+    except FileNotFoundError:
+        return 0
+    except (OSError, ValueError):
+        # an unreadable or torn fence fails safe: treat it as maximally
+        # restrictive so no stale holder slips through on garbage
+        return (1 << 62)
 
-    def __init__(self, path: str | os.PathLike) -> None:
+
+def write_fence(path: str, epoch: int) -> None:
+    """Durably publish *epoch* as the minimum valid fencing epoch.
+
+    Atomic (tmp + rename) and fsync'd, and never moves backwards: a
+    concurrent or crashed writer can leave only the old value or the new
+    one, and revocation-then-regrant always reads its own bump.
+    """
+    current = read_fence(path)
+    if current >= (1 << 62):
+        current = 0  # replacing a torn fence file is the repair
+    epoch = max(epoch, current)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(str(epoch))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dirfd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dirfd)
+    finally:
+        os.close(dirfd)
+
+
+@dataclass(frozen=True)
+class FencingToken:
+    """One claim's right to act, checkable against the durable fence.
+
+    ``epoch`` is the monotonic claim number the coordinator granted;
+    ``path`` is the fence file holding the minimum epoch still valid.
+    The token is valid while ``epoch >= read_fence(path)`` — revoking
+    the lease bumps the fence past ``epoch``, permanently invalidating
+    this token no matter when its holder wakes up.
+    """
+
+    path: str
+    epoch: int
+    #: diagnostic only: who holds the token (worker id, task id, ...)
+    owner: str = ""
+
+    def current(self) -> int:
+        return read_fence(self.path)
+
+    def valid(self) -> bool:
+        return self.epoch >= self.current()
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`~repro.errors.FencedOutError` if stale."""
+        current = self.current()
+        if self.epoch < current:
+            raise FencedOutError(
+                f"fenced out: {what} under epoch {self.epoch} refused — "
+                f"the fence at {self.path} requires epoch >= {current} "
+                f"(lease revoked and work reassigned"
+                f"{'; holder ' + self.owner if self.owner else ''})",
+                epoch=self.epoch, current=current,
+            )
+
+
+class KeyLock:
+    """An exclusive ``flock`` on one lock file (one artifact key).
+
+    With ``fence=`` set, the lock composes with lease fencing: the fence
+    is validated *after* the flock lands (the wait may have outlasted the
+    holder's lease), and a stale token releases the lock immediately and
+    raises :class:`~repro.errors.FencedOutError` — a zombie can block on
+    a lock, but it can never *hold* one.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 fence: FencingToken | None = None) -> None:
         self.path = os.fspath(path)
+        self.fence = fence
         self._fd: int | None = None
 
     @property
@@ -50,27 +147,40 @@ class KeyLock:
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         return os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
 
+    def _acquired(self) -> "KeyLock":
+        """Post-acquisition fence validation: a stale token never holds."""
+        if self.fence is not None:
+            try:
+                self.fence.check(f"lock {self.path}")
+            except FencedOutError:
+                self.release()
+                raise
+        return self
+
     def acquire(self, timeout: float | None = None) -> "KeyLock":
         """Take the lock, waiting at most *timeout* seconds (forever when
         ``None``); raises :class:`~repro.errors.CacheLockError` on
-        timeout."""
+        timeout and :class:`~repro.errors.FencedOutError` when the
+        lock's fencing token went stale while waiting."""
         if self._fd is not None:
             return self
         fd = self._open()
+        # once fd is handed to self._fd its lifecycle belongs to
+        # release() — the cleanup below must not double-close it (a
+        # fence refusal inside _acquired() already released the lock)
+        owned = True
         try:
             if fcntl is None:
-                self._fd = fd
-                return self
+                self._fd, owned = fd, False
+                return self._acquired()
             if timeout is None:
                 fcntl.flock(fd, fcntl.LOCK_EX)
-                self._fd = fd
-                return self
+                self._fd, owned = fd, False
+                return self._acquired()
             deadline = time.monotonic() + timeout
             while True:
                 try:
                     fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-                    self._fd = fd
-                    return self
                 except OSError:
                     if time.monotonic() >= deadline:
                         raise CacheLockError(
@@ -78,8 +188,11 @@ class KeyLock:
                             f"artifact lock {self.path}"
                         ) from None
                     time.sleep(_POLL_S)
+                    continue
+                self._fd, owned = fd, False
+                return self._acquired()
         except BaseException:
-            if self._fd is None:
+            if owned:
                 os.close(fd)
             raise
 

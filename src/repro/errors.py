@@ -81,6 +81,29 @@ class CacheLockError(ReproError):
     """A cross-process artifact lock could not be acquired in time."""
 
 
+class FencedOutError(ReproError):
+    """A lease holder's fencing token went stale: its work was reassigned.
+
+    Raised when a (possibly resurrected) worker tries to take a fenced
+    lock or publish a fenced artifact commit after the coordinator
+    revoked its lease and granted the task to someone else at a higher
+    fencing epoch. The refused worker must discard its work — the
+    current epoch's holder owns the artifact and the queue slot.
+    """
+
+    def __init__(self, message: str, epoch: int | None = None,
+                 current: int | None = None) -> None:
+        super().__init__(message)
+        #: the stale holder's fencing epoch
+        self.epoch = epoch
+        #: the minimum epoch the fence currently accepts
+        self.current = current
+
+
+class QueueError(ReproError):
+    """The distributed work queue is missing, malformed, or misused."""
+
+
 class ExperimentAbortedError(ReproError):
     """An experiment failed every retry under the hardened runner."""
 

@@ -1,4 +1,5 @@
-"""CLI: ``python -m repro.experiments <id>|all [--write] [--jobs N]
+"""CLI: ``python -m repro.experiments <id>|all [--write]
+[--jobs N|adaptive] [--transport process|queue]
 [--run-id ID | --resume ID]``.
 
 Exit codes: 0 success, 2 usage/configuration errors (including a
@@ -22,6 +23,17 @@ from repro.experiments.runner import (
     run_all,
     run_experiment,
 )
+
+
+def _jobs_arg(text: str) -> int | str:
+    """``--jobs`` accepts an integer or the literal ``adaptive``."""
+    if text.strip().lower() == "adaptive":
+        return "adaptive"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'adaptive', got {text!r}") from None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,12 +63,21 @@ def main(argv: list[str] | None = None) -> int:
              "invocations",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
         help="with 'all': worker processes for the suite (default 1 = "
              "sequential in-process; 0 = auto: one per CPU, clamped to "
-             "the task graph's useful parallelism). Workers share the "
+             "the task graph's useful parallelism; 'adaptive' = sized "
+             "from journaled run history, degrading to sequential where "
+             "parallelism demonstrably loses). Workers share the "
              "artifact cache, so each distinct run spec is still executed "
              "exactly once and results are identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--transport", choices=("process", "queue"), default="process",
+        help="with 'all': 'process' runs workers as a local pool; "
+             "'queue' publishes tasks to a filesystem work queue under "
+             "<cache-dir>/runs/<run-id>/queue/ that any host sharing the "
+             "cache can join via `nvscavenger work`",
     )
     parser.add_argument(
         "--run-id", default=None, metavar="ID",
@@ -82,9 +103,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sched.suite import resolve_jobs
 
         # validate (and estimate, for the progress printer below) here;
-        # the *effective* worker count for --jobs 0 is decided inside
-        # run_suite_parallel, where the task graph's width is known
-        jobs_estimate = resolve_jobs(args.jobs)
+        # the *effective* worker count for --jobs 0 (and "adaptive") is
+        # decided inside run_suite_parallel, where the task graph's
+        # width (and the journal history) is known
+        jobs_estimate = (resolve_jobs(args.jobs)
+                         if isinstance(args.jobs, int) else 2)
         jobs = args.jobs
         if args.resume is not None and args.run_id is not None:
             raise ConfigurationError(
@@ -109,12 +132,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         if args.experiment == "all":
             on_event = None
-            if jobs_estimate > 1:
+            if jobs_estimate > 1 or args.transport == "queue":
                 def on_event(ev):  # live progress on stderr, results on stdout
                     print(f"sched: {ev}", file=sys.stderr)
             results = run_all(ctx, jobs=jobs, on_sched_event=on_event,
                               run_id=args.run_id, resume=args.resume,
-                              drain_grace_s=args.grace)
+                              drain_grace_s=args.grace,
+                              transport=args.transport)
             for res in results:
                 print(res)
                 print()

@@ -123,11 +123,13 @@ def run_all(
     budget_s: float | None = None,
     strict: bool = False,
     prefetch: bool = True,
-    jobs: int = 1,
+    jobs: int | str = 1,
     on_sched_event: Callable | None = None,
     run_id: str | None = None,
     resume: str | None = None,
     drain_grace_s: float = 10.0,
+    transport: str = "process",
+    lease_ttl_s: float | None = None,
 ) -> list[ExperimentResult | ExperimentFailure]:
     """Run every experiment against one shared (cached) context.
 
@@ -166,14 +168,22 @@ def run_all(
     signum``) — as does a ``KeyboardInterrupt`` on the sequential path,
     which aborts the suite immediately instead of being retried or
     recorded as an experiment failure.
+
+    ``jobs="adaptive"`` sizes the pool from journaled run history
+    (degrading to sequential where parallelism demonstrably loses);
+    ``transport="queue"`` runs the suite over the filesystem work queue
+    so ``nvscavenger work`` agents on other hosts can join
+    (``lease_ttl_s`` tunes their crash detection).
     """
     ctx = ctx or ExperimentContext()
     exps = EXPERIMENTS if experiments is None else experiments
-    if jobs != 1 or run_id is not None or resume is not None:
+    if (jobs != 1 or run_id is not None or resume is not None
+            or transport != "process"):
         from repro.sched.suite import run_suite_parallel
 
-        # jobs passes through raw: run_suite_parallel resolves 0 with the
-        # graph in hand, clamping auto-sizing to the suite's useful width
+        # jobs passes through raw: run_suite_parallel resolves 0 (and
+        # "adaptive") with the graph in hand, clamping auto-sizing to
+        # the suite's useful width
         results, _report = run_suite_parallel(
             ctx, exps,
             jobs=jobs,
@@ -184,6 +194,8 @@ def run_all(
             run_id=run_id,
             resume=resume,
             drain_grace_s=drain_grace_s,
+            transport=transport,
+            lease_ttl_s=lease_ttl_s,
         )
         return results
     runner = HardenedRunner(

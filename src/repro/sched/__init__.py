@@ -20,9 +20,19 @@ The subsystem has four layers:
 * :mod:`repro.sched.suite` — the ``run_all(jobs=N)`` entry point:
   canonical result ordering and parent-side stats merging, so a
   parallel suite run is bit-identical to a sequential one — resumed or
-  not.
+  not;
+* :mod:`repro.sched.queue` — the distributed transport: a
+  crash-consistent filesystem work queue under the run directory, with
+  ``O_EXCL`` lease claims, heartbeat liveness, and monotonic fencing
+  epochs so a revoked (zombie) worker can never commit over its
+  successor — any host sharing the cache joins via ``nvscavenger
+  work``;
+* :mod:`repro.sched.adaptive` — evidence-based pool sizing: mines the
+  journals of finished runs for observed speedup per pool size and
+  degrades to sequential where parallelism demonstrably loses.
 """
 
+from repro.sched.adaptive import RunSample, adaptive_jobs, run_history
 from repro.sched.events import (
     TASK_FAILED,
     TASK_FINISHED,
@@ -50,8 +60,17 @@ from repro.sched.journal import (
     replay_state,
     run_dir,
 )
+from repro.sched.queue import (
+    EXIT_FENCED,
+    QueueCoordinator,
+    QueueWorker,
+    WorkQueue,
+    safe_task_id,
+)
 from repro.sched.scheduler import Scheduler, SchedulerOutcome, default_start_method
 from repro.sched.suite import (
+    JOBS_ADAPTIVE,
+    TRANSPORTS,
     build_suite_graph,
     declared_artifacts,
     resolve_jobs,
@@ -84,6 +103,16 @@ __all__ = [
     "Scheduler",
     "SchedulerOutcome",
     "default_start_method",
+    "EXIT_FENCED",
+    "QueueCoordinator",
+    "QueueWorker",
+    "WorkQueue",
+    "safe_task_id",
+    "RunSample",
+    "adaptive_jobs",
+    "run_history",
+    "JOBS_ADAPTIVE",
+    "TRANSPORTS",
     "build_suite_graph",
     "declared_artifacts",
     "resolve_jobs",

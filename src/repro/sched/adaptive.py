@@ -1,0 +1,148 @@
+"""Adaptive worker-pool sizing from journaled run history.
+
+``--jobs N`` makes the operator guess, and the guess has teeth: on a
+1-core container, ``jobs=4`` measured **0.28x** the sequential
+throughput — four workers thrashing one core is strictly worse than no
+pool at all. ``--jobs 0`` (cpu-count auto) fixes the obvious case but
+still can't see contention that only shows up at runtime (shared
+filesystem latency, memory pressure, sibling tenants).
+
+``--jobs adaptive`` sizes the pool from *evidence* instead: every
+finished suite run's journal already records the pool size, the run's
+wall time, and each task's wall time, so the observed **effective
+speedup** of a past run is::
+
+    speedup = busy_s / wall_s        # Σ task wall / run wall
+
+— the number of workers that were *actually* doing useful work at once.
+The sizer groups history by pool size, takes the median speedup per
+size, and picks the size with the best observed speedup, degrading to
+sequential whenever parallelism never beat ``jobs=1`` by a meaningful
+margin (:data:`MIN_GAIN`). No history at all falls back to the same
+cpu-count heuristic as ``--jobs 0``.
+
+History is mined purely from ``runs/*/journal.jsonl`` — no extra state
+files, and runs recorded before this module existed still contribute
+(their wall time is reconstructed from record timestamps).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass
+
+from repro.sched import journal as jnl
+
+#: A pool size must beat the sequential median by this factor to be
+#: chosen — below it, fork/IPC overhead and nondeterministic scheduling
+#: buy nothing worth the complexity.
+MIN_GAIN = 1.05
+
+
+@dataclass(frozen=True)
+class RunSample:
+    """The adaptive sizer's view of one finished run."""
+
+    run_id: str
+    jobs: int
+    #: run wall-clock seconds
+    wall_s: float
+    #: Σ per-task wall seconds (the work the run actually did)
+    busy_s: float
+    n_tasks: int
+
+    @property
+    def speedup(self) -> float:
+        """Observed effective parallelism: how many workers' worth of
+        task time each wall second bought."""
+        return self.busy_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _sample_from_records(run_id: str, records: list[dict]) -> RunSample | None:
+    """Distill one journal's records into a :class:`RunSample`.
+
+    Only *finished* runs count — an interrupted or crashed run's wall
+    time says nothing about steady-state throughput. Returns None for
+    anything unusable (unfinished, zero tasks, unparsable payloads)."""
+    started = finished = None
+    busy = 0.0
+    n_tasks = 0
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == jnl.RUN_STARTED and started is None:
+            started = rec
+        elif kind == jnl.RUN_FINISHED:
+            finished = rec
+        elif kind == jnl.TASK_FINISHED:
+            n_tasks += 1
+            try:
+                payload = jnl.decode_payload(rec.get("payload", {}))
+            except Exception:
+                continue
+            if isinstance(payload, dict):
+                try:
+                    busy += float(payload.get("wall_s", 0.0))
+                except (TypeError, ValueError):
+                    pass
+    if started is None or finished is None or n_tasks == 0:
+        return None
+    jobs = int(finished.get("jobs", started.get("jobs", 1)) or 1)
+    wall = float(finished.get(
+        "wall_s", finished.get("t", 0.0) - started.get("t", 0.0)))
+    if wall <= 0.0 or busy <= 0.0:
+        return None
+    return RunSample(run_id=run_id, jobs=max(1, jobs), wall_s=wall,
+                     busy_s=busy, n_tasks=n_tasks)
+
+
+def run_history(cache_root: str) -> list[RunSample]:
+    """Every usable finished run under *cache_root*, journal order."""
+    samples = []
+    for run_id, path, finished in jnl.list_runs(cache_root):
+        if not finished:
+            continue
+        state = jnl.read_journal(os.path.join(path, jnl.JOURNAL_FILE))
+        sample = _sample_from_records(run_id, state.records)
+        if sample is not None:
+            samples.append(sample)
+    return samples
+
+
+def _cpu_fallback(width: int) -> int:
+    """The same heuristic as ``--jobs 0``: cpu count clamped to the
+    graph's useful width (kept local to avoid a suite<->adaptive import
+    cycle)."""
+    return max(1, min(os.cpu_count() or 1, max(1, width)))
+
+
+def adaptive_jobs(cache_root: str, width: int) -> tuple[int, str]:
+    """Pick a pool size for a new run from journaled history.
+
+    Returns ``(jobs, reason)`` — the reason string is surfaced by the
+    CLI so the choice is auditable, not magic.
+    """
+    samples = run_history(cache_root)
+    if not samples:
+        jobs = _cpu_fallback(width)
+        return jobs, (f"no journaled run history under {cache_root!r}; "
+                      f"cpu-count auto-sizing -> jobs={jobs}")
+    by_jobs: dict[int, list[float]] = {}
+    for s in samples:
+        by_jobs.setdefault(s.jobs, []).append(s.speedup)
+    score = {j: statistics.median(v) for j, v in by_jobs.items()}
+    # deterministic argmax: best median speedup, smallest pool on ties
+    best = min(score, key=lambda j: (-score[j], j))
+    seq = score.get(1, 1.0)
+    if best != 1 and score[best] <= seq * MIN_GAIN:
+        return 1, (
+            f"history says parallelism does not pay here: best observed "
+            f"speedup {score[best]:.2f}x at jobs={best} vs {seq:.2f}x "
+            f"sequential ({sum(len(v) for v in by_jobs.values())} run(s) "
+            f"sampled); degrading to jobs=1")
+    jobs = max(1, min(best, max(1, width)))
+    return jobs, (
+        f"history picks jobs={jobs}: median observed speedup "
+        f"{score[best]:.2f}x over {len(by_jobs[best])} run(s) at "
+        f"jobs={best}" + (f", clamped to graph width {width}"
+                          if jobs != best else ""))

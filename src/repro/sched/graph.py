@@ -203,6 +203,65 @@ class TaskGraph:
             and all(dep in done for dep in self.tasks[tid].deps)
         ]
 
+    # -- serialization (queue manifest) --------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form of the whole graph, in insertion order.
+
+        The queue coordinator writes this into the run's
+        ``queue/manifest.json`` so remote workers — separate processes
+        on other hosts, with no access to the coordinator's Python
+        objects — can rebuild the exact task graph (specs included) and
+        run any task handed to them. Round-trips through
+        :meth:`from_dict`; the fingerprint of the rebuilt graph equals
+        the original's.
+        """
+        rows = []
+        for tid in self.order:
+            task = self.tasks[tid]
+            if isinstance(task, RecordTask):
+                rows.append({
+                    "kind": "record", "task_id": tid, "name": task.name,
+                    "spec": task.spec.canonical(), "deps": list(task.deps),
+                })
+            else:
+                rows.append({
+                    "kind": "experiment", "task_id": tid,
+                    "exp_id": task.exp_id, "deps": list(task.deps),
+                })
+        return {"tasks": rows}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskGraph":
+        """Rebuild a graph serialized by :meth:`to_dict` (validates ids,
+        dependencies, and acyclicity exactly like direct construction).
+        Raises :class:`~repro.errors.SchedulerError` on malformed rows."""
+        tasks: list[Task] = []
+        try:
+            rows = payload["tasks"]
+        except (KeyError, TypeError):
+            raise SchedulerError("graph payload has no 'tasks' list")
+        for row in rows:
+            try:
+                kind = row["kind"]
+                deps = tuple(row.get("deps", ()))
+                if kind == "record":
+                    spec_fields = dict(row["spec"])
+                    spec_fields.pop("key", None)  # derived, not stored
+                    tasks.append(RecordTask(
+                        task_id=row["task_id"], name=row["name"],
+                        spec=RunSpec(**spec_fields), deps=deps))
+                elif kind == "experiment":
+                    tasks.append(ExperimentTask(
+                        task_id=row["task_id"], exp_id=row["exp_id"],
+                        deps=deps))
+                else:
+                    raise SchedulerError(
+                        f"unknown task kind {kind!r} in graph payload")
+            except (KeyError, TypeError) as exc:
+                raise SchedulerError(
+                    f"malformed graph task row {row!r}: {exc}") from exc
+        return cls(tasks)
+
     # ------------------------------------------------------------------
     @classmethod
     def for_suite(

@@ -47,12 +47,20 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.engine.locks import KeyLock
 from repro.errors import JournalError
 
 #: Subdirectory of the artifact-cache root holding per-run state.
 RUNS_DIR = "runs"
 #: The journal file inside one run directory.
 JOURNAL_FILE = "journal.jsonl"
+#: Flock file serializing journal writers across processes. The torn-
+#: tail truncation in :meth:`RunJournal.open` and every append hold it:
+#: without the lock, a coordinator and a late-joining worker opening
+#: the same journal could race read-then-truncate against an in-flight
+#: append and chop off a *good* record (or truncate at a stale offset
+#: and corrupt the stream for every later reader).
+JOURNAL_LOCK_FILE = "journal.lock"
 #: Zero-byte marker written when the run records ``run_finished``.
 DONE_MARKER = "DONE"
 
@@ -65,6 +73,10 @@ TASK_FAILED = "task_failed"
 TASK_SKIPPED = "task_skipped"
 RUN_INTERRUPTED = "run_interrupted"
 RUN_FINISHED = "run_finished"
+#: Queue-transport lifecycle records (:mod:`repro.sched.queue`).
+WORKER_JOINED = "worker_joined"
+LEASE_GRANTED = "lease_granted"
+LEASE_REVOKED = "lease_revoked"
 
 
 def run_dir(cache_root: str, run_id: str) -> str:
@@ -233,29 +245,44 @@ def replay_state(state: JournalState, run_id: str) -> ReplayState:
 
 # ----------------------------------------------------------------------
 class RunJournal:
-    """Append-only, fsync'd writer over one run's journal file."""
+    """Append-only, fsync'd writer over one run's journal file.
+
+    All physical writes — the torn-tail truncation at :meth:`open` and
+    every :meth:`append` — happen under a cross-process flock
+    (``journal.lock`` next to the journal), so a coordinator and a
+    late-joining queue worker sharing one journal can never interleave
+    a truncate with an append or tear each other's lines.
+    """
 
     def __init__(self, path: str, fsync: bool = True) -> None:
         self.path = path
         self.fsync = fsync
         self._fh = None
+        self._lock = KeyLock(os.path.join(
+            os.path.dirname(path) or ".", JOURNAL_LOCK_FILE))
 
     @classmethod
     def open(cls, cache_root: str, run_id: str,
              fsync: bool = True) -> "RunJournal":
         """Open *run_id*'s journal for appending, truncating any torn
         tail a previous crash left behind (the reader would ignore it,
-        but appending after garbage would poison every later line)."""
+        but appending after garbage would poison every later line).
+
+        The read-check-truncate sequence holds the journal flock: two
+        processes opening concurrently would otherwise race the
+        physical ``truncate`` — process B's stale ``good_bytes`` offset
+        could chop off a record process A appended in between."""
         path = journal_path(cache_root, run_id)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         jnl = cls(path, fsync=fsync)
-        if os.path.exists(path):
-            state = read_journal(path)
-            if state.torn:
-                with open(path, "r+b") as fh:
-                    fh.truncate(state.good_bytes)
-                    fh.flush()
-                    os.fsync(fh.fileno())
+        with jnl._lock:
+            if os.path.exists(path):
+                state = read_journal(path)
+                if state.torn:
+                    with open(path, "r+b") as fh:
+                        fh.truncate(state.good_bytes)
+                        fh.flush()
+                        os.fsync(fh.fileno())
         return jnl
 
     def _handle(self):
@@ -264,13 +291,14 @@ class RunJournal:
         return self._fh
 
     def append(self, kind: str, **fields) -> dict:
-        """Durably append one record; returns it."""
+        """Durably append one record (under the journal flock)."""
         rec = {"kind": kind, "t": round(time.time(), 3), **fields}
-        fh = self._handle()
-        fh.write(encode_line(rec))
-        fh.flush()
-        if self.fsync:
-            os.fsync(fh.fileno())
+        with self._lock:
+            fh = self._handle()
+            fh.write(encode_line(rec))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
         return rec
 
     # -- scheduler-facing convenience wrappers -------------------------
@@ -294,8 +322,27 @@ class RunJournal:
     def run_interrupted(self, signum: int) -> None:
         self.append(RUN_INTERRUPTED, signum=signum)
 
-    def run_finished(self, n_failed: int = 0, n_skipped: int = 0) -> None:
-        self.append(RUN_FINISHED, n_failed=n_failed, n_skipped=n_skipped)
+    # -- queue-transport lifecycle wrappers ----------------------------
+    def worker_joined(self, worker_id: str) -> None:
+        self.append(WORKER_JOINED, worker_id=worker_id)
+
+    def lease_granted(self, task_id: str, worker_id: str,
+                      epoch: int) -> None:
+        self.append(LEASE_GRANTED, task_id=task_id, worker_id=worker_id,
+                    epoch=epoch)
+
+    def lease_revoked(self, task_id: str, worker_id: str, epoch: int,
+                      reason: str) -> None:
+        self.append(LEASE_REVOKED, task_id=task_id, worker_id=worker_id,
+                    epoch=epoch, reason=reason)
+
+    def run_finished(self, n_failed: int = 0, n_skipped: int = 0,
+                     **extra) -> None:
+        # extra carries run-shape facts the adaptive pool sizer mines
+        # from history (jobs=, wall_s=, task_wall_s=...); keyword-only
+        # so old journals (without them) replay unchanged
+        self.append(RUN_FINISHED, n_failed=n_failed, n_skipped=n_skipped,
+                    **extra)
         # the marker engine gc keys eviction on: a finished run's
         # journal is forensics, an unfinished one is resumable state
         marker = os.path.join(os.path.dirname(self.path), DONE_MARKER)

@@ -91,6 +91,34 @@ class _Running:
     t0: float
 
 
+def skip_dependents(graph: TaskGraph, task_id: str, reason: str,
+                    done: set, outcome: "SchedulerOutcome", log: EventLog,
+                    journal: RunJournal | None = None) -> None:
+    """Propagate a permanent task failure to its transitive dependents.
+
+    Everything downstream of *task_id* that has not already finished is
+    doomed — report and journal it as skipped instead of launching it to
+    fail slowly against a missing artifact. Shared by the process-pool
+    :class:`Scheduler` and the queue transport's coordinator
+    (:class:`repro.sched.queue.QueueCoordinator`), so both transports
+    fail a broken suite with identical structure.
+    """
+    for tid in graph.transitive_dependents(task_id):
+        if tid in done or tid in outcome.skipped:
+            continue
+        done.add(tid)
+        info = {
+            "task_id": tid,
+            "root_cause": task_id,
+            "reason": reason,
+        }
+        outcome.skipped[tid] = info
+        log.emit(TASK_SKIPPED, tid,
+                 detail=f"dependency {task_id} failed: {reason}")
+        if journal is not None:
+            journal.task_skipped(tid, task_id, reason)
+
+
 @dataclass
 class SchedulerOutcome:
     """Everything one scheduled run produced."""
@@ -423,20 +451,8 @@ class Scheduler:
         self._skip_dependents(task_id, reason, done, outcome, log)
 
     def _skip_dependents(self, task_id, reason, done, outcome, log) -> None:
-        """A task is out of retries: everything transitively downstream
-        of it that has not already finished is doomed — report and
-        journal it as skipped instead of launching it to fail slowly."""
-        for tid in self.graph.transitive_dependents(task_id):
-            if tid in done or tid in outcome.skipped:
-                continue
-            done.add(tid)
-            info = {
-                "task_id": tid,
-                "root_cause": task_id,
-                "reason": reason,
-            }
-            outcome.skipped[tid] = info
-            log.emit(TASK_SKIPPED, tid,
-                     detail=f"dependency {task_id} failed: {reason}")
-            if self.journal is not None:
-                self.journal.task_skipped(tid, task_id, reason)
+        """A task is out of retries: doom its transitive dependents
+        (module-level :func:`skip_dependents`, shared with the queue
+        transport)."""
+        skip_dependents(self.graph, task_id, reason, done, outcome, log,
+                        journal=self.journal)

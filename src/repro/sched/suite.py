@@ -44,8 +44,19 @@ from repro.sched.journal import (
     read_journal,
     replay_state,
 )
+from repro.sched.queue import DEFAULT_LEASE_TTL_S, QueueCoordinator
 from repro.sched.scheduler import Scheduler
 from repro.sched.workers import WorkerConfig
+
+#: ``jobs`` sentinel: size the pool from journaled run history
+#: (:func:`repro.sched.adaptive.adaptive_jobs`) instead of a fixed
+#: count or the cpu heuristic.
+JOBS_ADAPTIVE = "adaptive"
+
+#: Suite transports: ``process`` = local multiprocessing pool (the
+#: default), ``queue`` = filesystem work queue any host sharing the
+#: cache can join (:mod:`repro.sched.queue`).
+TRANSPORTS = ("process", "queue")
 
 
 def resolve_jobs(jobs: int, ready_width: int | None = None) -> int:
@@ -143,7 +154,7 @@ def run_suite_parallel(
     ctx,
     exps: Mapping[str, Callable],
     *,
-    jobs: int,
+    jobs: int | str,
     retries: int = 1,
     budget_s: float | None = None,
     strict: bool = False,
@@ -155,6 +166,9 @@ def run_suite_parallel(
     journal: bool = True,
     drain_grace_s: float = 10.0,
     handle_signals: bool = True,
+    transport: str = "process",
+    lease_ttl_s: float | None = None,
+    heartbeat_s: float | None = None,
 ) -> tuple[list, SchedulerReport]:
     """Run *exps* against *ctx* on ``jobs`` worker processes.
 
@@ -177,10 +191,35 @@ def run_suite_parallel(
     ``drain_grace_s`` seconds to finish and journal, then the run
     raises :class:`~repro.errors.SuiteInterrupted` whose ``exit_code``
     is ``128 + signum``.
+
+    ``jobs="adaptive"`` sizes the pool from journaled run history
+    (:func:`repro.sched.adaptive.adaptive_jobs`): the size with the
+    best observed speedup wins, and a machine where parallelism never
+    paid degrades to sequential. ``transport="queue"`` runs the graph
+    over the filesystem work queue (:mod:`repro.sched.queue`) instead
+    of a local pool — ``jobs`` local worker processes are spawned, and
+    any number of ``nvscavenger work`` agents on other hosts may join
+    the run; ``lease_ttl_s`` / ``heartbeat_s`` tune crash detection.
+    The queue transport requires every experiment to come from the
+    registry (callables cannot cross hosts).
     """
     from repro.experiments.runner import EXPERIMENTS
 
     graph = build_suite_graph(ctx, exps)
+    if transport not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown suite transport {transport!r}; expected one of "
+            f"{', '.join(TRANSPORTS)}")
+    adaptive_reason = ""
+    if isinstance(jobs, str):
+        if jobs != JOBS_ADAPTIVE:
+            raise ConfigurationError(
+                f"--jobs must be an integer or {JOBS_ADAPTIVE!r}, "
+                f"got {jobs!r}")
+        from repro.sched.adaptive import adaptive_jobs
+
+        jobs, adaptive_reason = adaptive_jobs(
+            ctx.engine.cache.root, graph.width())
     jobs = resolve_jobs(jobs, ready_width=graph.width())
     cfg = WorkerConfig(
         cache_root=ctx.engine.cache.root,
@@ -199,6 +238,13 @@ def run_suite_parallel(
         exp_id: (None if EXPERIMENTS.get(exp_id) is fn else fn)
         for exp_id, fn in exps.items()
     }
+    if transport == "queue":
+        shipped = sorted(e for e, fn in exp_fns.items() if fn is not None)
+        if shipped:
+            raise ConfigurationError(
+                f"transport='queue' requires registry experiments (ids "
+                f"resolve on any host); cannot ship callables for: "
+                f"{', '.join(shipped)}")
     if task_timeout_s is None and budget_s is not None:
         # the in-worker HardenedRunner gets retries+1 attempts plus one
         # degraded rerun, each nominally within budget_s; pad for startup
@@ -215,10 +261,12 @@ def run_suite_parallel(
         rstate = _load_resume_state(cache_root, resume, graph)
         seed_done = rstate.done
         seed_payloads = rstate.payloads
+    if run_id is None and (journal or transport == "queue"):
+        # the queue transport needs a run id even without a journal:
+        # it names the on-disk queue directory workers rendezvous at
+        run_id = new_run_id(seed=ctx.seed)
     jnl: RunJournal | None = None
     if journal:
-        if run_id is None:
-            run_id = new_run_id(seed=ctx.seed)
         jnl = RunJournal.open(cache_root, run_id)
         if resume is not None:
             jnl.append("run_resumed", jobs=jobs,
@@ -228,23 +276,46 @@ def run_suite_parallel(
                        fingerprint=graph.fingerprint(), jobs=jobs,
                        seed=ctx.seed, apps=list(ctx.apps),
                        refs_per_iteration=ctx.refs_per_iteration,
-                       scale=ctx.scale, n_iterations=ctx.n_iterations)
+                       scale=ctx.scale, n_iterations=ctx.n_iterations,
+                       transport=transport,
+                       adaptive=adaptive_reason)
 
     try:
-        outcome = Scheduler(
-            graph,
-            cfg,
-            jobs=jobs,
-            exp_fns=exp_fns,
-            task_timeout_s=task_timeout_s,
-            start_method=start_method,
-            on_event=on_event,
-            journal=jnl,
-            seed_done=seed_done,
-            seed_payloads=seed_payloads,
-            drain_grace_s=drain_grace_s,
-            handle_signals=handle_signals,
-        ).run()
+        if transport == "queue":
+            outcome = QueueCoordinator(
+                graph,
+                cfg,
+                cache_root=cache_root,
+                run_id=run_id,
+                jobs=jobs,
+                reseed_stride=cfg.reseed_stride,
+                lease_ttl_s=(lease_ttl_s if lease_ttl_s is not None
+                             else DEFAULT_LEASE_TTL_S),
+                heartbeat_s=heartbeat_s,
+                task_timeout_s=task_timeout_s,
+                on_event=on_event,
+                journal=jnl,
+                seed_done=seed_done,
+                seed_payloads=seed_payloads,
+                drain_grace_s=drain_grace_s,
+                handle_signals=handle_signals,
+                start_method=start_method,
+            ).run()
+        else:
+            outcome = Scheduler(
+                graph,
+                cfg,
+                jobs=jobs,
+                exp_fns=exp_fns,
+                task_timeout_s=task_timeout_s,
+                start_method=start_method,
+                on_event=on_event,
+                journal=jnl,
+                seed_done=seed_done,
+                seed_payloads=seed_payloads,
+                drain_grace_s=drain_grace_s,
+                handle_signals=handle_signals,
+            ).run()
     except BaseException:
         if jnl is not None:
             jnl.close()
@@ -276,8 +347,11 @@ def run_suite_parallel(
             signum=signum, run_id=run_id, report=report, completed=n_done,
         )
     if jnl is not None:
+        # jobs/wall_s feed the adaptive pool sizer's history model
         jnl.run_finished(n_failed=report.n_failed,
-                         n_skipped=report.n_skipped)
+                         n_skipped=report.n_skipped,
+                         jobs=jobs, wall_s=round(report.wall_s, 6),
+                         transport=transport)
         jnl.close()
 
     results: list = []

@@ -50,12 +50,28 @@ class WorkerConfig:
     reseed_stride: int = 1000
     #: per-experiment wall budget inside the worker (None = unbounded)
     budget_s: float | None = None
+    #: ChaosFS fault scenario installed on the worker's cache (soak and
+    #: chaos tests; None = plain OsFS)
+    chaos_scenario: str | None = None
+    chaos_seed: int = 0
 
 
-def _worker_context(cfg: WorkerConfig, seed_offset: int = 0):
+def _apply_cache_hooks(cache, cfg: WorkerConfig, fence=None) -> None:
+    """Install the per-worker cache extras a task may carry: a ChaosFS
+    fault scenario (soak/chaos runs) and a queue lease's fencing token
+    (validated on every lock acquisition and artifact commit)."""
+    if getattr(cfg, "chaos_scenario", None):
+        from repro.engine.chaos import ChaosFS
+
+        cache.fs = ChaosFS(scenario=cfg.chaos_scenario, seed=cfg.chaos_seed)
+    if fence is not None:
+        cache.fence = fence
+
+
+def _worker_context(cfg: WorkerConfig, seed_offset: int = 0, fence=None):
     from repro.experiments.common import ExperimentContext
 
-    return ExperimentContext(
+    ctx = ExperimentContext(
         refs_per_iteration=cfg.refs_per_iteration,
         scale=cfg.scale,
         n_iterations=cfg.n_iterations,
@@ -64,9 +80,11 @@ def _worker_context(cfg: WorkerConfig, seed_offset: int = 0):
         cache_dir=cfg.cache_root,
         self_heal=cfg.self_heal,
     )
+    _apply_cache_hooks(ctx.engine.cache, cfg, fence)
+    return ctx
 
 
-def run_record_task(spec: RunSpec, cfg: WorkerConfig) -> dict:
+def run_record_task(spec: RunSpec, cfg: WorkerConfig, fence=None) -> dict:
     """Record *spec* into the shared cache (idempotent: a loser of the
     cross-process race gets the winner's artifact as a cache hit).
 
@@ -76,6 +94,7 @@ def run_record_task(spec: RunSpec, cfg: WorkerConfig) -> dict:
     needs the artifact will surface it under harness isolation.
     """
     engine = PipelineEngine(root=cfg.cache_root, self_heal=cfg.self_heal)
+    _apply_cache_hooks(engine.cache, cfg, fence)
     before = engine.stats.snapshot()
     t0 = time.perf_counter()
     error = ""
@@ -83,6 +102,12 @@ def run_record_task(spec: RunSpec, cfg: WorkerConfig) -> dict:
         engine.record(spec)
     except Exception as exc:  # noqa: BLE001 — deferred to the experiment
         error = f"{type(exc).__name__}: {exc}"
+        # a fenced-out recorder must not report success-shaped payloads:
+        # re-raise so the caller (queue worker) can refuse the result
+        from repro.errors import FencedOutError
+
+        if isinstance(exc, FencedOutError):
+            raise
     return {
         "stats": engine.stats.delta(before),
         "wall_s": round(time.perf_counter() - t0, 6),
@@ -95,6 +120,7 @@ def run_experiment_task(
     fn: Callable | None,
     cfg: WorkerConfig,
     seed_offset: int = 0,
+    fence=None,
 ) -> dict:
     """Run one experiment in a fresh context against the shared cache.
 
@@ -108,7 +134,7 @@ def run_experiment_task(
         from repro.experiments.runner import EXPERIMENTS
 
         fn = EXPERIMENTS[exp_id]
-    ctx = _worker_context(cfg, seed_offset)
+    ctx = _worker_context(cfg, seed_offset, fence)
     runner = HardenedRunner(
         retry=RetryPolicy(retries=cfg.retries, reseed_stride=cfg.reseed_stride),
         budget=(ExperimentBudget(wall_s=cfg.budget_s)

@@ -44,7 +44,20 @@ class TestExperimentsJobsFlag:
         with pytest.raises(SystemExit) as exc:
             main(["experiments", "all", "--jobs", "lots"])
         assert exc.value.code == 2
-        assert "invalid int value" in capsys.readouterr().err
+        assert "expected an integer or 'adaptive'" in capsys.readouterr().err
+
+    def test_jobs_adaptive_is_accepted(self):
+        from repro.experiments.__main__ import _jobs_arg
+
+        assert _jobs_arg("adaptive") == "adaptive"
+        assert _jobs_arg(" Adaptive ") == "adaptive"
+        assert _jobs_arg("3") == 3
+
+    def test_unknown_transport_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["experiments", "all", "--transport", "carrier-pigeon"])
+        assert exc.value.code == 2
+        assert "--transport" in capsys.readouterr().err
 
     def test_jobs_zero_resolves_to_cpu_count(self):
         import os
@@ -101,6 +114,55 @@ class TestServeFlag:
             main(["serve", "--cache-dir", "c", "--port", "http"])
         assert exc.value.code == 2
         assert "invalid int value" in capsys.readouterr().err
+
+
+class TestWorkFlag:
+    """``nvscavenger work`` keeps the exit-code contract: 2 on anything
+    that prevents the worker from even joining a run (bad args, missing
+    cache, unknown run id), before any lease is touched."""
+
+    def test_missing_required_args_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["work"])
+        assert exc.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_nonexistent_cache_dir_exit_2(self, capsys, tmp_path):
+        rc = main(["work", "--cache-dir", str(tmp_path / "nope"),
+                   "--run-id", "r1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err and "--cache-dir" in err
+
+    def test_unknown_run_id_exit_2(self, capsys, tmp_path):
+        rc = main(["work", "--cache-dir", str(tmp_path), "--run-id", "ghost"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err and "ghost" in err
+
+    def test_once_and_max_tasks_are_mutually_exclusive(self, capsys,
+                                                       tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["work", "--cache-dir", str(tmp_path), "--run-id", "r1",
+                  "--once", "--max-tasks", "2"])
+        assert exc.value.code == 2
+        assert "not allowed" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag,value,fragment", [
+        ("--poll", "0", "--poll"),
+        ("--poll", "-1", "--poll"),
+        ("--heartbeat", "0", "--heartbeat"),
+        ("--max-tasks", "0", "--max-tasks"),
+        ("--chaos", "no-such-scenario", "chaos scenario"),
+    ])
+    def test_invalid_knobs_exit_2(self, capsys, tmp_path, flag, value,
+                                  fragment):
+        rc = main(["work", "--cache-dir", str(tmp_path), "--run-id", "r1",
+                   flag, value])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err
+        assert fragment in err
 
 
 class TestTraceVerify:
