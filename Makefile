@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak queue-soak validate examples all clean
+.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak queue-soak policy-smoke validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -57,6 +57,12 @@ serve-soak:
 # bit-identical to jobs=1 (matches CI's queue job).
 queue-soak:
 	$(PY) tools/queue_soak.py
+
+# Policy smoke: `policies ls` + a cold and warm `policies sweep`;
+# the warm replay must be bit-identical to the record run and threshold
+# must beat no_migration on NVM writes (matches CI's policies job).
+policy-smoke:
+	$(PY) tools/policy_smoke.py
 
 validate:
 	$(PY) -m repro.validation

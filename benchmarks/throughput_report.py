@@ -17,6 +17,10 @@ Measures, on the same inputs the pytest-benchmark suite uses:
   to process overhead, so the section records ``cpu_count`` alongside
   the wall-clocks and the differential check (jobs-independent results)
   is the hard assertion, not the speedup.
+* ``policy_zoo`` sweep throughput: the 60-cell policy x workload x
+  device x endurance-budget grid on a cold artifact cache (records the
+  three workload traces) vs a warm one (replay-only; must execute zero
+  workloads and reproduce the cold rows bit-identically).
 * ``nvscavenger serve`` warm-path request rate: a real daemon on a
   loopback socket, one cold request to populate the cache, then timed
   sequential warm requests (``requests_per_s_warm`` — cache hit +
@@ -300,6 +304,57 @@ def queue_section(tmp_root: str) -> dict:
     }
 
 
+def policy_zoo_section(tmp_root: str) -> dict:
+    """Policy-sweep throughput: cells/sec on a cold vs warm artifact cache.
+
+    The sweep's contract is that every cell is a pure function of a
+    cached workload trace, so the warm run must execute zero workloads
+    (``app_runs == 0``) and reproduce the cold run's rows bit-identically
+    — that differential check is the hard assertion; the cells/sec
+    numbers track how much the replay path costs.
+    """
+    import tempfile
+
+    from repro.experiments import policy_zoo
+    from repro.experiments.common import ExperimentContext
+
+    cache_dir = tempfile.mkdtemp(dir=tmp_root)
+
+    def ctx():
+        return ExperimentContext(
+            refs_per_iteration=SCHED_REFS, scale=SCHED_SCALE,
+            n_iterations=SCHED_ITERS, apps=(), cache_dir=cache_dir)
+
+    cold_ctx = ctx()
+    t0 = time.perf_counter()
+    cold = policy_zoo.run(cold_ctx)
+    t_cold = time.perf_counter() - t0
+
+    warm_ctx = ctx()
+    t0 = time.perf_counter()
+    warm = policy_zoo.run(warm_ctx)
+    t_warm = time.perf_counter() - t0
+
+    identical = warm.rows == cold.rows and warm.text == cold.text
+    if not identical or warm_ctx.engine.stats.app_runs != 0:
+        raise SystemExit(
+            "differential check failed: warm policy sweep diverges from "
+            f"cold (app_runs={warm_ctx.engine.stats.app_runs})")
+    cells = len(cold.rows)
+    return {
+        "cells": cells,
+        "workloads": list(policy_zoo.WORKLOADS),
+        "policies": [name for name, _ in policy_zoo.POLICY_GRID],
+        "refs_per_iteration": SCHED_REFS,
+        "cold_wall_s": round(t_cold, 3),
+        "warm_wall_s": round(t_warm, 3),
+        "cells_per_s_cold": round(cells / t_cold, 1),
+        "cells_per_s_warm": round(cells / t_warm, 1),
+        "warm_app_runs": warm_ctx.engine.stats.app_runs,
+        "bit_identical_rows": identical,
+    }
+
+
 #: Warm requests timed against the daemon (after one cold record).
 SERVE_WARM_REQUESTS = 50
 
@@ -385,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
             "engine": engine_section(tmp),
             "scheduler": scheduler_section(tmp),
             "queue": queue_section(tmp),
+            "policy_zoo": policy_zoo_section(tmp),
             "service": service_section(tmp),
         }
     with open(out_path, "w") as fh:

@@ -40,6 +40,12 @@ Subcommands:
   running them, publish results, exit 0 when the coordinator writes the
   STOP marker (a ``--once``/``--max-tasks`` worker fenced out of a task
   exits 7);
+* ``policies ls`` — list the registered placement/migration policies
+  with their default parameters;
+* ``policies sweep`` — run the ``policy_zoo`` grid (policy x workload x
+  device x endurance budget) against a shared artifact cache;
+  ``--cache-dir`` makes repeat sweeps replay-only, ``--jobs`` /
+  ``--transport queue`` parallelize the record phase;
 * ``experiments <id>|all`` — regenerate paper tables/figures;
   ``--jobs N`` runs the suite on N worker processes sharing one
   artifact cache (0 = one per CPU; results identical to ``--jobs 1``).
@@ -348,6 +354,63 @@ def cmd_work(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    from repro.policies import available_policies, create_policy
+
+    if args.action == "ls":
+        rows = []
+        for name, _cls in available_policies().items():
+            params = create_policy(name).params()
+            shown = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+            rows.append((name, shown or "-", _cls.summary))
+        width = max(len(r[0]) for r in rows)
+        pwidth = max(len(r[1]) for r in rows)
+        for name, shown, summary in rows:
+            print(f"{name:{width}s}  {shown:{pwidth}s}  {summary}")
+        return 0
+
+    # action == "sweep": run the policy_zoo grid through the suite
+    # machinery (shared artifact cache, optional worker pool / queue)
+    for flag, value in (("--refs", args.refs), ("--iterations", args.iterations),
+                        ("--scale", args.scale)):
+        if value <= 0:
+            raise ConfigurationError(f"{flag} must be positive, got {value!r}")
+    if args.jobs < 0:
+        raise ConfigurationError(f"--jobs must be >= 0, got {args.jobs}")
+
+    from repro.experiments import policy_zoo
+    from repro.experiments.common import ExperimentContext
+    from repro.experiments.runner import run_all
+    from repro.resilience.harness import ExperimentFailure
+
+    ctx = ExperimentContext(
+        refs_per_iteration=args.refs,
+        scale=args.scale,
+        n_iterations=args.iterations,
+        seed=args.seed,
+        apps=(),
+        cache_dir=args.cache_dir,
+    )
+    results = run_all(
+        ctx,
+        experiments={"policy_zoo": policy_zoo.run},
+        jobs=args.jobs,
+        transport=args.transport,
+    )
+    code = 0
+    for res in results:
+        if isinstance(res, ExperimentFailure):
+            print(f"policy_zoo FAILED: {res.message}", file=sys.stderr)
+            code = 1
+            continue
+        print(res.text)
+        for note in res.notes:
+            print(f"- {note}")
+    print()
+    print(ctx.engine.stats.table())
+    return code
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace.io import TraceReader
 
@@ -495,6 +558,25 @@ def main(argv: list[str] | None = None) -> int:
                       help="inject a registered I/O fault scenario into "
                            "this worker's cache writes (soak testing)")
     p_wk.add_argument("--chaos-seed", type=int, default=0)
+    p_po = sub.add_parser(
+        "policies", help="list placement policies / run the policy-zoo sweep")
+    po_sub = p_po.add_subparsers(dest="action", required=True)
+    po_sub.add_parser("ls", help="list registered policies and default params")
+    p_ps = po_sub.add_parser(
+        "sweep", help="run the policy x workload x device x budget grid")
+    p_ps.add_argument("--refs", type=int, default=30_000)
+    p_ps.add_argument("--scale", type=float, default=1.0 / 64.0)
+    p_ps.add_argument("--iterations", type=int, default=10)
+    p_ps.add_argument("--seed", type=int, default=0)
+    p_ps.add_argument("--cache-dir", default=None,
+                      help="persistent artifact-cache root (default: temp "
+                           "dir; reuse for warm-cache sweeps)")
+    p_ps.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the record phase "
+                           "(0 = one per CPU)")
+    p_ps.add_argument("--transport", choices=("process", "queue"),
+                      default="process",
+                      help="queue lets `nvscavenger work` agents join")
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")
@@ -524,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_serve(args)
         if args.command == "work":
             return cmd_work(args)
+        if args.command == "policies":
+            return cmd_policies(args)
         if args.command == "trace":
             if args.action == "migrate":
                 return cmd_trace_migrate(args)

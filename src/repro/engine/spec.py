@@ -20,6 +20,12 @@ from repro.errors import ConfigurationError
 #: (``variant:cam`` records :class:`~repro.apps.variants.CAMHighResolution`).
 VARIANT_PREFIX = "variant:"
 
+#: Prefix selecting a workload family from
+#: :data:`repro.workloads.families.FAMILIES` (``workload:kvcache`` records
+#: the KV-cache/serving generator). Families are first-class specs: same
+#: content addressing, caching, scheduling and daemon service as the apps.
+WORKLOAD_PREFIX = "workload:"
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -52,6 +58,16 @@ class RunSpec:
         """Build the (not yet executed) model application for this spec."""
         from repro.apps import VARIANT_OF, create_app
 
+        if self.app.startswith(WORKLOAD_PREFIX):
+            from repro.workloads.families import create_workload
+
+            return create_workload(
+                self.app[len(WORKLOAD_PREFIX):],
+                scale=self.scale,
+                refs_per_iteration=self.refs_per_iteration,
+                n_iterations=self.n_iterations,
+                seed=self.seed,
+            )
         if self.app.startswith(VARIANT_PREFIX):
             base = self.app[len(VARIANT_PREFIX):]
             cls = VARIANT_OF.get(base)

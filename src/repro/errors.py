@@ -157,3 +157,9 @@ class SuiteInterrupted(ReproError):
     @property
     def exit_code(self) -> int:
         return 128 + self.signum
+
+
+class PolicyError(ReproError):
+    """A placement/migration policy is unknown, misconfigured, or was
+    given inputs it cannot act on (e.g. an oracle without
+    classifications)."""

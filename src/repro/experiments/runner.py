@@ -28,6 +28,7 @@ from repro.experiments import (
     fig12,
     fig12x,
     hybrid_ext,
+    policy_zoo,
     prefetch_ext,
     resilience_ext,
     table1,
@@ -63,6 +64,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "inputs": inputs.run,
     "prefetch": prefetch_ext.run,
     "resilience": resilience_ext.run,
+    "policy_zoo": policy_zoo.run,
 }
 
 #: aliases for individual figures in grouped experiments
@@ -102,15 +104,20 @@ def artifact_names(
 
     Each experiment module may export ``ARTIFACTS``: the app names (or
     ``variant:<app>`` entries) it replays at context fidelity. Entries
-    whose base application is outside *apps* are skipped.
+    whose base application is outside *apps* are skipped —
+    ``workload:<family>`` entries pass unconditionally, since workload
+    families are not restricted by the context's app list.
     """
+    from repro.engine.spec import WORKLOAD_PREFIX
+
     allowed = set(apps)
     seen: list[str] = []
     for fn in exps.values():
         mod = sys.modules.get(getattr(fn, "__module__", ""), None)
         for name in getattr(mod, "ARTIFACTS", ()):
             base = name.split(":", 1)[1] if ":" in name else name
-            if base in allowed and name not in seen:
+            if ((base in allowed or name.startswith(WORKLOAD_PREFIX))
+                    and name not in seen):
                 seen.append(name)
     return seen
 

@@ -18,6 +18,23 @@ from repro.scavenger.metrics import ObjectMetrics
 from repro.util.units import GiB
 
 
+def access_energy_nj(
+    tech: MemoryTechnology, reads: int, writes: int, burst_ns: float = 10.0
+) -> float:
+    """Dynamic energy of *reads* + *writes* accesses against *tech*.
+
+    Each access's array power applies over one channel burst of
+    ``burst_ns`` (the convention shared by the trace-driven power
+    simulator, the DRAM-cache models and the policy evaluator):
+    ``mW * ns = pJ``, divided by 1e3 into nJ.
+    """
+    if burst_ns <= 0:
+        raise PlacementError("burst duration must be positive")
+    if reads < 0 or writes < 0:
+        raise PlacementError("access counts must be non-negative")
+    return (reads * tech.read_power_mw + writes * tech.write_power_mw) * burst_ns / 1e3
+
+
 @dataclass
 class EnergyReport:
     """Energy of one configuration over the instrumented window."""
@@ -66,9 +83,7 @@ class HybridEnergyModel:
 
     # ------------------------------------------------------------------
     def _dynamic_nj(self, tech: MemoryTechnology, reads: int, writes: int) -> float:
-        read_nj = tech.read_power_mw * self.burst_ns / 1e3
-        write_nj = tech.write_power_mw * self.burst_ns / 1e3
-        return reads * read_nj + writes * write_nj
+        return access_energy_nj(tech, reads, writes, self.burst_ns)
 
     def _static_nj(self, tech: MemoryTechnology, nbytes: int, window_ns: float) -> float:
         if tech.nonvolatile:

@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hybrid.pagemap import MemoryPool, PageMap
 from repro.trace.record import RefBatch
+from repro.util.rng import make_rng
 
 
 @dataclass
@@ -46,15 +47,29 @@ class DynamicMigrator:
         write_hot_threshold: float = 64.0,
         read_popular_threshold: float = 256.0,
         decay: float = 0.5,
+        rng=0,
+        max_migrations_per_epoch: int | None = None,
     ) -> None:
+        """*rng* is a seed (or Generator) threaded through
+        :func:`repro.util.rng.make_rng` — the migrator holds no module- or
+        process-global random state, so a given (trace, seed) pair always
+        produces the same :class:`MigrationStats`.
+        ``max_migrations_per_epoch`` models a bounded migration engine:
+        when an epoch's candidates exceed it, the survivors are a
+        deterministic seeded sample.
+        """
         if not (0.0 <= decay < 1.0):
             raise ConfigurationError("decay must be in [0, 1)")
         if write_hot_threshold <= 0 or read_popular_threshold <= 0:
             raise ConfigurationError("thresholds must be positive")
+        if max_migrations_per_epoch is not None and max_migrations_per_epoch < 0:
+            raise ConfigurationError("max_migrations_per_epoch must be >= 0")
         self.page_map = page_map
         self.write_hot = write_hot_threshold
         self.read_popular = read_popular_threshold
         self.decay = decay
+        self._rng = make_rng(rng)
+        self.max_migrations_per_epoch = max_migrations_per_epoch
         self._write_score: dict[int, float] = {}
         self._read_score: dict[int, float] = {}
         self.stats = MigrationStats()
@@ -78,7 +93,15 @@ class DynamicMigrator:
     def end_epoch(self) -> tuple[int, int]:
         """Apply the policy, decay scores; returns (to_dram, to_nvram)."""
         to_dram = to_nvram = 0
-        pages = set(self._write_score) | set(self._read_score)
+        # sorted: set iteration order is salted per process, and the
+        # migration budget below must cut the same pages on every host
+        pages = sorted(set(self._write_score) | set(self._read_score))
+        budget = self.max_migrations_per_epoch
+        if budget is not None and len(pages) > budget:
+            # bounded migration engine: a seeded sample of the candidates
+            # (score-agnostic, matching a controller that scans a window)
+            idx = self._rng.choice(len(pages), size=budget, replace=False)
+            pages = [pages[i] for i in sorted(idx.tolist())]
         for p in pages:
             wscore = self._write_score.get(p, 0.0)
             rscore = self._read_score.get(p, 0.0)

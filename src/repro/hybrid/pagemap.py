@@ -41,9 +41,17 @@ class PageMap:
         return addr >> self._shift
 
     def pages_of_range(self, base: int, size: int) -> np.ndarray:
+        """Page numbers covering ``[base, base+size)``.
+
+        A zero-size range covers no pages (an empty object owns no
+        memory); the range may straddle the last page of the address
+        space, so the math stays in ``uint64``.
+        """
+        if size <= 0:
+            return np.empty(0, dtype=np.uint64)
         first = base >> self._shift
-        last = (base + max(size, 1) - 1) >> self._shift
-        return np.arange(first, last + 1, dtype=np.int64)
+        last = (base + size - 1) >> self._shift
+        return np.arange(first, last + 1, dtype=np.uint64)
 
     # ------------------------------------------------------------------
     def assign_range(self, base: int, size: int, pool: MemoryPool) -> int:
@@ -65,21 +73,27 @@ class PageMap:
     def pool_of(self, addr: int) -> MemoryPool:
         return self._pages.get(addr >> self._shift, MemoryPool.DRAM)
 
+    def pool_of_page(self, page: int) -> MemoryPool:
+        """Pool of one page number (unmapped pages default to DRAM)."""
+        return self._pages.get(int(page), MemoryPool.DRAM)
+
     def pool_of_batch(self, addrs: np.ndarray) -> np.ndarray:
         """Vectorized pool lookup; returns int8 array of MemoryPool values."""
         pages = np.asarray(addrs, dtype=np.uint64) >> np.uint64(self._shift)
         if not self._pages:
             return np.zeros(pages.shape, dtype=np.int8)
-        keys = np.fromiter(self._pages.keys(), dtype=np.int64, count=len(self._pages))
+        # uint64 throughout: page numbers near the top of the address
+        # space do not fit int64
+        keys = np.fromiter(self._pages.keys(), dtype=np.uint64, count=len(self._pages))
         vals = np.fromiter(
             (int(v) for v in self._pages.values()), dtype=np.int8, count=len(self._pages)
         )
         order = np.argsort(keys)
         keys = keys[order]
         vals = vals[order]
-        pos = np.searchsorted(keys, pages.astype(np.int64))
+        pos = np.searchsorted(keys, pages)
         out = np.zeros(pages.shape, dtype=np.int8)
-        ok = (pos < len(keys)) & (keys[np.minimum(pos, len(keys) - 1)] == pages.astype(np.int64))
+        ok = (pos < len(keys)) & (keys[np.minimum(pos, len(keys) - 1)] == pages)
         out[ok] = vals[pos[ok]]
         return out
 

@@ -1,0 +1,39 @@
+"""Policy registry: name -> :class:`~repro.policies.base.PlacementPolicy`.
+
+Policies register themselves with the :func:`register_policy` decorator;
+the sweep experiment, the CLI, and remote workers all resolve them by
+name, so a policy is addressable across process and host boundaries the
+same way experiments are.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policies.base import PlacementPolicy
+
+#: name -> policy class
+POLICIES: dict[str, type[PlacementPolicy]] = {}
+
+
+def register_policy(cls: type[PlacementPolicy]) -> type[PlacementPolicy]:
+    """Class decorator adding *cls* to :data:`POLICIES` under its name."""
+    if not cls.name:
+        raise PolicyError(f"{cls.__name__} has no registry name")
+    if cls.name in POLICIES:
+        raise PolicyError(f"duplicate policy name {cls.name!r}")
+    POLICIES[cls.name] = cls
+    return cls
+
+
+def create_policy(name: str, **params) -> PlacementPolicy:
+    """Instantiate a registered policy by name."""
+    cls = POLICIES.get(name)
+    if cls is None:
+        raise PolicyError(
+            f"unknown policy {name!r}; know {sorted(POLICIES)}")
+    return cls(**params)
+
+
+def available_policies() -> dict[str, type[PlacementPolicy]]:
+    """Registered policies in name order."""
+    return dict(sorted(POLICIES.items()))

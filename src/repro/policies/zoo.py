@@ -1,0 +1,239 @@
+"""The concrete policies.
+
+Five strategies spanning the design space the related work argues about:
+a do-nothing baseline, the paper's static NV-SCAVENGER plan, reactive
+threshold migration with hysteresis, EWMA-predictive migration, and a
+wear-budgeted endurance guard. Each is ~30 lines: the ABC carries the
+shared accounting, a policy only encodes its decision rule.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.hybrid.pagemap import MemoryPool
+from repro.hybrid.placement import StaticPlacer
+from repro.policies.base import PlacementPolicy
+from repro.policies.registry import register_policy
+from repro.trace.record import RefBatch
+
+
+@register_policy
+class NoMigration(PlacementPolicy):
+    """Everything in one pool, never moved — the sweep's baseline."""
+
+    name = "no_migration"
+    summary = "all objects in NVM (or DRAM), no movement"
+
+    def __init__(self, home: str = "nvram") -> None:
+        if home not in ("nvram", "dram"):
+            raise PolicyError(f"home must be 'nvram' or 'dram', got {home!r}")
+        super().__init__(home=home)
+        self.home = home
+
+    def prepare(self) -> None:
+        self.place_all(
+            MemoryPool.NVRAM if self.home == "nvram" else MemoryPool.DRAM)
+
+
+@register_policy
+class StaticOracle(PlacementPolicy):
+    """The paper's plan: NV-SCAVENGER classifications through
+    :class:`~repro.hybrid.placement.StaticPlacer`, frozen for the run."""
+
+    name = "static_oracle"
+    summary = "NV-SCAVENGER static plan (classification-driven, no movement)"
+
+    def __init__(self, capacity_fraction: float | None = None) -> None:
+        if capacity_fraction is not None and not (0 < capacity_fraction <= 1):
+            raise PolicyError("capacity_fraction must be in (0, 1]")
+        super().__init__(capacity_fraction=capacity_fraction)
+        self.capacity_fraction = capacity_fraction
+
+    def prepare(self) -> None:
+        ctx = self.ctx
+        if ctx.classified is None:
+            raise PolicyError(
+                "static_oracle needs NV-SCAVENGER classifications; "
+                "evaluate with classified=...")
+        capacity = None
+        if self.capacity_fraction is not None:
+            capacity = int(self.capacity_fraction
+                           * sum(o.size for o in ctx.objects))
+        StaticPlacer(ctx.device, capacity).place(ctx.classified, ctx.page_map)
+
+
+@register_policy
+class ThresholdMigration(PlacementPolicy):
+    """Reactive hot-page promotion with hysteresis.
+
+    Start everything in NVM; promote a page to DRAM once its decayed
+    write score crosses ``write_hot``; demote a promoted page back only
+    when its write score has fully cooled *and* it is still being read
+    (hysteresis keeps ping-pong fills off the NVM write budget).
+    """
+
+    name = "threshold"
+    summary = "promote write-hot pages to DRAM; demote on hysteresis cooldown"
+
+    def __init__(self, write_hot: float = 8.0, hysteresis: float = 0.25,
+                 decay: float = 0.5) -> None:
+        if write_hot <= 0 or not (0 <= hysteresis < 1) or not (0 <= decay < 1):
+            raise PolicyError(
+                "need write_hot > 0, hysteresis in [0,1), decay in [0,1)")
+        super().__init__(write_hot=write_hot, hysteresis=hysteresis, decay=decay)
+        self.write_hot = write_hot
+        self.hysteresis = hysteresis
+        self.decay = decay
+        self._w: dict[int, float] = {}
+        self._r: dict[int, float] = {}
+        self._promoted: set[int] = set()
+
+    def bind(self, ctx) -> None:
+        self._w.clear()
+        self._r.clear()
+        self._promoted.clear()
+        super().bind(ctx)
+
+    def prepare(self) -> None:
+        self.place_all(MemoryPool.NVRAM)
+
+    def observe(self, batch: RefBatch) -> None:
+        pb = self.ctx.page_bytes
+        for page, count in zip(*self.page_counts(batch.addr[batch.is_write], pb)):
+            self._w[page] = self._w.get(page, 0.0) + count
+        for page, count in zip(*self.page_counts(batch.addr[~batch.is_write], pb)):
+            self._r[page] = self._r.get(page, 0.0) + count
+
+    def end_epoch(self, iteration: int) -> None:
+        pm = self.ctx.page_map
+        for page in sorted(set(self._w) | set(self._r)):
+            w = self._w.get(page, 0.0)
+            r = self._r.get(page, 0.0)
+            if w >= self.write_hot and pm.pool_of_page(page) is MemoryPool.NVRAM:
+                if self.migrate(page, MemoryPool.DRAM):
+                    self._promoted.add(page)
+            elif (page in self._promoted and w <= self.write_hot * self.hysteresis
+                  and w < 1.0 and r > 0.0):
+                if self.migrate(page, MemoryPool.NVRAM):
+                    self._promoted.discard(page)
+        for score in (self._w, self._r):
+            for page in list(score):
+                score[page] *= self.decay
+                if score[page] < 1e-6:
+                    del score[page]
+
+
+@register_policy
+class PredictiveMigration(PlacementPolicy):
+    """EWMA write-rate prediction over epoch windows.
+
+    Each epoch folds the window's per-page write count into an
+    exponentially-weighted moving average; pages whose *predicted* next
+    window crosses ``write_hot`` are promoted ahead of the traffic,
+    pages predicted to cool below ``write_hot * demote_margin`` are
+    returned to NVM.
+    """
+
+    name = "predictive"
+    summary = "EWMA write-rate prediction; promote/demote on forecast"
+
+    def __init__(self, alpha: float = 0.6, write_hot: float = 6.0,
+                 demote_margin: float = 0.25) -> None:
+        if not (0 < alpha <= 1) or write_hot <= 0 or not (0 <= demote_margin < 1):
+            raise PolicyError(
+                "need alpha in (0,1], write_hot > 0, demote_margin in [0,1)")
+        super().__init__(alpha=alpha, write_hot=write_hot,
+                         demote_margin=demote_margin)
+        self.alpha = alpha
+        self.write_hot = write_hot
+        self.demote_margin = demote_margin
+        self._epoch_w: dict[int, int] = {}
+        self._ewma: dict[int, float] = {}
+        self._promoted: set[int] = set()
+
+    def bind(self, ctx) -> None:
+        self._epoch_w.clear()
+        self._ewma.clear()
+        self._promoted.clear()
+        super().bind(ctx)
+
+    def prepare(self) -> None:
+        self.place_all(MemoryPool.NVRAM)
+
+    def observe(self, batch: RefBatch) -> None:
+        for page, count in zip(*self.write_pages(batch, self.ctx.page_bytes)):
+            self._epoch_w[page] = self._epoch_w.get(page, 0) + count
+
+    def end_epoch(self, iteration: int) -> None:
+        pm = self.ctx.page_map
+        for page in sorted(set(self._ewma) | set(self._epoch_w)):
+            count = self._epoch_w.get(page, 0)
+            pred = (self.alpha * count
+                    + (1.0 - self.alpha) * self._ewma.get(page, 0.0))
+            if pred < 1e-3:
+                self._ewma.pop(page, None)
+            else:
+                self._ewma[page] = pred
+            if pred >= self.write_hot:
+                if (pm.pool_of_page(page) is MemoryPool.NVRAM
+                        and self.migrate(page, MemoryPool.DRAM)):
+                    self._promoted.add(page)
+            elif (pred < self.write_hot * self.demote_margin
+                  and page in self._promoted):
+                if self.migrate(page, MemoryPool.NVRAM):
+                    self._promoted.discard(page)
+        self._epoch_w.clear()
+
+
+@register_policy
+class EnduranceAware(PlacementPolicy):
+    """Wear-budgeted placement.
+
+    Threshold-style promotion keeps write-hot pages out of NVM for
+    performance, and a hard pre-access guard demotes any NVM page whose
+    accumulated wear plus the incoming batch would exceed the per-page
+    endurance budget — so ``max_page_wear <= endurance_budget`` is an
+    invariant of this policy, not a tendency.
+    """
+
+    name = "endurance_aware"
+    summary = "wear-budgeted: demote before any page can exceed its endurance budget"
+
+    def __init__(self, write_hot: float = 8.0, decay: float = 0.5) -> None:
+        if write_hot <= 0 or not (0 <= decay < 1):
+            raise PolicyError("need write_hot > 0 and decay in [0,1)")
+        super().__init__(write_hot=write_hot, decay=decay)
+        self.write_hot = write_hot
+        self.decay = decay
+        self._w: dict[int, float] = {}
+
+    def bind(self, ctx) -> None:
+        self._w.clear()
+        super().bind(ctx)
+
+    def prepare(self) -> None:
+        self.place_all(MemoryPool.NVRAM)
+
+    def pre_access(self, batch: RefBatch) -> None:
+        ctx = self.ctx
+        pm = ctx.page_map
+        budget = ctx.endurance_budget
+        for page, count in zip(*self.write_pages(batch, ctx.page_bytes)):
+            if (pm.pool_of_page(page) is MemoryPool.NVRAM
+                    and ctx.wear.get(page, 0) + count > budget):
+                self.migrate(page, MemoryPool.DRAM)
+
+    def observe(self, batch: RefBatch) -> None:
+        for page, count in zip(*self.write_pages(batch, self.ctx.page_bytes)):
+            self._w[page] = self._w.get(page, 0.0) + count
+
+    def end_epoch(self, iteration: int) -> None:
+        pm = self.ctx.page_map
+        for page in sorted(self._w):
+            if (self._w[page] >= self.write_hot
+                    and pm.pool_of_page(page) is MemoryPool.NVRAM):
+                self.migrate(page, MemoryPool.DRAM)
+        for page in list(self._w):
+            self._w[page] *= self.decay
+            if self._w[page] < 1e-6:
+                del self._w[page]

@@ -86,8 +86,11 @@ def declared_artifacts(
     apps: tuple[str, ...],
 ) -> dict[str, tuple[str, ...] | None]:
     """Experiment id -> artifact names its module declares via
-    ``ARTIFACTS`` (filtered to *apps*), or ``None`` when the module
-    declares nothing and must be ordered after every base-app record."""
+    ``ARTIFACTS`` (filtered to *apps*; ``workload:<family>`` names pass
+    unconditionally), or ``None`` when the module declares nothing and
+    must be ordered after every base-app record."""
+    from repro.engine.spec import WORKLOAD_PREFIX
+
     allowed = set(apps)
     out: dict[str, tuple[str, ...] | None] = {}
     for exp_id, fn in exps.items():
@@ -98,7 +101,8 @@ def declared_artifacts(
             continue
         out[exp_id] = tuple(
             name for name in declared
-            if (name.split(":", 1)[1] if ":" in name else name) in allowed
+            if name.startswith(WORKLOAD_PREFIX)
+            or (name.split(":", 1)[1] if ":" in name else name) in allowed
         )
     return out
 

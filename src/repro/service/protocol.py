@@ -37,7 +37,7 @@ import json
 import zlib
 from typing import Mapping
 
-from repro.engine.spec import VARIANT_PREFIX, RunSpec
+from repro.engine.spec import VARIANT_PREFIX, WORKLOAD_PREFIX, RunSpec
 from repro.errors import ReproError
 from repro.trace.fsio import _batch_crc, content_digest_from_crcs
 
@@ -131,6 +131,10 @@ def _valid_app(app: str) -> bool:
 
     if app.startswith(VARIANT_PREFIX):
         return app[len(VARIANT_PREFIX):] in VARIANT_OF
+    if app.startswith(WORKLOAD_PREFIX):
+        from repro.workloads.families import FAMILIES
+
+        return app[len(WORKLOAD_PREFIX):] in FAMILIES
     return app in APPLICATIONS
 
 
@@ -175,11 +179,13 @@ def parse_request(
     app = kwargs["app"]
     if not _valid_app(app):
         from repro.apps import APPLICATIONS, VARIANT_OF
+        from repro.workloads.families import FAMILIES
 
         raise RequestError(
             f"unknown application {app!r}",
             detail={"applications": sorted(APPLICATIONS),
-                    "variants": [VARIANT_PREFIX + a for a in sorted(VARIANT_OF)]})
+                    "variants": [VARIANT_PREFIX + a for a in sorted(VARIANT_OF)],
+                    "workloads": [WORKLOAD_PREFIX + w for w in sorted(FAMILIES)]})
     for name in ("refs_per_iteration", "n_iterations", "scale"):
         if name in kwargs and kwargs[name] <= 0:
             raise RequestError(

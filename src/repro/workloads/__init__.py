@@ -38,4 +38,23 @@ __all__ = [
     "PointerChase",
     "Stencil5",
     "create_microbench",
+    "FAMILIES",
+    "KVCacheWorkload",
+    "GraphWorkload",
+    "CheckpointWorkload",
+    "create_workload",
 ]
+
+_FAMILY_EXPORTS = frozenset(
+    ("FAMILIES", "KVCacheWorkload", "GraphWorkload", "CheckpointWorkload",
+     "create_workload"))
+
+
+def __getattr__(name: str):
+    # families subclass ModelApp, whose module imports this package; a
+    # lazy re-export keeps repro.workloads import-safe from repro.apps
+    if name in _FAMILY_EXPORTS:
+        from repro.workloads import families
+
+        return getattr(families, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

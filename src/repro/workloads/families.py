@@ -1,0 +1,213 @@
+"""New workload families beyond the paper's four applications.
+
+The policy zoo needs workloads whose *placement pressure* differs from the
+stencil/spectral codes the paper instruments: serving-style KV caches
+(append-mostly with a scorching-hot shared prefix), graph analytics
+(power-law gathers with phase-shaped frontiers), and checkpoint-heavy
+persistence (periodic full-object write bursts). Each family is a
+:class:`~repro.apps.base.ModelApp`, so it records through the same
+engine, caches under the same content-addressed :class:`RunSpec` keys
+(``workload:<name>``), and replays into every existing analyzer.
+
+The families are *not* in :data:`repro.apps.APPLICATIONS` — that registry
+is pinned to the paper's Table I — they live in :data:`FAMILIES` and are
+addressed with the ``workload:`` spec prefix.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.base import AppInfo, ModelApp, RoutineSpec, StructureSpec
+from repro.errors import ConfigurationError
+from repro.workloads import synthetic
+
+
+class KVCacheWorkload(ModelApp):
+    """KV-cache/serving-style generator.
+
+    One iteration is one decode step over a batch of requests: new
+    key/value tokens are *appended* at the arena head, attention *reads*
+    concentrate on the shared system-prompt prefix plus the most recent
+    tokens, and the freshest window is *rewritten* in place (KV updates).
+    The arena is a ring — when the head wraps, old entries are evicted by
+    overwrite. Appends stream across ever-new pages while the prefix and
+    recent-window pages are re-written every step: exactly the split a
+    threshold migrator can exploit.
+    """
+
+    info = AppInfo(
+        name="kvcache",
+        input_description="32-way batched decode, shared system prefix",
+        description="token-append KV cache with hot-prefix reuse and ring eviction",
+        paper_footprint_mb=512.0,
+    )
+    #: share of reads hitting the shared prefix (the rest hit the recent
+    #: window); share of writes that are appends (the rest rewrite the
+    #: recent window in place)
+    prefix_read_share = 0.7
+    append_write_share = 0.6
+    #: arena fraction holding the shared prefix
+    prefix_fraction = 1.0 / 16.0
+
+    structures = (
+        # the arena's declared weights feed the budget normalization; its
+        # traffic is emitted by _run_iteration below (active_iterations=()
+        # keeps the generic loop off it)
+        StructureSpec("kv_arena", "heap", 0.80, reads=0.28, writes=0.30,
+                      pattern="sequential", active_iterations=()),
+        StructureSpec("prefix_index", "global", 0.06, reads=0.10, writes=0.08,
+                      pattern="hotspot"),
+        StructureSpec("embed_table", "global", 0.12, reads=0.12, writes=0.0,
+                      pattern="hotspot"),
+        StructureSpec("req_scratch", "heap", 0.02, reads=0.03, writes=0.03,
+                      pattern="random", short_term=True),
+    )
+    routines = (RoutineSpec("attend", local_kb=32.0, reads=0.04, writes=0.02),)
+
+    def _run_iteration(self, rt, it, norm, handles, rng):
+        arena = handles["kv_arena"]
+        n = arena.n_elements
+        spec = self.structures[0]
+        jit = self._jitter(spec, it) * self.structure_traffic_scale
+        n_w = self._count(spec.writes * jit, norm)
+        n_r = self._count(spec.reads * jit, norm)
+        # ring head: the arena fills in ~2/3 of the run, then wraps
+        # (eviction by overwrite)
+        step = max(1, (3 * n) // (2 * self.n_iterations))
+        head = ((it - 1) * step) % n
+        n_app = int(n_w * self.append_write_share)
+        n_rw = n_w - n_app
+        if n_app:
+            # appended tokens sample the new window [head, head+step)
+            stride = max(1, step // max(n_app, 1))
+            rt.store(arena, (head + np.arange(n_app, dtype=np.int64) * stride) % n)
+        if n_rw:
+            # in-place KV updates over the previous window — written again
+            # one step after being appended, which is what keeps these
+            # pages write-hot across epochs
+            prev = (head - step) % n
+            rt.store(arena, (prev + rng.integers(0, step, size=n_rw)) % n)
+        if n_r:
+            n_pre = int(n_r * self.prefix_read_share)
+            if n_pre:
+                pn = max(1, int(n * self.prefix_fraction))
+                rt.load(arena, synthetic.hotspot(pn, n_pre, hot_fraction=0.2, rng=rng))
+            if n_r - n_pre:
+                recent = max(1, 2 * step)
+                lo = (head + step - recent) % n
+                rt.load(arena, (lo + rng.integers(0, recent, size=n_r - n_pre)) % n)
+        super()._run_iteration(rt, it, norm, handles, rng)
+
+
+class GraphWorkload(ModelApp):
+    """Graph-analytics generator (BFS wave into PageRank-style sweeps).
+
+    Adjacency gathers follow a power-law: a few high-degree vertices'
+    edge lists absorb most of the traffic. The frontier swells and
+    recedes over the run (a BFS wave), scaling the irregular gather
+    volume per iteration, while rank sweeps stream the vertex array
+    every iteration.
+    """
+
+    info = AppInfo(
+        name="graph",
+        input_description="power-law graph, BFS wave + rank sweeps",
+        description="frontier-scaled power-law gathers over an adjacency array",
+        paper_footprint_mb=640.0,
+    )
+
+    structures = (
+        StructureSpec("adjacency", "global", 0.60, reads=0.34, writes=0.0,
+                      pattern="gather", active_iterations=()),
+        StructureSpec("node_rank", "global", 0.16, reads=0.14, writes=0.12,
+                      pattern="sequential"),
+        StructureSpec("frontier_q", "heap", 0.08, reads=0.05, writes=0.07,
+                      pattern="random", active_iterations=()),
+        StructureSpec("visited_bits", "global", 0.16, reads=0.04, writes=0.04,
+                      pattern="random"),
+    )
+    routines = (RoutineSpec("relax", local_kb=16.0, reads=0.03, writes=0.02),)
+
+    def _frontier_scale(self, it: int) -> float:
+        """BFS wave: the frontier peaks mid-run and recedes."""
+        mid = (self.n_iterations + 1) / 2.0
+        width = max(1.0, self.n_iterations / 4.0)
+        return 0.25 + 1.5 * math.exp(-(((it - mid) / width) ** 2))
+
+    def _run_iteration(self, rt, it, norm, handles, rng):
+        f = self._frontier_scale(it)
+        adj, frontier = handles["adjacency"], handles["frontier_q"]
+        a_spec, f_spec = self.structures[0], self.structures[2]
+        jit = self.structure_traffic_scale
+        n_gather = int(self._count(a_spec.reads * jit, norm) * f)
+        if n_gather:
+            # power-law edge traffic: high-degree vertices' lists are hot
+            rt.load(adj, synthetic.hotspot(
+                adj.n_elements, n_gather, hot_fraction=0.05, hot_weight=0.6, rng=rng))
+        n_push = int(self._count(f_spec.writes * jit, norm) * f)
+        n_pop = int(self._count(f_spec.reads * jit, norm) * f)
+        fn = frontier.n_elements
+        if n_push:
+            rt.store(frontier, rng.integers(0, fn, size=n_push))
+        if n_pop:
+            rt.load(frontier, rng.integers(0, fn, size=n_pop))
+        super()._run_iteration(rt, it, norm, handles, rng)
+
+
+class CheckpointWorkload(ModelApp):
+    """Checkpoint-heavy persistence workload.
+
+    A stencil-style state advance every iteration, plus a full-object
+    write burst into the checkpoint buffer every ``interval`` iterations
+    — the periodic persistence traffic an endurance-aware policy must
+    budget for.
+    """
+
+    info = AppInfo(
+        name="checkpoint",
+        input_description="two-field stencil, checkpoint every ~1/3 of the run",
+        description="stencil state advance with periodic full-object checkpoint bursts",
+        paper_footprint_mb=576.0,
+    )
+    routines = (RoutineSpec("integrate", local_kb=24.0, reads=0.05, writes=0.03),)
+
+    def __init__(self, scale=1.0 / 64.0, refs_per_iteration=100_000,
+                 n_iterations=10, seed=0):
+        interval = max(2, n_iterations // 3)
+        self.checkpoint_iterations = tuple(
+            range(interval, n_iterations + 1, interval))
+        self.structures = (
+            StructureSpec("state_u", "global", 0.28, reads=0.22, writes=0.10,
+                          pattern="sequential"),
+            StructureSpec("state_v", "global", 0.28, reads=0.20, writes=0.10,
+                          pattern="sequential"),
+            StructureSpec("halo_buf", "heap", 0.06, reads=0.04, writes=0.04,
+                          pattern="strided"),
+            StructureSpec("ckpt_buf", "heap", 0.34, reads=0.0, writes=0.55,
+                          pattern="sequential",
+                          active_iterations=self.checkpoint_iterations),
+            StructureSpec("params", "global", 0.04, reads=0.03, writes=0.0,
+                          pattern="hotspot"),
+        )
+        super().__init__(scale=scale, refs_per_iteration=refs_per_iteration,
+                         n_iterations=n_iterations, seed=seed)
+
+
+#: name -> workload family class (addressed as ``workload:<name>`` specs)
+FAMILIES: dict[str, type[ModelApp]] = {
+    "kvcache": KVCacheWorkload,
+    "graph": GraphWorkload,
+    "checkpoint": CheckpointWorkload,
+}
+
+
+def create_workload(name: str, **kwargs) -> ModelApp:
+    """Instantiate a workload family by registry name."""
+    cls = FAMILIES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown workload family {name!r}; know {sorted(FAMILIES)}")
+    return cls(**kwargs)

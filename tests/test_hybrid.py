@@ -67,6 +67,43 @@ class TestPageMap:
         with pytest.raises(PlacementError):
             PageMap(page_bytes=1000)
 
+    def test_zero_size_range_owns_no_pages(self):
+        pm = PageMap(page_bytes=4096)
+        assert pm.pages_of_range(0x1000, 0).size == 0
+        assert pm.assign_range(0x1000, 0, MemoryPool.NVRAM) == 0
+        assert pm.mapped_pages == 0
+        assert pm.pages_of_range(0x1000, -5).size == 0
+
+    def test_exact_page_boundary_is_one_page(self):
+        pm = PageMap(page_bytes=4096)
+        # [0, 4096) ends exactly at the boundary: page 1 is NOT covered
+        assert pm.pages_of_range(0, 4096).tolist() == [0]
+        assert pm.pages_of_range(4095, 2).tolist() == [0, 1]
+
+    def test_range_straddling_last_page_of_address_space(self):
+        pm = PageMap(page_bytes=4096)
+        base = (1 << 64) - 4096  # the final page
+        pages = pm.pages_of_range(base, 4096)
+        assert pages.tolist() == [(1 << 64) // 4096 - 1]
+        assert pm.assign_range(base, 4096, MemoryPool.NVRAM) == 1
+        assert pm.pool_of(base) is MemoryPool.NVRAM
+
+    def test_pool_of_batch_at_top_of_address_space(self):
+        pm = PageMap(page_bytes=4096)
+        top = (1 << 64) - 4096
+        pm.assign_range(top, 4096, MemoryPool.NVRAM)
+        pm.assign_range(0, 4096, MemoryPool.NVRAM)
+        addrs = np.array([0, 4096, top, top + 64], dtype=np.uint64)
+        out = pm.pool_of_batch(addrs)
+        assert out.tolist() == [int(pm.pool_of(int(a))) for a in addrs]
+
+    def test_pool_of_page(self):
+        pm = PageMap(page_bytes=4096)
+        pm.assign_range(0x2000, 4096, MemoryPool.NVRAM)
+        assert pm.pool_of_page(2) is MemoryPool.NVRAM
+        assert pm.pool_of_page(0) is MemoryPool.DRAM  # unmapped default
+        assert pm.pool_of_page(np.uint64(2)) is MemoryPool.NVRAM
+
 
 class TestStaticPlacer:
     CFG = ScavengerConfig()
@@ -159,6 +196,57 @@ class TestDynamicMigrator:
             DynamicMigrator(PageMap(), decay=1.0)
         with pytest.raises(ConfigurationError):
             DynamicMigrator(PageMap(), write_hot_threshold=0)
+        with pytest.raises(ConfigurationError):
+            DynamicMigrator(PageMap(), max_migrations_per_epoch=-1)
+
+    def run_epochs(self, seed):
+        """Three epochs of mixed traffic through a budgeted migrator."""
+        rng = np.random.default_rng(99)  # traffic fixed; only *seed* varies
+        pm = PageMap()
+        pm.assign_range(0, 64 * 4096, MemoryPool.NVRAM)
+        mig = DynamicMigrator(pm, write_hot_threshold=4,
+                              read_popular_threshold=4, rng=seed,
+                              max_migrations_per_epoch=8)
+        for _ in range(3):
+            mig.observe(self.batch(rng.integers(0, 64, 200), write=True))
+            mig.observe(self.batch(rng.integers(0, 64, 200)))
+            mig.end_epoch()
+        placements = sorted((p, int(pm.pool_of_page(p))) for p in range(64))
+        return mig.stats, placements
+
+    def test_same_seed_identical_stats(self):
+        a_stats, a_pages = self.run_epochs(seed=0)
+        b_stats, b_pages = self.run_epochs(seed=0)
+        assert a_stats == b_stats
+        assert a_pages == b_pages
+
+    def test_budget_caps_each_epoch(self):
+        pm = PageMap()
+        pm.assign_range(0, 32 * 4096, MemoryPool.NVRAM)
+        mig = DynamicMigrator(pm, write_hot_threshold=1,
+                              max_migrations_per_epoch=5)
+        mig.observe(self.batch(list(range(32)) * 3, write=True))
+        to_dram, to_nvram = mig.end_epoch()
+        assert to_dram + to_nvram <= 5
+
+    def test_zero_budget_freezes_placement(self):
+        pm = PageMap()
+        pm.assign_range(0, 8 * 4096, MemoryPool.NVRAM)
+        mig = DynamicMigrator(pm, write_hot_threshold=1,
+                              max_migrations_per_epoch=0)
+        mig.observe(self.batch([0, 1, 2] * 10, write=True))
+        assert mig.end_epoch() == (0, 0)
+        assert mig.stats.migrations == 0
+
+    def test_unbudgeted_path_unchanged(self):
+        # without a budget the migrator never consults its RNG, so any
+        # seed gives the classic threshold behavior
+        for seed in (0, 7):
+            pm = PageMap()
+            pm.assign_range(0, 4 * 4096, MemoryPool.NVRAM)
+            mig = DynamicMigrator(pm, write_hot_threshold=10, rng=seed)
+            mig.observe(self.batch([2] * 20, write=True))
+            assert mig.end_epoch() == (1, 0)
 
 
 class TestEnergyModel:

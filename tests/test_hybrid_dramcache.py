@@ -1,0 +1,115 @@
+"""Hand-computed scenarios for :mod:`repro.hybrid.dramcache`.
+
+A two-line direct-mapped DRAM cache is small enough to trace every
+access on paper: each expectation below states the hit/fill/writeback
+sequence it encodes, and latency/energy are asserted against the exact
+closed-form sums, not against ratios that could drift silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hybrid.dramcache import DRAMCacheModel, HorizontalModel
+from repro.hybrid.pagemap import MemoryPool, PageMap
+from repro.nvram.technology import DRAM_DDR3, PCRAM
+from repro.trace.record import AccessType, RefBatch
+from repro.util.units import GiB
+
+E_DRAM = DRAM_DDR3.read_power_mw * 10.0 / 1e3   # 0.6 nJ per access
+E_NV_READ = PCRAM.read_power_mw * 10.0 / 1e3    # 0.6 nJ per fill
+E_NV_WRITE = PCRAM.write_power_mw * 10.0 / 1e3  # 2.25 nJ per writeback
+
+
+def batch(addrs, write=False):
+    return RefBatch.from_access(
+        np.asarray(addrs, dtype=np.uint64),
+        AccessType.WRITE if write else AccessType.READ)
+
+
+def tiny_cache():
+    """capacity 128 B, 64 B lines, direct-mapped -> 2 sets of 1 line."""
+    model = DRAMCacheModel(PCRAM, 128, line_bytes=64, associativity=1)
+    assert model.capacity == 128
+    return model
+
+
+class TestDRAMCacheByHand:
+    def test_hit_fill_and_conflict(self):
+        # [0, 0, 64, 4096]: line 0 misses (fill), hits, line 1 misses
+        # (fill), line 64 conflicts with clean line 0 (fill, no writeback)
+        res = tiny_cache().run([batch([0, 0, 64, 4096])])
+        assert res.accesses == 4
+        assert res.dram_hits == 1
+        assert res.nvram_fills == 3
+        assert res.nvram_writebacks == 0
+        assert res.hit_rate == pytest.approx(0.25)
+        # every access probes DRAM (10 ns); each fill adds a 20 ns NVM read
+        assert res.total_latency_ns == pytest.approx(4 * 10.0 + 3 * 20.0)
+        standby = 180.0 * 128 / GiB * res.total_latency_ns / 1e3
+        assert res.energy_nj == pytest.approx(
+            4 * E_DRAM + 3 * E_NV_READ + standby)
+
+    def test_dirty_victim_writes_back(self):
+        # write line 0 (fill, dirtied), then read line 64 in the same set:
+        # the dirty victim is written back to NVRAM off the critical path
+        res = tiny_cache().run([batch([0], write=True), batch([4096])])
+        assert res.accesses == 2
+        assert res.dram_hits == 0
+        assert res.nvram_fills == 2
+        assert res.nvram_writebacks == 1
+        assert res.nvram_traffic == 3
+        # writebacks cost energy but no latency
+        assert res.total_latency_ns == pytest.approx(2 * 10.0 + 2 * 20.0)
+        standby = 180.0 * 128 / GiB * res.total_latency_ns / 1e3
+        assert res.energy_nj == pytest.approx(
+            2 * E_DRAM + 2 * E_NV_READ + 1 * E_NV_WRITE + standby)
+
+    def test_empty_trace(self):
+        res = tiny_cache().run([])
+        assert res.accesses == 0
+        assert res.hit_rate == 0.0
+        assert res.avg_latency_ns == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DRAMCacheModel(PCRAM, 0)
+
+
+class TestHorizontalByHand:
+    def test_split_accounting(self):
+        pm = PageMap(page_bytes=4096)
+        pm.assign_range(4096, 4096, MemoryPool.NVRAM)  # page 1 only
+        model = HorizontalModel(PCRAM, pm)
+        # reads: one DRAM (0x0), one NVM (0x1000); writes: two NVM
+        trace = [batch([0x0, 0x1000]), batch([0x1000, 0x1040], write=True)]
+        res = model.run(trace)
+        assert res.accesses == 4
+        assert res.nvram_accesses == 3
+        # NVM read pays the 20 ns array; posted NVM writes and DRAM pay 10 ns
+        assert res.total_latency_ns == pytest.approx(20.0 + 2 * 10.0 + 10.0)
+        # no DRAM-assigned pages -> zero standby by default
+        assert res.energy_nj == pytest.approx(
+            1 * E_NV_READ + 2 * E_NV_WRITE + 1 * E_DRAM)
+
+    def test_explicit_dram_capacity_pays_standby(self):
+        pm = PageMap(page_bytes=4096)
+        model = HorizontalModel(PCRAM, pm, dram_capacity_bytes=GiB)
+        res = model.run([batch([0x0])])  # unmapped -> DRAM, 10 ns
+        standby = 180.0 * res.total_latency_ns / 1e3  # 180 mW over 10 ns
+        assert res.energy_nj == pytest.approx(E_DRAM + standby)
+
+    def test_poor_locality_favors_horizontal(self):
+        # the paper's §II claim: with poor locality the DRAM cache's
+        # probe+fill amplification loses to side-by-side placement
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 1 << 22, size=4000, dtype=np.uint64)
+        trace = [batch(addrs)]
+        hier = DRAMCacheModel(PCRAM, 4096).run(trace)
+        pm = PageMap()
+        pm.assign_range(0, 1 << 22, MemoryPool.NVRAM)
+        horiz = HorizontalModel(PCRAM, pm).run(trace)
+        assert hier.hit_rate < 0.5
+        assert hier.avg_latency_ns > horiz.avg_latency_ns

@@ -1,0 +1,114 @@
+"""Hand-computed scenarios for :mod:`repro.hybrid.energy`.
+
+Every expectation here is derived on paper from the published device
+constants (PCRAM read 40 mA / write 150 mA at 1.5 V; DRAM 40 mA
+symmetric), so a regression in the energy arithmetic fails with the
+exact wrong number rather than a drifted ratio.
+
+Convention: power[mW] = current[mA] * voltage[V]; one access's array
+power applies over one channel burst (default 10 ns);
+mW * ns = pJ, / 1e3 = nJ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.hybrid.energy import HybridEnergyModel, access_energy_nj
+from repro.hybrid.placement import PlacementPlan
+from repro.memory.object import ObjectKind
+from repro.nvram.technology import DRAM_DDR3, PCRAM
+from repro.scavenger.metrics import ObjectMetrics
+from repro.util.units import GiB
+
+import numpy as np
+
+# the device constants the hand computations below rely on
+assert PCRAM.read_power_mw == 60.0     # 40 mA * 1.5 V
+assert PCRAM.write_power_mw == 225.0   # 150 mA * 1.5 V
+assert DRAM_DDR3.read_power_mw == 60.0
+assert DRAM_DDR3.write_power_mw == 60.0
+
+
+def metrics(reads, writes, size=4096):
+    return ObjectMetrics(
+        oid=0, name="o0", kind=ObjectKind.GLOBAL, size=size, base=0x100000,
+        reads=reads, writes=writes, reference_rate=0.0, write_share=0.0,
+        reads_per_iter=np.zeros(11, np.int64),
+        writes_per_iter=np.zeros(11, np.int64), iterations_touched=10)
+
+
+class TestAccessEnergy:
+    def test_pcram_mixed_burst(self):
+        # 5 reads * 60 mW + 3 writes * 225 mW = 975 mW over a 10 ns
+        # burst each = 9750 pJ = 9.75 nJ
+        assert access_energy_nj(PCRAM, 5, 3) == pytest.approx(9.75)
+
+    def test_dram_reads_only(self):
+        # 10 * 60 mW * 10 ns = 6000 pJ = 6 nJ
+        assert access_energy_nj(DRAM_DDR3, 10, 0) == pytest.approx(6.0)
+
+    def test_burst_scales_linearly(self):
+        assert access_energy_nj(PCRAM, 5, 3, burst_ns=20.0) == pytest.approx(19.5)
+
+    def test_zero_accesses(self):
+        assert access_energy_nj(PCRAM, 0, 0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(PlacementError):
+            access_energy_nj(PCRAM, 1, 0, burst_ns=0.0)
+        with pytest.raises(PlacementError):
+            access_energy_nj(PCRAM, -1, 0)
+        with pytest.raises(PlacementError):
+            access_energy_nj(PCRAM, 0, -1)
+
+
+class TestModelUsesSameArithmetic:
+    def test_nvram_resident_object_dynamic_energy(self):
+        # an all-NVM plan's dynamic energy is exactly access_energy_nj of
+        # the object's traffic; NVM pays no static energy at all
+        m = metrics(reads=100, writes=40)
+        plan = PlacementPlan(tech_name="PCRAM", nvram_oids=[0],
+                             nvram_bytes=m.size)
+        rep = HybridEnergyModel(PCRAM).energy([m], plan, window_ns=1e6)
+        assert rep.static_nj == 0.0
+        # 100*60 + 40*225 = 15000 mW-bursts -> 150000 pJ = 150 nJ
+        assert rep.dynamic_nj == pytest.approx(150.0)
+        assert rep.dynamic_nj == pytest.approx(
+            access_energy_nj(PCRAM, m.reads, m.writes))
+
+    def test_dram_static_energy_by_hand(self):
+        # 1 GiB resident for 1e6 ns at 180 mW/GiB: 180 mW * 1e6 ns
+        # = 1.8e8 pJ = 180000 nJ
+        m = metrics(reads=0, writes=0, size=GiB)
+        rep = HybridEnergyModel(PCRAM).all_dram_baseline([m], window_ns=1e6)
+        assert rep.static_nj == pytest.approx(180_000.0)
+        assert rep.dynamic_nj == 0.0
+        assert rep.total_nj == pytest.approx(180_000.0)
+        # average power over the window: 180000 nJ / 1e6 ns = 180 mW
+        assert rep.average_power_mw == pytest.approx(180.0)
+
+    def test_custom_burst_propagates(self):
+        m = metrics(reads=10, writes=0)
+        plan = PlacementPlan(tech_name="PCRAM", nvram_oids=[0],
+                             nvram_bytes=m.size)
+        rep = HybridEnergyModel(PCRAM, burst_ns=20.0).energy([m], plan, 1e6)
+        assert rep.dynamic_nj == pytest.approx(
+            access_energy_nj(PCRAM, 10, 0, burst_ns=20.0))
+
+    def test_access_fraction_truncates_counts(self):
+        # int(100 * 0.1) = 10 reads reach memory
+        m = metrics(reads=100, writes=0)
+        rep = HybridEnergyModel(PCRAM).all_dram_baseline(
+            [m], 1e6, memory_access_fraction=0.1)
+        assert rep.dynamic_nj == pytest.approx(access_energy_nj(DRAM_DDR3, 10, 0))
+
+    def test_savings_by_hand(self):
+        # hybrid 150 nJ vs baseline 200 nJ -> 25% saving
+        from repro.hybrid.energy import EnergyReport
+
+        rep = EnergyReport(static_nj=50.0, dynamic_nj=100.0, window_ns=1.0)
+        baseline = EnergyReport(static_nj=100.0, dynamic_nj=100.0, window_ns=1.0)
+        assert rep.savings_vs(baseline) == pytest.approx(0.25)
+        assert rep.savings_vs(EnergyReport(0.0, 0.0, 1.0)) == 0.0

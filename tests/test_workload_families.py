@@ -1,0 +1,134 @@
+"""Workload families: registry, spec addressing, trace determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.base import ModelApp
+from repro.cachesim import MemoryTraceProbe
+from repro.engine.spec import RunSpec, WORKLOAD_PREFIX
+from repro.errors import ConfigurationError
+from repro.instrument import InstrumentedRuntime
+from repro.service.protocol import RequestError, parse_request
+from repro.workloads import FAMILIES, create_workload
+from repro.workloads.families import (
+    CheckpointWorkload,
+    GraphWorkload,
+    KVCacheWorkload,
+)
+
+FAST = dict(scale=1.0 / 256.0, refs_per_iteration=3_000, n_iterations=6, seed=0)
+
+
+def run_trace(app):
+    probe = MemoryTraceProbe()
+    rt = InstrumentedRuntime(probe)
+    app(rt)
+    rt.finish()
+    return probe.memory_trace
+
+
+class TestRegistry:
+    def test_families(self):
+        assert set(FAMILIES) == {"kvcache", "graph", "checkpoint"}
+        assert FAMILIES["kvcache"] is KVCacheWorkload
+        assert FAMILIES["graph"] is GraphWorkload
+        assert FAMILIES["checkpoint"] is CheckpointWorkload
+
+    def test_create_workload(self):
+        app = create_workload("kvcache", **FAST)
+        assert isinstance(app, ModelApp)
+        assert app.footprint_bytes > 0
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            create_workload("nope")
+
+    def test_lazy_exports(self):
+        import repro.workloads as w
+
+        assert w.KVCacheWorkload is KVCacheWorkload
+        with pytest.raises(AttributeError):
+            w.NotAWorkload
+
+    def test_separate_from_paper_apps(self):
+        from repro.apps import APPLICATIONS
+
+        assert not set(FAMILIES) & set(APPLICATIONS)
+
+
+class TestSpecAddressing:
+    def test_instantiate_workload_prefix(self):
+        spec = RunSpec(app=WORKLOAD_PREFIX + "graph", refs_per_iteration=3_000,
+                       scale=1.0 / 256.0, n_iterations=6, seed=3)
+        app = spec.instantiate()
+        assert isinstance(app, GraphWorkload)
+        assert app.refs_per_iteration == 3_000
+        assert app.n_iterations == 6
+        assert app.seed == 3
+
+    def test_instantiate_unknown_workload(self):
+        spec = RunSpec(app=WORKLOAD_PREFIX + "nope", refs_per_iteration=10,
+                       scale=0.1, n_iterations=1, seed=0)
+        with pytest.raises(ConfigurationError):
+            spec.instantiate()
+
+    def test_keys_distinguish_families(self):
+        mk = lambda app: RunSpec(app=app, refs_per_iteration=10, scale=0.1,
+                                 n_iterations=1, seed=0).key
+        keys = {mk("workload:kvcache"), mk("workload:graph"),
+                mk("workload:checkpoint"), mk("nek5000")}
+        assert len(keys) == 4
+
+    def test_service_accepts_workload_specs(self):
+        spec, _ = parse_request({"app": "workload:kvcache",
+                                 "refs_per_iteration": 100})
+        assert spec.app == "workload:kvcache"
+
+    def test_service_lists_workloads_on_unknown_app(self):
+        with pytest.raises(RequestError) as exc:
+            parse_request({"app": "workload:nope"})
+        assert "workload:kvcache" in exc.value.detail["workloads"]
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_emits_memory_traffic(self, name):
+        trace = run_trace(create_workload(name, **FAST))
+        assert trace
+        refs = sum(len(b) for b in trace)
+        writes = sum(int(b.is_write.sum()) for b in trace)
+        assert refs > 0
+        assert 0 < writes < refs
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_same_seed_same_trace(self, name):
+        a = run_trace(create_workload(name, **FAST))
+        b = run_trace(create_workload(name, **FAST))
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.addr, y.addr)
+            assert np.array_equal(x.is_write, y.is_write)
+            assert x.iteration == y.iteration
+
+    def test_seed_changes_trace(self):
+        a = run_trace(create_workload("kvcache", **FAST))
+        b = run_trace(create_workload("kvcache", **{**FAST, "seed": 1}))
+        assert any(not np.array_equal(x.addr, y.addr) for x, y in zip(a, b))
+
+    def test_checkpoint_traffic_is_bursty(self):
+        app = create_workload("checkpoint", **FAST)
+        ckpt = next(s for s in app.structures if s.name == "ckpt_buf")
+        active = set(ckpt.active_iterations)
+        assert active
+        assert active < set(range(1, FAST["n_iterations"] + 1))
+
+    def test_kvcache_writes_concentrate_in_arena(self):
+        from repro.scavenger import NVScavenger
+
+        app = create_workload("kvcache", **FAST)
+        res = NVScavenger().analyze(app, n_main_iterations=FAST["n_iterations"])
+        arena = next(m for m in res.object_metrics if "kv_arena" in m.name)
+        total = sum(m.writes for m in res.object_metrics)
+        assert arena.writes > total * 0.5

@@ -1,0 +1,98 @@
+"""End-to-end policy-sweep smoke: record once, replay bit-identically.
+
+Drives the actual CLI (``python -m repro.cli policies sweep``) the way
+an operator would, asserting a 2-policy x 2-workload slice of the grid
+at smoke fidelity:
+
+1. ``policies ls`` lists every registered policy;
+2. a cold ``policies sweep`` into a throwaway cache records the
+   workload traces and prints the 60-cell summary;
+3. a warm re-run of the same command replays everything (``app runs:
+   0``) and its sweep output is byte-identical to the cold run's;
+4. the threshold policy's headline margin holds: strictly fewer NVM
+   writes than the no-migration baseline on the KV-cache workload.
+
+Exit 0 on success, 1 with a diagnostic on any violated expectation.
+Used by ``make policy-smoke`` and the CI ``policies`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+FIDELITY = ["--refs", "6000", "--scale", "0.00390625", "--iterations", "10"]
+#: the smoke's asserted slice: 2 policies x 2 workloads out of the grid
+POLICIES = ("no_migration", "threshold")
+WORKLOADS = ("kvcache", "graph")
+
+
+def fail(msg: str) -> None:
+    print(f"policy smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(*args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO, "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env, capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"`{' '.join(args)}` exited {proc.returncode}:\n{proc.stderr}")
+    return proc.stdout
+
+
+def main() -> int:
+    listing = run_cli("policies", "ls")
+    for name in POLICIES:
+        if name not in listing:
+            fail(f"`policies ls` does not list {name!r}:\n{listing}")
+
+    with tempfile.TemporaryDirectory(prefix="policy-smoke-") as tmp:
+        sweep = ["policies", "sweep", "--cache-dir",
+                 os.path.join(tmp, "cache"), *FIDELITY]
+        cold = run_cli(*sweep)
+        if "60 cells" not in cold:
+            fail(f"cold sweep did not report the full grid:\n{cold}")
+
+        warm = run_cli(*sweep)
+        if "app runs: 0" not in warm:
+            fail("warm sweep executed workloads instead of replaying "
+                 f"from the cache:\n{warm}")
+        # everything above the engine-stats table must be byte-identical
+        cold_table = cold.split("app runs:")[0]
+        warm_table = warm.split("app runs:")[0]
+        if cold_table != warm_table:
+            fail("replayed sweep output diverges from the recorded run:\n"
+                 f"--- cold ---\n{cold_table}\n--- warm ---\n{warm_table}")
+
+        # headline margin on the asserted slice, parsed from the table:
+        # "<workload> <policy> <nvm writes> ..." rows (PCRAM, tight budget)
+        writes: dict[tuple[str, str], int] = {}
+        for line in cold_table.splitlines():
+            parts = line.split()
+            if (len(parts) >= 3 and parts[0] in WORKLOADS
+                    and parts[1] in POLICIES and parts[2].isdigit()):
+                writes[(parts[0], parts[1])] = int(parts[2])
+        for w in WORKLOADS:
+            if (w, "no_migration") not in writes or (w, "threshold") not in writes:
+                fail(f"sweep table is missing the {w} smoke rows:\n{cold_table}")
+            if not writes[(w, "threshold")] < writes[(w, "no_migration")]:
+                fail(f"threshold did not reduce NVM writes on {w}: "
+                     f"{writes[(w, 'threshold')]} vs "
+                     f"{writes[(w, 'no_migration')]}")
+
+    print(f"policy smoke OK ({len(writes)} asserted cells, "
+          "replay bit-identical to record)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
