@@ -1,7 +1,7 @@
 # Standard loops for the repro package.
 PY ?= python
 
-.PHONY: install test lint chaos bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak queue-soak policy-smoke validate examples all clean
+.PHONY: install test lint chaos crashcheck bench bench-report experiments sched-smoke resume-smoke serve-smoke serve-soak queue-soak policy-smoke validate examples all clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -21,6 +21,18 @@ chaos:
 	$(PY) -m pytest -p no:randomly -q tests/test_engine_chaos.py \
 		tests/test_engine_fsck_gc.py tests/test_resilience.py \
 		tests/test_trace_durability.py
+
+# Crash-consistency model checker: every durable protocol is run once
+# under a recording FS, then every reachable crash state (drops, torn
+# writes, reordered directory entries) is materialized and recovered.
+# The minimized-reproducer corpus lands in CRASHCHECK_corpus.json
+# (matches CI's crashcheck job, which uploads it as an artifact).
+crashcheck:
+	$(PY) -m pytest -p no:randomly -q tests/test_crashcheck_model.py \
+		tests/test_crashcheck_protocols.py \
+		tests/test_crashcheck_regressions.py \
+		tests/test_trace_migrate_crash.py
+	$(PY) -m repro.cli crashcheck all --corpus CRASHCHECK_corpus.json
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -457,6 +457,54 @@ def cmd_trace_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crashcheck(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.crashcheck import PROTOCOLS, run_checker, write_corpus
+
+    if args.list:
+        width = max(len(n) for n in PROTOCOLS)
+        for name in sorted(PROTOCOLS):
+            print(f"{name:{width}s}  {PROTOCOLS[name].description}")
+        return 0
+    if args.protocol == "all":
+        names = sorted(PROTOCOLS)
+    elif args.protocol in PROTOCOLS:
+        names = [args.protocol]
+    else:
+        raise ConfigurationError(
+            f"unknown protocol {args.protocol!r} — one of "
+            f"{', '.join(sorted(PROTOCOLS))}, or 'all'")
+
+    reports = []
+    dirty = False
+    for name in names:
+        with tempfile.TemporaryDirectory(prefix=f"crashcheck-{name}-") as td:
+            report = run_checker(
+                PROTOCOLS[name], td,
+                per_point=args.per_point, max_states=args.max_states,
+                block=args.block_size,
+                progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+        reports.append(report)
+        status = "CLEAN" if report.clean else (
+            f"{len(report.violations)} VIOLATION"
+            f"{'S' if len(report.violations) != 1 else ''}")
+        extra = " (state budget hit)" if report.truncated else ""
+        print(f"{report.protocol:9s} {status:14s} "
+              f"{report.n_unique_states:5d} unique states, "
+              f"{report.n_schedules} schedules over "
+              f"{report.n_crash_points} crash points "
+              f"[{report.elapsed_s:.1f}s]{extra}")
+        for v in report.violations:
+            dirty = True
+            print(f"  - {v.message}")
+            print(f"    reproducer: {json.dumps(v.schedule)}")
+    if args.corpus:
+        write_corpus(reports, args.corpus)
+        print(f"reproducer corpus written to {args.corpus}")
+    return 1 if dirty else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="nvscavenger")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -577,6 +625,23 @@ def main(argv: list[str] | None = None) -> int:
     p_ps.add_argument("--transport", choices=("process", "queue"),
                       default="process",
                       help="queue lets `nvscavenger work` agents join")
+    p_cc = sub.add_parser(
+        "crashcheck",
+        help="model-check a durable protocol's crash consistency")
+    p_cc.add_argument("protocol", nargs="?", default="all",
+                      help="protocol to check (artifact, fence, journal, "
+                           "queue, tv3) or 'all'")
+    p_cc.add_argument("--list", action="store_true",
+                      help="list checkable protocols and exit")
+    p_cc.add_argument("--per-point", type=int, default=6,
+                      help="crash schedules explored per crash point")
+    p_cc.add_argument("--max-states", type=int, default=4000,
+                      help="budget: unique persisted states to recover")
+    p_cc.add_argument("--block-size", type=int, default=512,
+                      help="torn-write granularity in bytes")
+    p_cc.add_argument("--corpus", default=None,
+                      help="write the reproducer-schedule corpus (JSON) "
+                           "to this path")
     p_ex = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_ex.add_argument("rest", nargs=argparse.REMAINDER)
     p_va = sub.add_parser("validate", help="run the reproduction gate")
@@ -612,6 +677,8 @@ def main(argv: list[str] | None = None) -> int:
             if args.action == "migrate":
                 return cmd_trace_migrate(args)
             return cmd_trace(args)
+        if args.command == "crashcheck":
+            return cmd_crashcheck(args)
     except ConfigurationError as exc:
         print(f"nvscavenger: error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,60 @@
+"""Crash-consistency model checking for every durable protocol.
+
+``repro.crashcheck`` records a protocol's filesystem operations
+(:mod:`~repro.crashcheck.recorder`), enumerates the crash states a
+POSIX-legal storage stack could persist (:mod:`~repro.crashcheck
+.model`), and drives the protocol's real recovery path against each
+unique state (:mod:`~repro.crashcheck.checker`). The five protocols
+under check live in :mod:`~repro.crashcheck.protocols`; the CLI
+entry point is ``nvscavenger crashcheck``.
+"""
+
+from repro.crashcheck.checker import (
+    CheckReport,
+    ProtocolSpec,
+    Violation,
+    minimize,
+    record_log,
+    replay_schedule,
+    run_checker,
+    write_corpus,
+)
+from repro.crashcheck.model import (
+    BLOCK,
+    AnnotatedLog,
+    Schedule,
+    annotate,
+    enumerate_schedules,
+    materialize,
+    snapshot_tree,
+)
+from repro.crashcheck.protocols import PROTOCOLS
+from repro.crashcheck.recorder import (
+    DurableOp,
+    Mark,
+    MarkLog,
+    RecordingFS,
+)
+
+__all__ = [
+    "AnnotatedLog",
+    "BLOCK",
+    "CheckReport",
+    "DurableOp",
+    "Mark",
+    "MarkLog",
+    "PROTOCOLS",
+    "ProtocolSpec",
+    "RecordingFS",
+    "Schedule",
+    "Violation",
+    "annotate",
+    "enumerate_schedules",
+    "materialize",
+    "minimize",
+    "record_log",
+    "replay_schedule",
+    "run_checker",
+    "snapshot_tree",
+    "write_corpus",
+]

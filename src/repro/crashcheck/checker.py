@@ -1,0 +1,244 @@
+"""The crash-consistency check driver.
+
+One check run is: execute a protocol's workload once against a
+:class:`~repro.crashcheck.recorder.RecordingFS`, annotate the op log
+(:mod:`repro.crashcheck.model`), then for every crash point enumerate
+legal persisted states, deduplicate them by tree hash, materialize each
+unique state into a scratch directory, and run the protocol's *real*
+recovery path against it. The protocol's ``recover`` hook receives the
+durability promises the workload had acknowledged by that crash point
+(:class:`~repro.crashcheck.recorder.Mark`) and must raise
+:class:`~repro.errors.CrashConsistencyError` when an invariant fails.
+
+Violations are shrunk greedily (re-applying dropped/torn ops one at a
+time while the failure persists), so the reported schedule is a minimal
+reproducer suitable for committing as a regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crashcheck.model import (
+    BLOCK,
+    AnnotatedLog,
+    Schedule,
+    annotate,
+    enumerate_schedules,
+    materialize,
+    snapshot_tree,
+)
+from repro.crashcheck.recorder import Mark, MarkLog, RecordingFS
+
+#: Default cap on unique crash states recovered per protocol run.
+DEFAULT_MAX_STATES = 4000
+#: Default schedules explored per crash point.
+DEFAULT_PER_POINT = 6
+
+
+@dataclass
+class ProtocolSpec:
+    """One durable protocol, packaged for the checker.
+
+    ``setup(root)`` builds the pre-workload durable state with plain
+    ``os`` calls. ``workload(root, fs, mark)`` drives the protocol
+    through the recording *fs*, calling ``mark(label, **info)`` the
+    moment each durability promise is acknowledged. ``recover(root,
+    acked)`` runs the real recovery/read path against a materialized
+    crash state and raises CrashConsistencyError when a promise in
+    *acked* does not hold.
+    """
+
+    name: str
+    description: str
+    setup: Callable[[str], None]
+    workload: Callable[[str, RecordingFS, MarkLog], None]
+    recover: Callable[[str, list[Mark]], None]
+
+
+@dataclass
+class Violation:
+    """One invariant failure, with its minimized reproducer schedule."""
+
+    protocol: str
+    message: str
+    crash_index: int
+    schedule: dict
+
+    def to_dict(self) -> dict:
+        return {"protocol": self.protocol, "message": self.message,
+                "crash_index": self.crash_index, "schedule": self.schedule}
+
+
+@dataclass
+class CheckReport:
+    """Everything one protocol's check run produced."""
+
+    protocol: str
+    n_ops: int = 0
+    n_crash_points: int = 0
+    n_schedules: int = 0
+    n_unique_states: int = 0
+    n_recovered: int = 0
+    elapsed_s: float = 0.0
+    truncated: bool = False  # hit max_states before exhausting points
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "clean": self.clean,
+            "n_ops": self.n_ops,
+            "n_crash_points": self.n_crash_points,
+            "n_schedules": self.n_schedules,
+            "n_unique_states": self.n_unique_states,
+            "n_recovered": self.n_recovered,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "truncated": self.truncated,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def record_log(spec: ProtocolSpec,
+               workdir: str) -> tuple[AnnotatedLog, MarkLog]:
+    """Run *spec*'s workload once under a RecordingFS rooted in a fresh
+    ``base`` dir inside *workdir*; returns the annotated log + marks."""
+    base = os.path.join(workdir, "base")
+    os.makedirs(base)
+    spec.setup(base)
+    snapshot = snapshot_tree(base)
+    fs = RecordingFS(base)
+    mark = MarkLog(fs)
+    spec.workload(base, fs, mark)
+    return annotate(snapshot, fs.ops), mark
+
+
+def _recover_fails(spec: ProtocolSpec, log: AnnotatedLog, sched: Schedule,
+                   acked: list[Mark], scratch: str) -> str | None:
+    """Materialize *sched*, run recovery; the failure message or None."""
+    if os.path.exists(scratch):
+        shutil.rmtree(scratch)
+    os.makedirs(scratch)
+    materialize(log, sched).emit(scratch)
+    try:
+        spec.recover(scratch, acked)
+    except Exception as exc:  # any escape from recovery is a finding
+        return f"{type(exc).__name__}: {exc}"
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return None
+
+
+def minimize(spec: ProtocolSpec, log: AnnotatedLog, sched: Schedule,
+             acked: list[Mark], scratch: str) -> Schedule:
+    """Greedily shrink a failing schedule: re-apply each dropped op and
+    un-tear each torn write while the recovery still fails."""
+    drops, tears = list(sched.drops), list(sched.tears)
+    changed = True
+    while changed:
+        changed = False
+        for d in list(drops):
+            trial = Schedule(sched.crash_index,
+                             tuple(x for x in drops if x != d), tuple(tears))
+            if _recover_fails(spec, log, trial, acked, scratch):
+                drops.remove(d)
+                changed = True
+        for t in list(tears):
+            trial = Schedule(sched.crash_index, tuple(drops),
+                             tuple(x for x in tears if x != t))
+            if _recover_fails(spec, log, trial, acked, scratch):
+                tears.remove(t)
+                changed = True
+    return Schedule(sched.crash_index, tuple(sorted(drops)),
+                    tuple(sorted(tears)))
+
+
+def run_checker(
+    spec: ProtocolSpec,
+    workdir: str,
+    per_point: int = DEFAULT_PER_POINT,
+    max_states: int = DEFAULT_MAX_STATES,
+    block: int = BLOCK,
+    max_violations: int = 8,
+    progress: Callable[[str], None] | None = None,
+) -> CheckReport:
+    """Exhaustively (within budget) crash-check one protocol."""
+    t0 = time.monotonic()
+    scratch = os.path.join(workdir, "state")
+    log, mark = record_log(spec, workdir)
+
+    report = CheckReport(protocol=spec.name, n_ops=log.n_ops)
+    # dedup key: (acked-promise count, persisted-tree hash). The tree
+    # alone is NOT the state — the same tree reached after one more
+    # promise was acked carries a stronger obligation, and skipping it
+    # would mask exactly the bugs we hunt (e.g. an empty tree is fine
+    # at crash point 0 but a violation once an epoch was acked).
+    seen: set[tuple[int, str]] = set()
+    for k in range(log.n_ops + 1):
+        report.n_crash_points += 1
+        acked = mark.acked(k)
+        for sched in enumerate_schedules(log, k, per_point=per_point,
+                                         block=block):
+            report.n_schedules += 1
+            key = (len(acked), materialize(log, sched).tree_hash())
+            if key in seen:
+                continue
+            seen.add(key)
+            failure = _recover_fails(spec, log, sched, acked, scratch)
+            report.n_recovered += 1
+            if failure is not None:
+                small = minimize(spec, log, sched, acked, scratch)
+                message = (_recover_fails(spec, log, small, acked, scratch)
+                           or failure)
+                report.violations.append(Violation(
+                    protocol=spec.name, message=message,
+                    crash_index=small.crash_index,
+                    schedule=small.to_dict(log)))
+                if len(report.violations) >= max_violations:
+                    report.truncated = True
+                    break
+            if len(seen) >= max_states:
+                report.truncated = True
+                break
+        if report.truncated:
+            break
+        if progress is not None and k and k % 200 == 0:
+            progress(f"{spec.name}: crash point {k}/{log.n_ops}, "
+                     f"{len(seen)} unique states")
+    report.n_unique_states = len(seen)
+    report.elapsed_s = time.monotonic() - t0
+    return report
+
+
+def replay_schedule(spec: ProtocolSpec, workdir: str,
+                    schedule: Schedule) -> str | None:
+    """Re-run one recorded schedule end to end (the regression-test
+    path): fresh setup + workload, materialize *schedule*, recover.
+    Returns the failure message, or None when recovery is clean."""
+    log, mark = record_log(spec, workdir)
+    return _recover_fails(spec, log, schedule,
+                          mark.acked(schedule.crash_index),
+                          os.path.join(workdir, "state"))
+
+
+def write_corpus(reports: list[CheckReport], path: str) -> None:
+    """Persist the run's reproducer corpus (CI caches this artifact)."""
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "reports": [r.to_dict() for r in reports],
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,254 @@
+"""Recording filesystem: the crash checker's tap on durable protocols.
+
+:class:`RecordingFS` implements the same injectable surface as
+:class:`~repro.trace.fsio.OsFS` (the shim every durable protocol in the
+repo writes through), passes every call straight to the host filesystem
+so the protocol under test actually runs, and logs each state-mutating
+operation — with payload bytes — as a :class:`DurableOp`. The op log is
+the *whole* input to the persistence model (:mod:`repro.crashcheck
+.model`): from it the checker derives which operations a covering
+``fsync``/``fsync_dir`` made durable and enumerates the crash states an
+adversarial-but-POSIX-legal storage stack could expose.
+
+Operations are logged root-relative; calls that touch paths outside the
+recording root are a harness bug and raise ``ValueError`` rather than
+silently escaping the model.
+
+Consecutive ``write`` ops on the same handle are coalesced into one
+logical op (``json.dump`` alone emits hundreds of tiny writes): the
+persistence model tears *logical* writes at block granularity, and an
+uncoalesced log would explode the crash-state space with distinctions no
+real block device makes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.trace.fsio import OsFS
+
+#: Op kinds that change file *data* (covered by ``fsync`` of the file).
+DATA_KINDS = ("write", "trunc")
+#: Op kinds that change directory *entries* (covered by ``fsync_dir``
+#: of the parent directory/directories).
+META_KINDS = ("creat", "mkdir", "rename", "unlink", "rmtree")
+#: Barrier ops: they persist earlier ops but have no effect themselves.
+SYNC_KINDS = ("fsync", "fsync_dir")
+
+
+@dataclass
+class DurableOp:
+    """One logged filesystem mutation (paths root-relative)."""
+
+    index: int
+    kind: str
+    path: str
+    dst: str = ""          # rename destination
+    data: bytes = b""      # write payload
+    offset: int = 0        # write offset / truncate length
+
+    @property
+    def label(self) -> str:
+        """Human-stable name for schedules: ``kind:basename`` (renames
+        label their destination, the entry the protocol cares about)."""
+        target = self.dst if self.kind == "rename" else self.path
+        return f"{self.kind}:{os.path.basename(target)}"
+
+
+class _RecordingFile:
+    """Write-handle wrapper that logs writes/truncates with offsets."""
+
+    def __init__(self, fs: "RecordingFS", rel: str, fh, pos: int,
+                 encoding: str = "utf-8") -> None:
+        self._fs = fs
+        self._rel = rel
+        self._fh = fh
+        self._pos = pos
+        self._encoding = encoding
+
+    @property
+    def name(self) -> str:
+        return self._fh.name
+
+    def write(self, data) -> int:
+        n = self._fh.write(data)
+        blob = data.encode(self._encoding) if isinstance(data, str) else bytes(data)
+        self._fs._log_write(self._rel, self._pos, blob)
+        self._pos += len(blob)
+        return n
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        out = self._fh.seek(offset, whence)
+        # text handles return opaque cookies; binary ones byte offsets —
+        # only binary seeks are meaningful for the logical position
+        if isinstance(out, int):
+            self._pos = out
+        return out
+
+    def tell(self) -> int:
+        return self._fh.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        out = self._fh.truncate(size)
+        self._fs._log("trunc", self._rel,
+                      offset=size if size is not None else self.tell())
+        return out
+
+    def read(self, *args):
+        return self._fh.read(*args)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def fileno(self) -> int:
+        return self._fh.fileno()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "_RecordingFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class RecordingFS(OsFS):
+    """An :class:`~repro.trace.fsio.OsFS` that records every mutation
+    under *root* for the persistence model."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.path.abspath(os.fspath(root))
+        self.ops: list[DurableOp] = []
+
+    # -- logging --------------------------------------------------------
+    def _rel(self, path: str) -> str:
+        abspath = os.path.abspath(os.fspath(path))
+        if abspath == self.root:
+            return "."
+        rel = os.path.relpath(abspath, self.root)
+        if rel.startswith(".."):
+            raise ValueError(
+                f"RecordingFS: {path!r} escapes the recording root "
+                f"{self.root!r} — the protocol harness must keep all "
+                f"durable state under the root")
+        return rel
+
+    def _log(self, kind: str, rel: str, dst: str = "", data: bytes = b"",
+             offset: int = 0) -> DurableOp:
+        op = DurableOp(index=len(self.ops), kind=kind, path=rel, dst=dst,
+                       data=data, offset=offset)
+        self.ops.append(op)
+        return op
+
+    def _log_write(self, rel: str, offset: int, data: bytes) -> None:
+        if self.ops:
+            last = self.ops[-1]
+            if (last.kind == "write" and last.path == rel
+                    and last.offset + len(last.data) == offset):
+                last.data += data
+                return
+        self._log("write", rel, data=data, offset=offset)
+
+    # -- the OsFS surface -----------------------------------------------
+    def open(self, path: str, mode: str = "wb"):
+        if "r" in mode and "+" not in mode:
+            return open(path, mode)  # pure reads are not durable ops
+        rel = self._rel(path)
+        existed = os.path.exists(path)
+        fh = open(path, mode)
+        if not existed:
+            self._log("creat", rel)
+        elif "w" in mode:
+            self._log("trunc", rel, offset=0)
+        pos = os.path.getsize(path) if "a" in mode else 0
+        encoding = getattr(fh, "encoding", None) or "utf-8"
+        return _RecordingFile(self, rel, fh, pos, encoding=encoding)
+
+    def open_excl(self, path: str):
+        rel = self._rel(path)
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        try:
+            fh = os.fdopen(fd, "w")
+        except Exception:
+            os.close(fd)
+            raise
+        self._log("creat", rel)
+        return _RecordingFile(self, rel, fh, 0)
+
+    def fsync(self, fh) -> None:
+        fh.flush()
+        os.fsync(fh.fileno())
+        if isinstance(fh, _RecordingFile):
+            self._log("fsync", fh._rel)
+
+    def replace(self, src: str, dst: str) -> None:
+        rel_src, rel_dst = self._rel(src), self._rel(dst)
+        os.replace(src, dst)
+        self._log("rename", rel_src, dst=rel_dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        rel_src, rel_dst = self._rel(src), self._rel(dst)
+        os.rename(src, dst)
+        self._log("rename", rel_src, dst=rel_dst)
+
+    def unlink(self, path: str) -> None:
+        rel = self._rel(path)
+        os.unlink(path)
+        self._log("unlink", rel)
+
+    def rmtree(self, path: str) -> None:
+        rel = self._rel(path)
+        import shutil
+
+        shutil.rmtree(path)
+        self._log("rmtree", rel)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def makedirs(self, path: str) -> None:
+        rel = self._rel(path)
+        missing: list[str] = []
+        probe = rel
+        while probe not in (".", "") and not os.path.isdir(
+                os.path.join(self.root, probe)):
+            missing.append(probe)
+            probe = os.path.dirname(probe)
+        os.makedirs(path, exist_ok=True)
+        for rel_dir in reversed(missing):
+            self._log("mkdir", rel_dir)
+
+    def fsync_dir(self, path: str) -> None:
+        rel = self._rel(path)
+        super().fsync_dir(path)
+        self._log("fsync_dir", rel)
+
+
+@dataclass
+class Mark:
+    """A durability promise point: the protocol call acked at op-log
+    length ``op_index`` — at any crash point >= that index the promise
+    labelled ``label`` must hold in recovery."""
+
+    label: str
+    op_index: int
+    info: dict = field(default_factory=dict)
+
+
+class MarkLog:
+    """Callable handed to protocol workloads: ``mark("committed")``
+    records that a durability promise was acknowledged *now*."""
+
+    def __init__(self, fs: RecordingFS) -> None:
+        self._fs = fs
+        self.marks: list[Mark] = []
+
+    def __call__(self, label: str, **info) -> Mark:
+        m = Mark(label=label, op_index=len(self._fs.ops), info=info)
+        self.marks.append(m)
+        return m
+
+    def acked(self, crash_index: int) -> list[Mark]:
+        return [m for m in self.marks if m.op_index <= crash_index]

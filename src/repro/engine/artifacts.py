@@ -47,10 +47,13 @@ Robustness around that layout:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
+import re
 import shutil
+import socket
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -115,6 +118,45 @@ QUEUE_LEASES_DIR = "leases"
 #: When the queue manifest declares a lease TTL the grace tightens to
 #: ``max(60, 4 * ttl)``.
 QUEUE_LEASE_GRACE_S = 900.0
+
+
+#: ``<epoch>-<pid>`` (pre-host-tag stages) or ``<epoch>-<pid>-<tag>``.
+_STAGE_SUFFIX_RE = re.compile(r"^(\d+)-(\d+)(?:-([0-9a-f]{8}))?$")
+
+
+def _host_tag() -> str:
+    """Short stable tag for this host, embedded in stage-dir names so
+    fsck/gc can tell a *local* dead recorder's stage from a remote one
+    (pid numbers only mean something on their own host)."""
+    return hashlib.sha256(socket.gethostname().encode()).hexdigest()[:8]
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def _stage_orphan_reason(name: str, age_s: float) -> str | None:
+    """Why a staged recording is safe to evict, or None while it may be
+    live.
+
+    Two triggers: the TTL (any host, any format), and — much faster —
+    a stage whose name carries *this* host's tag and a pid that no
+    longer exists: the recorder died and its stage can never publish.
+    """
+    if age_s > STAGE_TTL_S:
+        return f"stale fenced stage ({age_s:.0f}s old, abandoned recording)"
+    suffix = name.split(STAGE_MARKER, 1)[-1]
+    m = _STAGE_SUFFIX_RE.match(suffix)
+    if m and m.group(3) == _host_tag() and not _pid_alive(int(m.group(2))):
+        return (f"orphaned fenced stage (local recorder pid {m.group(2)} "
+                f"is gone)")
+    return None
 
 
 def _atomic_bytes(path: str, blob: bytes, fs: OsFS) -> None:
@@ -507,6 +549,13 @@ class PendingArtifact:
         final = self._final_dir
         assert final is not None
         committed = os.path.join(final, "meta.json")
+        # the stage's *contents* were each fsync'd, but the directory
+        # entries naming them (the tmp→final renames of meta.json,
+        # events.json, refs.tv3) live in the stage directory's inode —
+        # persist them before that inode is renamed into place, or a
+        # crash after the publish could surface a committed-looking
+        # artifact with members missing (crashcheck: artifact protocol)
+        fs.fsync_dir(self.directory)
         for attempt in range(2):
             if os.path.exists(committed):
                 # someone else committed first: our recording is a
@@ -518,7 +567,11 @@ class PendingArtifact:
                 if os.path.isdir(final):
                     fs.rmtree(final)
                 fs.rename(self.directory, final)
-                fs.fsync_dir(os.path.dirname(final))
+                shard = os.path.dirname(final)
+                fs.fsync_dir(shard)
+                # the shard directory itself may be brand new: its entry
+                # lives in the cache root and needs its own fsync
+                fs.fsync_dir(os.path.dirname(shard))
                 self._finish()
                 return Artifact(self.key, final)
             except OSError:
@@ -560,8 +613,15 @@ class PendingArtifact:
         _atomic_json(os.path.join(self.directory, "meta.json"), meta, fs)
         if self._final_dir is not None:
             return self._publish_stage(fs)
-        # make the renames durable: fsync the directory holding them
+        # make the renames durable: fsync the directory holding them,
+        # then the chain of parents created for this key — the artifact
+        # directory and its shard are themselves just entries in *their*
+        # parents, and an un-fsync'd mkdir can evaporate in a crash,
+        # taking the whole committed artifact with it
         fs.fsync_dir(self.directory)
+        shard = os.path.dirname(self.directory)
+        fs.fsync_dir(shard)
+        fs.fsync_dir(os.path.dirname(shard))
         self._finish()
         return Artifact(self.key, self.directory)
 
@@ -816,7 +876,7 @@ class ArtifactCache:
             if art is not None:
                 return art
             stage = (self.dir_for(key) + STAGE_MARKER
-                     + f"{self.fence.epoch}-{os.getpid()}")
+                     + f"{self.fence.epoch}-{os.getpid()}-{_host_tag()}")
             return PendingArtifact(key, stage, fs=self.fs,
                                    fence=self.fence,
                                    final_dir=self.dir_for(key))
@@ -1044,12 +1104,11 @@ class ArtifactCache:
                     entry.action = "removed stray tmp files"
             report.entries.append(entry)
         for name, path, age in self._stage_dirs():
-            if age <= STAGE_TTL_S:
+            reason = _stage_orphan_reason(name, age)
+            if reason is None:
                 # a live fenced recorder owns this; leave it alone
                 continue
-            entry = FsckEntry(name, path, "partial",
-                              f"stale fenced stage ({age:.0f}s old, "
-                              f"abandoned recording)")
+            entry = FsckEntry(name, path, "partial", reason)
             if repair:
                 try:
                     shutil.rmtree(path)
@@ -1106,12 +1165,12 @@ class ArtifactCache:
             except OSError:
                 mtime = 0.0
             run_candidates.append((mtime, run_id, path, size))
-        for _name, path, age in self._stage_dirs():
+        for name, path, age in self._stage_dirs():
             size = sum(
                 os.path.getsize(os.path.join(dp, f))
                 for dp, _dn, fns in os.walk(path) for f in fns
             )
-            if age <= STAGE_TTL_S:
+            if _stage_orphan_reason(name, age) is None:
                 # a live fenced recorder owns this stage; count, keep
                 before += size
                 continue

@@ -378,9 +378,22 @@ class ChaosFS(OsFS):
             _flip_payload_bit(dst, self._injector)
 
     def rename(self, src: str, dst: str) -> None:
-        if self.dead:
-            raise SimulatedCrash("chaos: rename after simulated crash")
+        fault = self._op("rename", dst)
+        if fault is not None and fault.kind == "crash":
+            self._crash(f"rename to {os.path.basename(dst)}")
+        if fault is not None and fault.kind in ("enospc", "eio"):
+            err = errno.ENOSPC if fault.kind == "enospc" else errno.EIO
+            raise OSError(err, f"chaos: injected {fault.kind} during rename")
         os.rename(src, dst)
+
+    def open_excl(self, path: str):
+        fault = self._op("create", path)
+        if fault is not None and fault.kind == "crash":
+            self._crash(f"exclusive create of {os.path.basename(path)}")
+        if fault is not None and fault.kind in ("enospc", "eio"):
+            err = errno.ENOSPC if fault.kind == "enospc" else errno.EIO
+            raise OSError(err, f"chaos: injected {fault.kind} during create")
+        return super().open_excl(path)
 
     def rmtree(self, path: str) -> None:
         fault = self._op("rmtree", path)

@@ -63,29 +63,38 @@ def read_fence(path: str) -> int:
         return (1 << 62)
 
 
-def write_fence(path: str, epoch: int) -> None:
+def write_fence(path: str, epoch: int, fs=None) -> None:
     """Durably publish *epoch* as the minimum valid fencing epoch.
 
     Atomic (tmp + rename) and fsync'd, and never moves backwards: a
     concurrent or crashed writer can leave only the old value or the new
     one, and revocation-then-regrant always reads its own bump.
+
+    *fs* is an optional :class:`~repro.trace.fsio.OsFS`-shaped shim so
+    fault injection (ChaosFS) and the crashcheck model cover the write.
     """
+    if fs is None:
+        from repro.trace.fsio import OsFS
+
+        fs = OsFS()
     current = read_fence(path)
     if current >= (1 << 62):
         current = 0  # replacing a torn fence file is the repair
     epoch = max(epoch, current)
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    directory = os.path.dirname(path) or "."
+    created = not os.path.isdir(directory)
+    fs.makedirs(directory)
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w") as fh:
+    with fs.open(tmp, "w") as fh:
         fh.write(str(epoch))
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-    dirfd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
-    try:
-        os.fsync(dirfd)
-    finally:
-        os.close(dirfd)
+        fs.fsync(fh)
+    fs.replace(tmp, path)
+    fs.fsync_dir(directory)
+    if created:
+        # a brand-new fence directory is itself just an entry in *its*
+        # parent: persist that too, or the whole fence can vanish and a
+        # revoked epoch silently regress to 0 after a crash
+        fs.fsync_dir(os.path.dirname(directory) or ".")
 
 
 @dataclass(frozen=True)

@@ -163,3 +163,21 @@ class PolicyError(ReproError):
     """A placement/migration policy is unknown, misconfigured, or was
     given inputs it cannot act on (e.g. an oracle without
     classifications)."""
+
+
+class CrashConsistencyError(ReproError):
+    """A durable protocol's invariant failed in a reachable crash state.
+
+    Raised by :mod:`repro.crashcheck` recovery harnesses when a
+    materialized post-crash filesystem state violates the protocol's
+    promise (a committed artifact is corrupt, an acked journal record is
+    gone, a fence regressed, ...). ``protocol`` names the harness and
+    ``schedule`` carries the serialized reordering schedule that reaches
+    the state — the reproducer the regression corpus stores.
+    """
+
+    def __init__(self, message: str, protocol: str | None = None,
+                 schedule: dict | None = None) -> None:
+        super().__init__(message)
+        self.protocol = protocol
+        self.schedule = schedule

@@ -49,6 +49,7 @@ from typing import Any, Iterator
 
 from repro.engine.locks import KeyLock
 from repro.errors import JournalError
+from repro.trace.fsio import OsFS
 
 #: Subdirectory of the artifact-cache root holding per-run state.
 RUNS_DIR = "runs"
@@ -254,16 +255,18 @@ class RunJournal:
     a truncate with an append or tear each other's lines.
     """
 
-    def __init__(self, path: str, fsync: bool = True) -> None:
+    def __init__(self, path: str, fsync: bool = True,
+                 fs: OsFS | None = None) -> None:
         self.path = path
         self.fsync = fsync
+        self._fs = fs if fs is not None else OsFS()
         self._fh = None
         self._lock = KeyLock(os.path.join(
             os.path.dirname(path) or ".", JOURNAL_LOCK_FILE))
 
     @classmethod
-    def open(cls, cache_root: str, run_id: str,
-             fsync: bool = True) -> "RunJournal":
+    def open(cls, cache_root: str, run_id: str, fsync: bool = True,
+             fs: OsFS | None = None) -> "RunJournal":
         """Open *run_id*'s journal for appending, truncating any torn
         tail a previous crash left behind (the reader would ignore it,
         but appending after garbage would poison every later line).
@@ -272,22 +275,34 @@ class RunJournal:
         processes opening concurrently would otherwise race the
         physical ``truncate`` — process B's stale ``good_bytes`` offset
         could chop off a record process A appended in between."""
+        fs = fs if fs is not None else OsFS()
         path = journal_path(cache_root, run_id)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        jnl = cls(path, fsync=fsync)
+        fs.makedirs(os.path.dirname(path))
+        # the run directory and its entry chain up to the cache root are
+        # brand new state: without fsyncing the parents, every fsync'd
+        # append below could still vanish with the whole directory on
+        # power loss (the crashcheck journal protocol reproduces this)
+        fs.fsync_dir(os.path.join(cache_root, RUNS_DIR))
+        fs.fsync_dir(cache_root)
+        jnl = cls(path, fsync=fsync, fs=fs)
         with jnl._lock:
-            if os.path.exists(path):
+            if fs.exists(path):
                 state = read_journal(path)
                 if state.torn:
-                    with open(path, "r+b") as fh:
+                    with fs.open(path, "r+b") as fh:
                         fh.truncate(state.good_bytes)
-                        fh.flush()
-                        os.fsync(fh.fileno())
+                        fs.fsync(fh)
         return jnl
 
     def _handle(self):
         if self._fh is None:
-            self._fh = open(self.path, "ab")
+            existed = self._fs.exists(self.path)
+            self._fh = self._fs.open(self.path, "ab")
+            if not existed:
+                # make the journal file's directory entry durable before
+                # the first append can be acknowledged — fsync(file)
+                # alone never persists the name in the parent directory
+                self._fs.fsync_dir(os.path.dirname(self.path) or ".")
         return self._fh
 
     def append(self, kind: str, **fields) -> dict:
@@ -296,9 +311,10 @@ class RunJournal:
         with self._lock:
             fh = self._handle()
             fh.write(encode_line(rec))
-            fh.flush()
             if self.fsync:
-                os.fsync(fh.fileno())
+                self._fs.fsync(fh)
+            else:
+                fh.flush()
         return rec
 
     # -- scheduler-facing convenience wrappers -------------------------
@@ -344,11 +360,15 @@ class RunJournal:
         self.append(RUN_FINISHED, n_failed=n_failed, n_skipped=n_skipped,
                     **extra)
         # the marker engine gc keys eviction on: a finished run's
-        # journal is forensics, an unfinished one is resumable state
+        # journal is forensics, an unfinished one is resumable state;
+        # fsync the (empty) file and its directory entry — an acked
+        # run_finished whose marker evaporates would make gc treat the
+        # run as resumable forever
         marker = os.path.join(os.path.dirname(self.path), DONE_MARKER)
         try:
-            with open(marker, "w"):
-                pass
+            with self._fs.open(marker, "w") as fh:
+                self._fs.fsync(fh)
+            self._fs.fsync_dir(os.path.dirname(self.path) or ".")
         except OSError:
             pass
 

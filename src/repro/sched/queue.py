@@ -97,6 +97,7 @@ from repro.sched.workers import (
     run_experiment_task,
     run_record_task,
 )
+from repro.trace.fsio import OsFS
 
 #: Queue sub-directories / files (leases dir name is shared with
 #: ``engine gc``'s liveness probe via :mod:`repro.engine.artifacts`).
@@ -127,29 +128,20 @@ def safe_task_id(task_id: str) -> str:
     return f"{clean}-{hashlib.sha256(task_id.encode()).hexdigest()[:8]}"
 
 
-def _fsync_dir(path: str) -> None:
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+def _fsync_dir(path: str, fs: OsFS | None = None) -> None:
+    (fs if fs is not None else OsFS()).fsync_dir(path)
 
 
-def _atomic_json(path: str, payload: dict) -> None:
+def _atomic_json(path: str, payload: dict, fs: OsFS | None = None) -> None:
     """tmp + fsync + rename + dir fsync — a reader never sees a torn
     file, a crash leaves either the old content or the new."""
+    fs = fs if fs is not None else OsFS()
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w") as fh:
+    with fs.open(tmp, "w") as fh:
         json.dump(payload, fh, separators=(",", ":"))
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-    _fsync_dir(os.path.dirname(path))
+        fs.fsync(fh)
+    fs.replace(tmp, path)
+    fs.fsync_dir(os.path.dirname(path))
 
 
 def _read_json(path: str) -> dict | None:
@@ -183,9 +175,11 @@ class WorkQueue:
     instantiate it against the same cache root.
     """
 
-    def __init__(self, cache_root: str, run_id: str) -> None:
+    def __init__(self, cache_root: str, run_id: str,
+                 fs: OsFS | None = None) -> None:
         self.cache_root = os.fspath(cache_root)
         self.run_id = run_id
+        self.fs = fs if fs is not None else OsFS()
         self.root = os.path.join(run_dir(self.cache_root, run_id), QUEUE_DIR)
 
     # -- paths ----------------------------------------------------------
@@ -235,11 +229,21 @@ class WorkQueue:
     def init_dirs(self) -> None:
         for d in (self.tasks_dir, self.leases_dir, self.fence_dir,
                   self.results_dir):
-            os.makedirs(d, exist_ok=True)
+            self.fs.makedirs(d)
+        # fsync the whole new directory chain (queue root, run dir,
+        # runs/, cache root): each level is only an entry in its parent,
+        # and without these a crash could drop e.g. the results/ dir —
+        # and every durably-published result in it — in one stroke
+        self.fs.fsync_dir(self.root)
+        level = os.path.dirname(self.root)           # runs/<run-id>
+        for _ in range(2):                           # run dir, runs/
+            self.fs.fsync_dir(level)
+            level = os.path.dirname(level)
+        self.fs.fsync_dir(self.cache_root)
 
     def write_manifest(self, payload: dict) -> None:
         self.init_dirs()
-        _atomic_json(self.manifest_path, payload)
+        _atomic_json(self.manifest_path, payload, fs=self.fs)
 
     def read_manifest(self) -> dict:
         if not os.path.isdir(self.root):
@@ -264,7 +268,7 @@ class WorkQueue:
         _atomic_json(self.ready_path(task_id), {
             "task_id": task_id, "epoch": int(epoch),
             "attempt": int(attempt), "seed_offset": int(seed_offset),
-        })
+        }, fs=self.fs)
 
     def clear_ready(self, task_id: str) -> None:
         try:
@@ -310,15 +314,14 @@ class WorkQueue:
         }
         path = self.lease_path(task_id, epoch)
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            fh = self.fs.open_excl(path)
         except OSError:
             return None  # FileExistsError: epoch already claimed
         try:
-            with os.fdopen(fd, "w") as fh:
+            with fh:
                 json.dump(rec, fh, separators=(",", ":"))
-                fh.flush()
-                os.fsync(fh.fileno())
-            _fsync_dir(self.leases_dir)
+                self.fs.fsync(fh)
+            _fsync_dir(self.leases_dir, fs=self.fs)
         except OSError:
             try:
                 os.unlink(path)
@@ -338,7 +341,8 @@ class WorkQueue:
         mtime is the liveness signal). Epoch-named, so a zombie only
         ever touches its *own* obsolete file — never the new holder's."""
         rec = dict(lease, t=time.time())
-        _atomic_json(self.lease_path(rec["task_id"], int(rec["epoch"])), rec)
+        _atomic_json(self.lease_path(rec["task_id"], int(rec["epoch"])), rec,
+                     fs=self.fs)
 
     def release(self, lease: dict) -> None:
         try:
@@ -348,7 +352,7 @@ class WorkQueue:
 
     # -- results --------------------------------------------------------
     def write_result(self, task_id: str, epoch: int, rec: dict) -> None:
-        _atomic_json(self.result_path(task_id, epoch), rec)
+        _atomic_json(self.result_path(task_id, epoch), rec, fs=self.fs)
 
     # -- stop -----------------------------------------------------------
     def stop(self) -> None:
@@ -795,7 +799,8 @@ class QueueCoordinator:
         can never commit over its successor."""
         pub = published[tid]
         epoch = pub["epoch"]
-        write_fence(self.queue.fence_path(tid), epoch + 1)
+        write_fence(self.queue.fence_path(tid), epoch + 1,
+                    fs=self.queue.fs)
         self.queue.clear_ready(tid)
         attempts[tid] = pub["attempt"] + 1
         if attempts[tid] <= self.max_task_retries:

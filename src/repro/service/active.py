@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from typing import Iterable
+
+from repro.trace.fsio import OsFS
 
 #: Subdirectory of the cache root owned by the service layer.
 SERVICE_DIR = "service"
@@ -40,30 +41,32 @@ def active_keys_path(root: str | os.PathLike) -> str:
     return os.path.join(service_dir(root), ACTIVE_FILE)
 
 
-def write_active_keys(root: str | os.PathLike,
-                      keys: Iterable[str]) -> None:
+def write_active_keys(root: str | os.PathLike, keys: Iterable[str],
+                      fs: OsFS | None = None) -> None:
     """Atomically publish the daemon's current in-flight key set.
 
     Failure is non-fatal by design at call sites: a read-only cache
-    root degrades gc protection, not request serving.
+    root degrades gc protection, not request serving. Writes go through
+    the injectable *fs* shim so ChaosFS and the crashcheck model cover
+    them.
     """
+    fs = fs if fs is not None else OsFS()
     directory = service_dir(root)
-    os.makedirs(directory, exist_ok=True)
+    fs.makedirs(directory)
     payload = {
         "pid": os.getpid(),
         "updated": time.time(),
         "keys": sorted(set(keys)),
     }
-    fd, tmp = tempfile.mkstemp(prefix=".active-", dir=directory)
+    tmp = os.path.join(directory, f".active-{os.getpid()}.tmp")
     try:
-        with os.fdopen(fd, "w") as fh:
+        with fs.open(tmp, "w") as fh:
             json.dump(payload, fh, separators=(",", ":"))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, active_keys_path(root))
+            fs.fsync(fh)
+        fs.replace(tmp, active_keys_path(root))
     except BaseException:
         try:
-            os.unlink(tmp)
+            fs.unlink(tmp)
         except OSError:
             pass
         raise

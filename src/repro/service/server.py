@@ -189,7 +189,7 @@ class AnalysisService:
             return
         loop.run_in_executor(
             self._executor, _swallow(write_active_keys),
-            self.cfg.cache_root, keys)
+            self.cfg.cache_root, keys, self.cache.fs)
 
     # -- request path ---------------------------------------------------
     async def handle_analyze(self, payload: object) -> tuple[int, dict, dict]:
@@ -384,7 +384,7 @@ class AnalysisService:
         while True:
             await loop.run_in_executor(
                 self._executor, _swallow(write_active_keys),
-                self.cfg.cache_root, self.protect_keys())
+                self.cfg.cache_root, self.protect_keys(), self.cache.fs)
             await asyncio.sleep(self.cfg.active_refresh_s)
 
     async def gc_loop(self) -> None:
@@ -428,9 +428,12 @@ class AnalysisService:
         """Journal unfinished work with a resume hint, and retire the
         active-keys snapshot (nothing is in flight any more)."""
         try:
+            fs = self.cache.fs
             directory = service_dir(self.cfg.cache_root)
-            os.makedirs(directory, exist_ok=True)
-            with open(os.path.join(directory, DRAIN_FILE), "w") as fh:
+            fs.makedirs(directory)
+            path = os.path.join(directory, DRAIN_FILE)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with fs.open(tmp, "w") as fh:
                 json.dump({
                     "signum": signum,
                     "drained_at": time.time(),
@@ -440,7 +443,10 @@ class AnalysisService:
                             "re-issue the requests after restart — anything "
                             "already committed is served from cache",
                 }, fh, indent=2)
-            write_active_keys(self.cfg.cache_root, ())
+                fs.fsync(fh)
+            fs.replace(tmp, path)
+            fs.fsync_dir(directory)
+            write_active_keys(self.cfg.cache_root, (), fs=fs)
         except OSError:
             _log.warning("could not journal drain state", exc_info=True)
 
@@ -622,9 +628,9 @@ async def _serve_async(cfg: ServeConfig) -> int:
     print(f"serving on http://{host}:{port} (cache {cfg.cache_root})",
           flush=True)
     if cfg.ready_file:
-        with open(cfg.ready_file + ".tmp", "w") as fh:
+        with service.cache.fs.open(cfg.ready_file + ".tmp", "w") as fh:
             fh.write(f"{host} {port}\n")
-        os.replace(cfg.ready_file + ".tmp", cfg.ready_file)
+        service.cache.fs.replace(cfg.ready_file + ".tmp", cfg.ready_file)
 
     await stop.wait()
     signum = signum_box[0]

@@ -39,6 +39,19 @@ class OsFS:
     def open(self, path: str, mode: str = "wb"):
         return open(path, mode)
 
+    def open_excl(self, path: str):
+        """Create *path* exclusively (``O_CREAT | O_EXCL``) for text writing.
+
+        Raises :class:`FileExistsError` when the path already exists —
+        the loser of a creation race must be told it lost.
+        """
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        try:
+            return os.fdopen(fd, "w")
+        except Exception:
+            os.close(fd)
+            raise
+
     def fsync(self, fh) -> None:
         fh.flush()
         os.fsync(fh.fileno())

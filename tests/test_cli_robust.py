@@ -253,3 +253,32 @@ class TestTraceMigrate:
         with pytest.raises(SystemExit) as exc:
             main(["trace", "migrate"])
         assert exc.value.code == 2
+
+
+class TestCrashcheck:
+    def test_list_names_every_protocol(self, capsys):
+        assert main(["crashcheck", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("artifact", "fence", "journal", "queue", "tv3"):
+            assert name in out
+
+    def test_unknown_protocol_exit_2(self, capsys):
+        assert main(["crashcheck", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "nvscavenger: error" in err and "unknown protocol" in err
+        assert "fence" in err  # the valid choices are spelled out
+
+    def test_fence_run_clean_and_writes_corpus(self, capsys, tmp_path):
+        corpus = str(tmp_path / "corpus.json")
+        rc = main(["crashcheck", "fence", "--max-states", "120",
+                   "--corpus", corpus])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fence" in out and "CLEAN" in out
+        import json as _json
+
+        with open(corpus) as fh:
+            payload = _json.load(fh)
+        (report,) = payload["reports"]
+        assert report["protocol"] == "fence" and report["clean"]
+        assert report["n_unique_states"] > 0

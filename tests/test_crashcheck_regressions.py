@@ -1,0 +1,127 @@
+"""Minimal reproducer schedules for every durability fix.
+
+Each test pins one fsync the crash checker proved necessary. The
+assertions fail if the fix is ever reverted, in two independent ways:
+
+* the named operation must already be *durable* at the moment the
+  protocol acknowledges its promise (``is_durable`` at the mark's crash
+  index) — remove the covering fsync and the coverage computation says
+  so directly;
+* the minimal schedule that reproduced the original violation must
+  recover clean — without the fix the dropped entry becomes pending
+  again, the materialized crash state loses it, and the protocol's own
+  recovery path reports the broken invariant.
+
+The schedules here are the checker's minimized counterexamples from
+the pre-fix code, re-expressed against op labels so they survive
+workload-size changes.
+"""
+
+import pytest
+
+from repro.crashcheck import PROTOCOLS, Schedule, record_log
+from repro.crashcheck.checker import _recover_fails
+from repro.crashcheck.protocols import _ART_KEYS
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One recorded workload per protocol, shared across this module."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            td = tmp_path_factory.mktemp(f"rec-{name}")
+            cache[name] = (PROTOCOLS[name], *record_log(PROTOCOLS[name],
+                                                        str(td)))
+        return cache[name]
+
+    return get
+
+
+def assert_schedule_recovers(tmp_path, spec, log, marks, schedule):
+    scratch = str(tmp_path / "state")
+    msg = _recover_fails(spec, log, schedule,
+                         marks.acked(schedule.crash_index), scratch)
+    assert msg is None, f"reverted fix reproduces: {msg}"
+
+
+# ----------------------------------------------------------------------
+def test_journal_file_entry_fsynced_before_first_ack(recorded, tmp_path):
+    """RunJournal._handle: a brand-new journal file's directory entry is
+    fsync'd before the first append can be acknowledged; the run-dir
+    chain is fsync'd at open. Pre-fix, dropping the creat and the run
+    directories erased every acked record."""
+    spec, log, marks = recorded("journal")
+    k = next(m.op_index for m in marks.marks if m.label == "append")
+    creat = log.find_op("creat", "journal.jsonl")
+    run_mkdirs = [log.find_op("mkdir", "runs"),
+                  log.find_op("mkdir", "crashcheck-run")]
+    for op in (creat, *run_mkdirs):
+        assert log.is_durable(op.index, k), (
+            f"{op.label} not durable when the first append was acked")
+    schedule = Schedule(crash_index=k, drops=tuple(sorted(
+        op.index for op in (creat, *run_mkdirs))))
+    assert_schedule_recovers(tmp_path, spec, log, marks, schedule)
+
+
+def test_fence_directory_entry_fsynced_in_parent(recorded, tmp_path):
+    """write_fence: when the fence directory is brand new, its entry in
+    the parent is fsync'd before the first epoch returns. Pre-fix, a
+    crash dropped the whole directory and the fence regressed to 0."""
+    spec, log, marks = recorded("fence")
+    k = next(m.op_index for m in marks.marks if m.label == "fenced")
+    mkdir = log.find_op("mkdir", "fences")
+    assert log.is_durable(mkdir.index, k), (
+        "fence dir entry not durable when epoch 1 was acked")
+    schedule = Schedule(crash_index=k, drops=(mkdir.index,))
+    assert_schedule_recovers(tmp_path, spec, log, marks, schedule)
+
+
+def test_queue_dir_chain_fsynced_at_init(recorded, tmp_path):
+    """WorkQueue.init_dirs: the queue/tasks/leases/fence/results chain
+    is fsync'd up to the cache root. Pre-fix, dropping the results/
+    mkdir took every acked result with it."""
+    spec, log, marks = recorded("queue")
+    k = next(m.op_index for m in marks.marks if m.label == "result")
+    results = log.find_op("mkdir", "results")
+    queue_dir = log.find_op("mkdir", "queue")
+    for op in (results, queue_dir):
+        assert log.is_durable(op.index, k), (
+            f"{op.label} not durable when the first result was acked")
+    schedule = Schedule(crash_index=k, drops=(results.index,))
+    assert_schedule_recovers(tmp_path, spec, log, marks, schedule)
+
+
+def test_artifact_inplace_commit_fsyncs_shard_chain(recorded, tmp_path):
+    """PendingArtifact.commit (in-place): after the commit marker, the
+    shard directory and the cache root are fsync'd so the freshly
+    created directory chain cannot evaporate. Pre-fix, dropping the
+    shard mkdir made an acked commit invisible."""
+    spec, log, marks = recorded("artifact")
+    committed = [m for m in marks.marks if m.label == "committed"]
+    k = committed[0].op_index
+    shard = log.find_op("mkdir", _ART_KEYS[0][:2])
+    key_dir = log.find_op("mkdir", _ART_KEYS[0])
+    for op in (shard, key_dir):
+        assert log.is_durable(op.index, k), (
+            f"{op.label} not durable when the in-place commit was acked")
+    schedule = Schedule(crash_index=k, drops=(shard.index,))
+    assert_schedule_recovers(tmp_path, spec, log, marks, schedule)
+
+
+def test_artifact_staged_publish_fsyncs_stage_dir_first(recorded,
+                                                        tmp_path):
+    """PendingArtifact._publish_stage: the stage directory's entries
+    (the tmp→final renames of meta/events/refs) are fsync'd before the
+    stage inode is renamed into place. Pre-fix, the publish rename
+    could land while the meta.json rename inside the stage was lost —
+    a committed-looking artifact with its commit marker missing."""
+    spec, log, marks = recorded("artifact")
+    committed = [m for m in marks.marks if m.label == "committed"]
+    k = committed[1].op_index
+    meta_rename = log.find_op("rename", "meta.json", nth=1)
+    assert log.is_durable(meta_rename.index, k), (
+        "staged meta.json rename not durable when the publish was acked")
+    schedule = Schedule(crash_index=k, drops=(meta_rename.index,))
+    assert_schedule_recovers(tmp_path, spec, log, marks, schedule)

@@ -3,12 +3,19 @@
 import json
 import os
 import shutil
+import subprocess
+import time
 
 import pytest
 
 from repro import cli
 from repro.engine import ArtifactCache, PipelineEngine, RunSpec
 from repro.engine.chaos import flip_file_bit
+from repro.engine.artifacts import (
+    STAGE_MARKER,
+    STAGE_TTL_S,
+    _host_tag,
+)
 from repro.errors import ConfigurationError
 
 SPEC = dict(refs_per_iteration=800, scale=1.0 / 256.0, n_iterations=2)
@@ -317,3 +324,85 @@ class TestCliFsckGc:
         with open(os.path.join(qdir, "meta.json")) as fh:
             meta = json.load(fh)
         assert meta["key"] == specs[0].key
+
+
+# ----------------------------------------------------------------------
+class TestStageEviction:
+    """Fenced staged recordings (``<key>.stage.<epoch>-<pid>-<tag>/``):
+    fsck and gc evict a stage whose *local* recorder pid is gone
+    immediately, fall back to the TTL for remote or old-format names,
+    and never touch a stage whose recorder is still alive."""
+
+    @staticmethod
+    def make_stage(cache, key, suffix, age_s=0.0):
+        path = cache.dir_for(key) + STAGE_MARKER + suffix
+        os.makedirs(path)
+        with open(os.path.join(path, "refs.tv3"), "w") as fh:
+            fh.write("half-written stage payload")
+        if age_s:
+            t = time.time() - age_s
+            os.utime(path, (t, t))
+        return path
+
+    @staticmethod
+    def dead_pid():
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        return proc.pid
+
+    def test_fsck_evicts_local_dead_pid_stage_immediately(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        stage = self.make_stage(cache, specs[0].key,
+                                f"3-{self.dead_pid()}-{_host_tag()}")
+        report = cache.fsck()
+        assert any("orphaned fenced stage" in e.detail
+                   for e in report.partial)
+        cache.fsck(repair=True)
+        assert not os.path.exists(stage)
+        assert cache.get(specs[0]) is not None  # the artifact survived
+
+    def test_live_and_remote_stages_are_kept(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        remote_tag = "0" * 8 if _host_tag() != "0" * 8 else "1" * 8
+        kept = [
+            # a live local recorder owns this stage
+            self.make_stage(cache, specs[0].key,
+                            f"3-{os.getpid()}-{_host_tag()}"),
+            # remote host: its pid table means nothing here, TTL only
+            self.make_stage(cache, specs[0].key,
+                            f"4-{self.dead_pid()}-{remote_tag}"),
+            # pre-host-tag name format: TTL only
+            self.make_stage(cache, specs[0].key, f"5-{self.dead_pid()}"),
+        ]
+        report = cache.fsck(repair=True)
+        assert report.clean
+        for path in kept:
+            assert os.path.isdir(path), f"live/remote stage evicted: {path}"
+
+    def test_ttl_still_reaps_old_format_and_remote_stages(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        old = STAGE_TTL_S + 60
+        stale = [
+            self.make_stage(cache, specs[0].key,
+                            f"6-{self.dead_pid()}", age_s=old),
+            self.make_stage(cache, specs[0].key,
+                            f"7-{self.dead_pid()}-{'0' * 8}", age_s=old),
+        ]
+        report = cache.fsck()
+        assert sum("stale fenced stage" in e.detail
+                   for e in report.partial) == 2
+        cache.fsck(repair=True)
+        for path in stale:
+            assert not os.path.exists(path)
+
+    def test_gc_removes_dead_pid_stage_under_any_budget(self, tmp_path):
+        cache, specs = populate(tmp_path, n=1)
+        dead = self.make_stage(cache, specs[0].key,
+                               f"8-{self.dead_pid()}-{_host_tag()}")
+        live = self.make_stage(cache, specs[0].key,
+                               f"9-{os.getpid()}-{_host_tag()}")
+        report = cache.gc(max_bytes=1 << 30)
+        assert report.removed_partial == 1
+        assert not os.path.exists(dead)
+        assert os.path.isdir(live)
+        assert cache.get(specs[0]) is not None
